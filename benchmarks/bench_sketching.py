@@ -1,0 +1,57 @@
+"""Sketching-cost benchmarks (Section 5, "Efficient Weighted Hashing").
+
+Measures what the paper claims about implementation cost:
+
+* the fast active-index WMH sketcher scales ~logarithmically in ``L``
+  (doubling ``L`` many times barely moves sketch time), while the naive
+  expanded-vector implementation scales linearly in ``L``;
+* per-method sketch times at equal storage, for the record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.core.wmh_naive import NaiveWeightedMinHash
+from repro.experiments.runner import method_registry
+
+STORAGE = 300
+
+
+@pytest.mark.parametrize(
+    "method", ["JL", "CS", "MH", "KMV", "WMH", "ICWS", "SimHash", "PS"]
+)
+def test_sketch_time_per_method(benchmark, synthetic_pair, method):
+    vector, _ = synthetic_pair
+    sketcher = method_registry()[method].build(STORAGE, 0)
+    benchmark(sketcher.sketch, vector)
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["storage_words"] = STORAGE
+
+
+@pytest.mark.parametrize("log2_L", [16, 20, 24, 28])
+def test_fast_wmh_scaling_in_L(benchmark, synthetic_pair, log2_L):
+    """Active-index sketching: cost grows ~log L, not L."""
+    vector, _ = synthetic_pair
+    sketcher = WeightedMinHash(m=200, seed=0, L=1 << log2_L)
+    benchmark(sketcher.sketch, vector)
+    benchmark.extra_info["L"] = 1 << log2_L
+
+
+@pytest.mark.parametrize("L", [1 << 12, 1 << 14])
+def test_naive_wmh_scaling_in_L(benchmark, synthetic_pair, L):
+    """Expanded-vector sketching: cost grows linearly in L."""
+    vector, _ = synthetic_pair
+    sketcher = NaiveWeightedMinHash(m=50, n=4_000, seed=0, L=L)
+    benchmark(sketcher.sketch, vector)
+    benchmark.extra_info["L"] = L
+
+
+def test_estimation_time(benchmark, synthetic_pair):
+    """Estimation is O(m) regardless of vector size."""
+    a, b = synthetic_pair
+    sketcher = WeightedMinHash.from_storage(STORAGE, seed=0)
+    sketch_a = sketcher.sketch(a)
+    sketch_b = sketcher.sketch(b)
+    benchmark(sketcher.estimate, sketch_a, sketch_b)

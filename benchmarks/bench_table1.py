@@ -1,0 +1,43 @@
+"""Benchmark harness for Table 1 (error-guarantee comparison).
+
+Evaluates the three bound formulas on every vector family and measures
+achieved errors, asserting the paper's analytical ordering:
+
+* the WMH bound never exceeds the linear-sketching bound;
+* on binary vectors the WMH bound equals the MinHash bound
+  (Theorem 2 strictly generalizes the binary result);
+* measured WMH error respects its bound on average.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.table1 import render, run
+
+
+def test_table1_bounds_and_errors(benchmark):
+    rows = benchmark.pedantic(
+        run, kwargs={"m": 256, "trials": 4, "seed": 1}, rounds=1, iterations=1
+    )
+    print("\n" + render(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "family": row.family,
+            "bound_jl": round(row.linear_bound, 4),
+            "bound_mh": round(row.minhash_bound, 4),
+            "bound_wmh": round(row.wmh_bound, 4),
+            "err_jl": round(row.measured_jl, 4),
+            "err_mh": round(row.measured_mh, 4),
+            "err_wmh": round(row.measured_wmh, 4),
+        }
+        for row in rows
+    ]
+    for row in rows:
+        # Theorem 2's bound dominates Fact 1's for every input.
+        assert row.wmh_bound <= row.linear_bound * (1 + 1e-12)
+        if row.family.startswith("binary"):
+            assert math.isclose(row.wmh_bound, row.minhash_bound, rel_tol=1e-9)
+        # Measured mean error should not blow past the bound by much
+        # (bounds are stated up to constants; allow a 3x cushion).
+        assert row.measured_wmh <= 3.0 * row.wmh_bound

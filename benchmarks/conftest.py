@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+reduced-but-shape-preserving scale and reports the measured series via
+``benchmark.extra_info`` (machine-readable) and stdout (human-readable;
+run pytest with ``-s`` to see the tables).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticConfig, generate_pair
+
+
+@pytest.fixture(scope="session")
+def synthetic_pair():
+    """A fixed mid-sized synthetic pair for micro-benchmarks."""
+    config = SyntheticConfig(n=4_000, nnz=800, overlap=0.1)
+    return generate_pair(config, seed=0)

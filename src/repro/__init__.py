@@ -1,0 +1,66 @@
+"""repro — Weighted MinHash inner-product sketching (PODS 2023).
+
+A from-scratch reproduction of Bessa, Daliri, Freire, Musco, Musco,
+Santos & Zhang, *"Weighted Minwise Hashing Beats Linear Sketching for
+Inner Product Estimation"* (PODS 2023, arXiv:2301.05811).
+
+Quickstart::
+
+    from repro import SparseVector, WeightedMinHash
+
+    sketcher = WeightedMinHash(m=256, seed=42)
+    estimate = sketcher.estimate(sketcher.sketch(a), sketcher.sketch(b))
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    MedianBoosted,
+    NaiveWeightedMinHash,
+    Sketcher,
+    WeightedMinHash,
+    WMHSketch,
+    compare_bounds,
+    estimate_inner_product,
+    linear_sketch_bound,
+    minhash_bound,
+    wmh_advantage,
+    wmh_bound,
+)
+from repro.io import pack_sketch, unpack_sketch
+from repro.sketches import (
+    ICWS,
+    CountSketch,
+    JohnsonLindenstrauss,
+    KMinimumValues,
+    MinHash,
+    SimHash,
+)
+from repro.vectors import SparseVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ICWS",
+    "CountSketch",
+    "JohnsonLindenstrauss",
+    "KMinimumValues",
+    "MedianBoosted",
+    "MinHash",
+    "NaiveWeightedMinHash",
+    "SimHash",
+    "Sketcher",
+    "SparseVector",
+    "WMHSketch",
+    "WeightedMinHash",
+    "compare_bounds",
+    "estimate_inner_product",
+    "linear_sketch_bound",
+    "minhash_bound",
+    "pack_sketch",
+    "unpack_sketch",
+    "wmh_advantage",
+    "wmh_bound",
+    "__version__",
+]

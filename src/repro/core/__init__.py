@@ -1,0 +1,61 @@
+"""The paper's primary contribution: Weighted MinHash inner-product sketching.
+
+* :mod:`repro.core.rounding` — Algorithm 4 (unit-norm discretization);
+* :mod:`repro.core.wmh` — Algorithm 3, fast active-index sketcher;
+* :mod:`repro.core.wmh_naive` — Algorithm 3, literal expanded-vector
+  reference implementation;
+* :mod:`repro.core.estimator` — Algorithm 5 (estimation procedure);
+* :mod:`repro.core.median` — Theorem 2's median-of-t boosting;
+* :mod:`repro.core.theory` — Table 1's error bounds as formulas.
+"""
+
+from repro.core.base import (
+    WORDS_PER_SAMPLE_SAMPLING,
+    SketchMismatchError,
+    Sketcher,
+)
+from repro.core.estimator import (
+    estimate_inner_product,
+    estimate_weighted_union,
+    estimate_weighted_union_from_jaccard,
+)
+from repro.core.median import MedianBoosted, MedianSketch
+from repro.core.rounding import RoundedVector, round_unit_vector, round_vector
+from repro.core.theory import (
+    BoundComparison,
+    compare_bounds,
+    epsilon_for_samples,
+    linear_sketch_bound,
+    minhash_bound,
+    samples_for_epsilon,
+    wmh_advantage,
+    wmh_bound,
+)
+from repro.core.wmh import DEFAULT_L, WeightedMinHash, WMHSketch
+from repro.core.wmh_naive import NaiveWeightedMinHash
+
+__all__ = [
+    "DEFAULT_L",
+    "WORDS_PER_SAMPLE_SAMPLING",
+    "BoundComparison",
+    "MedianBoosted",
+    "MedianSketch",
+    "NaiveWeightedMinHash",
+    "RoundedVector",
+    "SketchMismatchError",
+    "Sketcher",
+    "WMHSketch",
+    "WeightedMinHash",
+    "compare_bounds",
+    "epsilon_for_samples",
+    "estimate_inner_product",
+    "estimate_weighted_union",
+    "estimate_weighted_union_from_jaccard",
+    "linear_sketch_bound",
+    "minhash_bound",
+    "round_unit_vector",
+    "round_vector",
+    "samples_for_epsilon",
+    "wmh_advantage",
+    "wmh_bound",
+]

@@ -1,0 +1,65 @@
+"""Common interface for inner-product sketchers.
+
+Every method evaluated in the paper — linear (JL, CountSketch) and
+sampling-based (MinHash, KMV, Weighted MinHash) — fits one contract:
+
+* ``sketch(vector)``  — independently compress one vector;
+* ``estimate(sa, sb)`` — approximate ``<a, b>`` from two sketches built
+  with identical configuration (same seed / sample count).
+
+The contract also carries the paper's *storage accounting*
+(Section 5, "Storage Size"): experiments compare methods at equal
+storage measured in 64-bit words.  Linear sketches cost one word per
+row; sampling sketches cost 1.5 words per sample (64-bit value +
+32-bit hash).  ``samples_for_storage`` converts a word budget into the
+method's sample-count parameter so sweeps stay storage-equalized.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["Sketcher", "SketchMismatchError", "WORDS_PER_SAMPLE_SAMPLING"]
+
+#: A sampling sketch entry = 64-bit value + 32-bit hash = 1.5 words.
+WORDS_PER_SAMPLE_SAMPLING = 1.5
+
+
+class SketchMismatchError(ValueError):
+    """Raised when two sketches were not built with matching parameters."""
+
+
+class Sketcher(abc.ABC):
+    """Abstract base for all inner-product sketching methods."""
+
+    #: Human-readable method name used in experiment reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sketch(self, vector: SparseVector) -> Any:
+        """Compress ``vector`` into this method's sketch object."""
+
+    @abc.abstractmethod
+    def estimate(self, sketch_a: Any, sketch_b: Any) -> float:
+        """Estimate ``<a, b>`` from two compatible sketches."""
+
+    @abc.abstractmethod
+    def storage_words(self) -> float:
+        """Storage footprint of one sketch, in 64-bit words."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_storage(cls, words: int, seed: int = 0, **kwargs: Any) -> "Sketcher":
+        """Construct the method sized to a storage budget of ``words``."""
+
+    def estimate_pair(self, a: SparseVector, b: SparseVector) -> float:
+        """Convenience: sketch both vectors and estimate in one call."""
+        return self.estimate(self.sketch(a), self.sketch(b))
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise SketchMismatchError(message)

@@ -1,0 +1,109 @@
+"""Median-of-t failure-probability boosting (Theorem 2, final step).
+
+A single sketch of size ``m = O(1/ε²)`` achieves the Theorem 2 error
+bound with probability 2/3.  Concatenating ``t = O(log 1/δ)``
+independently seeded sketches and returning the **median** of the ``t``
+estimates boosts the success probability to ``1 - δ`` (standard
+Chernoff argument; paper, Appendix A.2 "Putting everything together").
+
+:class:`MedianBoosted` is generic: it wraps any :class:`Sketcher`
+factory, so it boosts WMH, MinHash, KMV, ... identically.  Note that
+the paper's experiments use *single* sketches for the sampling methods
+("we use a single sketch without any median estimate") — boosting is
+exercised by the ablation benchmarks instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import SketchMismatchError, Sketcher
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["MedianBoosted", "MedianSketch"]
+
+
+@dataclass(frozen=True)
+class MedianSketch:
+    """Concatenation of ``t`` independently seeded sketches."""
+
+    parts: tuple[Any, ...]
+
+    @property
+    def t(self) -> int:
+        return len(self.parts)
+
+
+class MedianBoosted(Sketcher):
+    """Boost any sketcher to ``1 - δ`` success via median-of-t.
+
+    Parameters
+    ----------
+    factory:
+        Callable ``(seed) -> Sketcher`` building one inner sketch; each
+        of the ``t`` parts gets a distinct derived seed.
+    t:
+        Number of independent repetitions (odd values make the median
+        unambiguous; even values average the two central estimates).
+    seed:
+        Master seed from which the ``t`` part seeds are derived.
+    """
+
+    name = "median"
+
+    def __init__(self, factory: Callable[[int], Sketcher], t: int, seed: int = 0) -> None:
+        if t <= 0:
+            raise ValueError(f"repetition count t must be positive, got {t}")
+        self.t = int(t)
+        self.seed = int(seed)
+        # Large stride keeps derived seeds distinct from typical user seeds.
+        self._parts = tuple(factory(seed * 1_000_003 + 7919 * i + 1) for i in range(t))
+        self.name = f"median{t}({self._parts[0].name})"
+
+    @classmethod
+    def from_storage(cls, words: int, seed: int = 0, **kwargs: Any) -> "MedianBoosted":
+        raise NotImplementedError(
+            "MedianBoosted splits a budget across parts; use "
+            "MedianBoosted.split_storage instead"
+        )
+
+    @classmethod
+    def split_storage(
+        cls,
+        inner_cls: type[Sketcher],
+        words: int,
+        t: int,
+        seed: int = 0,
+        **inner_kwargs: Any,
+    ) -> "MedianBoosted":
+        """Build a median-of-t sketcher whose *total* budget is ``words``.
+
+        Each part gets ``words / t`` so that comparisons against single
+        sketches remain storage-equalized.
+        """
+        per_part = max(int(words / t), 1)
+
+        def factory(part_seed: int) -> Sketcher:
+            return inner_cls.from_storage(per_part, seed=part_seed, **inner_kwargs)
+
+        return cls(factory, t=t, seed=seed)
+
+    def storage_words(self) -> float:
+        return float(sum(part.storage_words() for part in self._parts))
+
+    def sketch(self, vector: SparseVector) -> MedianSketch:
+        return MedianSketch(parts=tuple(part.sketch(vector) for part in self._parts))
+
+    def estimate(self, sketch_a: MedianSketch, sketch_b: MedianSketch) -> float:
+        if sketch_a.t != sketch_b.t:
+            raise SketchMismatchError(
+                f"repetition counts differ: {sketch_a.t} vs {sketch_b.t}"
+            )
+        estimates: Sequence[float] = [
+            part.estimate(pa, pb)
+            for part, pa, pb in zip(self._parts, sketch_a.parts, sketch_b.parts)
+        ]
+        return float(np.median(estimates))

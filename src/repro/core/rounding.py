@@ -1,0 +1,148 @@
+"""Vector rounding for Weighted MinHash (Algorithm 4 of the paper).
+
+Given a *unit* vector ``z`` and an integer discretization parameter
+``L``, produce a unit vector ``z̃`` whose squared entries are all
+integer multiples of ``1/L``:
+
+1. round every squared entry **down**:
+   ``z̃[i] = sign(z[i]) * sqrt(floor(z[i]^2 * L) / L)``;
+2. find ``i* = argmax_i |z[i]|`` and add the lost mass back:
+   ``z̃[i*]^2 += 1 - ||z̃||^2``.
+
+The scheme is deliberately non-standard (paper, footnote 4): rounding
+every entry down except the largest — which is rounded *up* — yields
+small **relative** error in the analysis and avoids additive error
+depending on ``1/L``.  Lemma 3 of the paper proves the invariants that
+the tests in ``tests/core/test_rounding.py`` enforce:
+
+* the output is exactly unit norm (in exact arithmetic: the occupancy
+  counts sum to exactly ``L``);
+* every squared output entry is an integer multiple of ``1/L``;
+* sketching is invariant under the rounding, i.e. Algorithm 3 produces
+  identical sketches for ``a`` and ``a' = ||a|| * round(a/||a||, L)``.
+
+Implementation notes
+--------------------
+We work on the sparse representation and return, alongside the rounded
+values, the integer occupancy counts ``k[i] = z̃[i]^2 * L`` — these are
+exactly the number of occupied slots in block ``i`` of the conceptually
+expanded vector that Algorithm 3 MinHashes, so the sketcher consumes
+them directly.  All bookkeeping is done on the integer counts, which
+makes "sums to exactly L" an exact integer statement rather than a
+floating-point approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["RoundedVector", "round_unit_vector", "round_vector"]
+
+# Tolerance used when flooring z^2 * L: if the product sits within this
+# relative distance below an integer we snap up to it, so that vectors
+# whose squared entries are *already* integer multiples of 1/L (stored
+# as nearest-double approximations) round to themselves. Lemma 3's
+# claim 2 — sketch(a) == sketch(round(a)) — relies on this idempotence.
+_SNAP = 1e-9
+
+
+@dataclass(frozen=True)
+class RoundedVector:
+    """Result of Algorithm 4 on the norm-scaled input.
+
+    Attributes
+    ----------
+    indices:
+        Indices whose rounded value is non-zero (a subset of the input
+        support: small entries may round to zero).
+    values:
+        Rounded unit-vector values ``z̃[i]`` at ``indices``.
+    counts:
+        Integer occupancy counts ``k[i] = z̃[i]^2 * L``; always
+        ``>= 1`` and summing exactly to ``L``.
+    norm:
+        Euclidean norm of the *original* (un-scaled) vector — stored in
+        the sketch and used by the estimator's final rescaling.
+    L:
+        The discretization parameter.
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+    norm: float
+    L: int
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def as_sparse(self) -> SparseVector:
+        """The rounded unit vector as a :class:`SparseVector`."""
+        return SparseVector(self.indices, self.values)
+
+
+def round_unit_vector(values: np.ndarray, L: int) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 4 on the values of a unit vector.
+
+    Parameters
+    ----------
+    values:
+        Non-zero entries of a unit-norm vector (any order).
+    L:
+        Integer discretization parameter, ``>= 1``.
+
+    Returns
+    -------
+    (rounded_values, counts):
+        ``rounded_values[i] = sign(values[i]) * sqrt(counts[i] / L)``
+        with integer ``counts`` summing to exactly ``L``.  Entries whose
+        count is zero are returned as exact ``0.0``.
+    """
+    if L < 1:
+        raise ValueError(f"discretization parameter L must be >= 1, got {L}")
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0:
+        raise ValueError("cannot round an empty (zero) vector")
+    sq_scaled = vals * vals * float(L)
+    counts = np.floor(sq_scaled + _SNAP).astype(np.int64)
+    # Line 2-3 of Algorithm 4: the largest-magnitude entry absorbs the
+    # mass lost to flooring, so the result stays exactly unit norm.
+    largest = int(np.argmax(np.abs(vals)))
+    deficit = int(L) - int(counts.sum())
+    if deficit < 0:
+        # Only possible if the input was not unit norm to begin with.
+        raise ValueError(
+            "input is not a unit vector: sum of floored squared entries "
+            f"exceeds L by {-deficit}"
+        )
+    counts[largest] += deficit
+    rounded = np.sign(vals) * np.sqrt(counts.astype(np.float64) / float(L))
+    return rounded, counts
+
+
+def round_vector(vector: SparseVector, L: int) -> RoundedVector:
+    """Scale ``vector`` to unit norm and apply Algorithm 4.
+
+    This is line 2 of Algorithm 3: ``ã = Round(a / ||a||, L)``.  Entries
+    that round to zero are dropped from the returned support (they
+    occupy no slots in the expanded vector, so the sketcher never sees
+    them).  Raises on the zero vector — callers handle that case by
+    emitting an empty sketch.
+    """
+    nrm = vector.norm()
+    if nrm == 0.0:
+        raise ValueError("cannot round the zero vector")
+    rounded, counts = round_unit_vector(vector.values / nrm, L)
+    keep = counts > 0
+    return RoundedVector(
+        indices=vector.indices[keep].copy(),
+        values=rounded[keep],
+        counts=counts[keep],
+        norm=nrm,
+        L=int(L),
+    )

@@ -1,0 +1,119 @@
+"""Reference Weighted MinHash via explicit vector expansion.
+
+This is Algorithm 3 implemented *literally*: materialize the expanded
+vector ``ā`` of length ``n * L`` (block ``i`` = ``L`` slots, the first
+``k_i = ã[i]^2 * L`` occupied), hash every occupied slot with a
+Carter–Wegman 2-wise function over the ``n * L`` domain, and take the
+arg-min per repetition.
+
+Cost is ``O(m * Σ k_i) = O(m * L)`` per vector, so this is only usable
+for small ``L`` — it exists as the ground truth that the fast
+record-process implementation (:mod:`repro.core.wmh`) is validated
+against, and as the honest baseline in the sketching-cost benchmark.
+
+Sketches produced here are mutually compatible (same estimator, same
+cross-vector consistency) but are **not** interchangeable with fast
+sketches: the two implementations draw their hash values from different
+constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
+from repro.core.rounding import round_vector
+from repro.core.wmh import WMHSketch
+from repro.hashing.primes import next_prime
+from repro.hashing.universal import TwoWiseHashFamily
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["NaiveWeightedMinHash"]
+
+
+class NaiveWeightedMinHash(Sketcher):
+    """Literal expanded-vector Weighted MinHash (testing/ground truth).
+
+    Parameters
+    ----------
+    m, seed:
+        As in :class:`repro.core.wmh.WeightedMinHash`.
+    L:
+        Discretization parameter; directly multiplies sketching cost.
+    n:
+        Ambient dimension — required here (unlike the fast sketcher)
+        because the expanded hash domain ``n * L`` must be fixed ahead
+        of time for sketches to be comparable.
+    """
+
+    name = "WMH-naive"
+
+    def __init__(self, m: int, n: int, seed: int = 0, L: int = 1024) -> None:
+        if m <= 0:
+            raise ValueError(f"sample count m must be positive, got {m}")
+        if n <= 0:
+            raise ValueError(f"dimension n must be positive, got {n}")
+        if L < 1:
+            raise ValueError(f"discretization parameter L must be >= 1, got {L}")
+        self.m = int(m)
+        self.n = int(n)
+        self.L = int(L)
+        self.seed = int(seed)
+        # The CW domain must cover every expanded slot index < n * L.
+        self._prime = next_prime(self.n * self.L + 1)
+        self._family = TwoWiseHashFamily(self.m, seed=self.seed, prime=self._prime)
+
+    @classmethod
+    def from_storage(cls, words: int, seed: int = 0, **kwargs: Any) -> "NaiveWeightedMinHash":
+        m = int(words / WORDS_PER_SAMPLE_SAMPLING)
+        return cls(m=max(m, 1), seed=seed, **kwargs)
+
+    def storage_words(self) -> float:
+        return WORDS_PER_SAMPLE_SAMPLING * self.m + 1.0
+
+    def expanded_slots(self, vector: SparseVector) -> tuple[np.ndarray, np.ndarray]:
+        """Occupied slot ids of ``ā`` and the block value of each slot."""
+        rounded = round_vector(vector, self.L)
+        slot_blocks = np.repeat(rounded.indices, rounded.counts)
+        offsets_within = np.concatenate(
+            [np.arange(k, dtype=np.int64) for k in rounded.counts]
+        )
+        slots = slot_blocks * np.int64(self.L) + offsets_within
+        slot_values = np.repeat(rounded.values, rounded.counts)
+        return slots, slot_values
+
+    def sketch(self, vector: SparseVector) -> WMHSketch:
+        if vector.nnz == 0:
+            return WMHSketch(
+                hashes=np.full(self.m, np.inf),
+                values=np.zeros(self.m),
+                norm=0.0,
+                m=self.m,
+                L=self.L,
+                seed=self.seed,
+            )
+        if vector.n is not None and vector.n > self.n:
+            raise ValueError(
+                f"vector dimension {vector.n} exceeds sketcher domain {self.n}"
+            )
+        if vector.indices.size and int(vector.indices.max()) >= self.n:
+            raise ValueError("vector has indices outside the sketcher domain")
+        slots, slot_values = self.expanded_slots(vector)
+        hashes = self._family.hash_unit(slots)  # (m, num_slots)
+        best = np.argmin(hashes, axis=1)
+        rows = np.arange(self.m)
+        return WMHSketch(
+            hashes=hashes[rows, best],
+            values=slot_values[best],
+            norm=vector.norm(),
+            m=self.m,
+            L=self.L,
+            seed=self.seed,
+        )
+
+    def estimate(self, sketch_a: WMHSketch, sketch_b: WMHSketch) -> float:
+        from repro.core.estimator import estimate_inner_product
+
+        return estimate_inner_product(sketch_a, sketch_b)

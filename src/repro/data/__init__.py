@@ -1,0 +1,30 @@
+"""Workload generators for the paper's three experiment families."""
+
+from repro.data.newsgroups import Document, NewsgroupsConfig
+from repro.data.newsgroups import generate_corpus as generate_newsgroups_corpus
+from repro.data.synthetic import (
+    PAPER_CONFIG,
+    SyntheticConfig,
+    generate_pair,
+    generate_values,
+)
+from repro.data.worldbank import (
+    ColumnPair,
+    WorldBankConfig,
+    generate_column_pair,
+)
+from repro.data.worldbank import generate_corpus as generate_worldbank_corpus
+
+__all__ = [
+    "PAPER_CONFIG",
+    "ColumnPair",
+    "Document",
+    "NewsgroupsConfig",
+    "SyntheticConfig",
+    "WorldBankConfig",
+    "generate_column_pair",
+    "generate_newsgroups_corpus",
+    "generate_pair",
+    "generate_values",
+    "generate_worldbank_corpus",
+]

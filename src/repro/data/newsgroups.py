@@ -1,0 +1,102 @@
+"""Newsgroups-like synthetic corpus (Figure 6 workload).
+
+The paper samples 700 documents from the 20 newsgroups dataset and
+estimates cosine similarity between >200k TF-IDF vector pairs, split by
+document length (all documents vs documents longer than 700 words).
+The dataset cannot be fetched offline, so — per the DESIGN.md
+substitution rule — this generator produces a corpus with the
+statistical properties Figure 6 actually exercises:
+
+* **Zipfian vocabulary** — term frequencies follow a power law, so
+  TF-IDF weights are heavily skewed (the regime where weighted
+  sampling beats unweighted);
+* **topic structure** — each document draws most tokens from one of
+  ``num_topics`` topic distributions (distinct Zipf permutations of a
+  shared vocabulary) plus a background distribution, so same-topic
+  pairs have meaningful cosine similarity and cross-topic pairs have
+  small-but-nonzero similarity, like real newsgroup posts;
+* **heavy-tailed document lengths** — lognormal, calibrated so a
+  meaningful fraction of documents exceeds 700 words and the ">700
+  words" stratum of Figure 6(b) is populated.
+
+Tokens are synthetic strings (``"w<rank>"``), which is all TF-IDF ever
+sees of real text anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NewsgroupsConfig", "Document", "generate_corpus"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """One synthetic post: its topic, and its tokens."""
+
+    doc_id: int
+    topic: int
+    tokens: list[str]
+
+    @property
+    def num_words(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass(frozen=True)
+class NewsgroupsConfig:
+    """Knobs of the synthetic corpus generator."""
+
+    num_documents: int = 700
+    num_topics: int = 20
+    vocabulary_size: int = 5_000
+    zipf_exponent: float = 1.1
+    topic_mix: float = 0.7
+    length_log_mean: float = 5.6  # median ~270 words
+    length_log_sigma: float = 0.9
+    min_length: int = 30
+
+
+def _zipf_probabilities(size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def generate_corpus(
+    config: NewsgroupsConfig = NewsgroupsConfig(), seed: int = 0
+) -> list[Document]:
+    """Generate the synthetic corpus.
+
+    Each topic reuses the same Zipf weight profile over a private
+    permutation of the vocabulary, so every topic has its own "head"
+    terms while all topics share the long tail; a ``topic_mix`` of 0.7
+    means 70% of a document's tokens come from its topic distribution
+    and 30% from the global background.
+    """
+    rng = np.random.default_rng(seed)
+    base_probabilities = _zipf_probabilities(
+        config.vocabulary_size, config.zipf_exponent
+    )
+    topic_permutations = [
+        rng.permutation(config.vocabulary_size) for _ in range(config.num_topics)
+    ]
+    documents: list[Document] = []
+    for doc_id in range(config.num_documents):
+        topic = int(rng.integers(config.num_topics))
+        length = max(
+            config.min_length,
+            int(rng.lognormal(config.length_log_mean, config.length_log_sigma)),
+        )
+        from_topic = rng.random(length) < config.topic_mix
+        ranks = rng.choice(
+            config.vocabulary_size, size=length, p=base_probabilities
+        )
+        word_ids = np.where(
+            from_topic, topic_permutations[topic][ranks], ranks
+        )
+        tokens = [f"w{word_id}" for word_id in word_ids]
+        documents.append(Document(doc_id=doc_id, topic=topic, tokens=tokens))
+    return documents

@@ -1,0 +1,109 @@
+"""Synthetic vector workloads (Section 5.1 of the paper).
+
+The paper's synthetic experiment: length-10000 vectors with 2000
+non-zero entries each, where
+
+* the fraction of non-zeros shared by both vectors ("overlap") is the
+  controlled variable — panels use 1%, 5%, 10% and 50%;
+* non-zero entries are "normal random variables with values between
+  -1 and 1" (we use a standard normal truncated to ``[-1, 1]``);
+* 10% of non-zeros are outliers drawn uniformly from ``[20, 30]`` —
+  the heavy entries that break unweighted MinHash and motivate
+  weighted sampling.
+
+:func:`generate_pair` produces one such pair; :class:`SyntheticConfig`
+carries the knobs so experiments and tests can shrink the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["SyntheticConfig", "generate_pair", "generate_values", "PAPER_CONFIG"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the Section 5.1 generator."""
+
+    n: int = 10_000
+    nnz: int = 2_000
+    overlap: float = 0.1
+    outlier_fraction: float = 0.1
+    outlier_low: float = 20.0
+    outlier_high: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.nnz > self.n:
+            raise ValueError(f"nnz={self.nnz} cannot exceed n={self.n}")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1], got {self.overlap}")
+        if not 0.0 <= self.outlier_fraction <= 1.0:
+            raise ValueError(
+                f"outlier_fraction must be in [0, 1], got {self.outlier_fraction}"
+            )
+        shared = int(round(self.overlap * self.nnz))
+        # Both supports must fit in the domain: shared + 2 * (nnz - shared).
+        if 2 * self.nnz - shared > self.n:
+            raise ValueError(
+                "domain too small for two supports with the requested overlap: "
+                f"need {2 * self.nnz - shared} indices, have n={self.n}"
+            )
+
+    def with_overlap(self, overlap: float) -> "SyntheticConfig":
+        return replace(self, overlap=overlap)
+
+
+#: The exact configuration of the paper's Figure 4.
+PAPER_CONFIG = SyntheticConfig()
+
+
+def generate_values(rng: np.random.Generator, size: int, config: SyntheticConfig) -> np.ndarray:
+    """Non-zero values: truncated standard normal + uniform outliers."""
+    values = rng.normal(size=size)
+    # Truncate to [-1, 1] by resampling (matches "normal random
+    # variables with values between -1 and 1").
+    out_of_range = np.abs(values) > 1.0
+    while out_of_range.any():
+        values[out_of_range] = rng.normal(size=int(out_of_range.sum()))
+        out_of_range = np.abs(values) > 1.0
+    if config.outlier_fraction > 0.0:
+        num_outliers = int(round(config.outlier_fraction * size))
+        outlier_positions = rng.choice(size, size=num_outliers, replace=False)
+        values[outlier_positions] = rng.uniform(
+            config.outlier_low, config.outlier_high, size=num_outliers
+        )
+    return values
+
+
+def generate_pair(
+    config: SyntheticConfig = PAPER_CONFIG, seed: int = 0
+) -> tuple[SparseVector, SparseVector]:
+    """One synthetic ``(a, b)`` pair with the configured overlap.
+
+    The shared support has exactly ``round(overlap * nnz)`` indices;
+    the remaining indices of each vector are disjoint, so the realized
+    overlap ratio is exact rather than merely expected.
+    """
+    rng = np.random.default_rng(seed)
+    shared_count = int(round(config.overlap * config.nnz))
+    distinct_count = config.nnz - shared_count
+    permutation = rng.permutation(config.n)
+    shared = permutation[:shared_count]
+    only_a = permutation[shared_count : shared_count + distinct_count]
+    only_b = permutation[
+        shared_count + distinct_count : shared_count + 2 * distinct_count
+    ]
+    indices_a = np.concatenate([shared, only_a])
+    indices_b = np.concatenate([shared, only_b])
+    vector_a = SparseVector(
+        indices_a, generate_values(rng, config.nnz, config), n=config.n
+    )
+    vector_b = SparseVector(
+        indices_b, generate_values(rng, config.nnz, config), n=config.n
+    )
+    return vector_a, vector_b

@@ -1,0 +1,33 @@
+"""Dataset-search application (Section 1.2 of the paper).
+
+Tables → vector encodings → inner-product sketches → estimated
+post-join statistics, joinability filters, and ranked search.
+"""
+
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.join_estimates import JoinSketch, JoinStatisticsEstimator
+from repro.datasearch.search import DatasetSearch, SearchHit
+from repro.datasearch.table import AGGREGATORS, JoinResult, Table
+from repro.datasearch.vectorize import (
+    indicator_vector,
+    key_to_index,
+    keys_to_indices,
+    squared_value_vector,
+    value_vector,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "DatasetSearch",
+    "JoinResult",
+    "JoinSketch",
+    "JoinStatisticsEstimator",
+    "SearchHit",
+    "SketchIndex",
+    "Table",
+    "indicator_vector",
+    "key_to_index",
+    "keys_to_indices",
+    "squared_value_vector",
+    "value_vector",
+]

@@ -1,0 +1,57 @@
+"""A sketch index over a data lake.
+
+The dataset-search workflow of Section 1.2: pre-sketch every table in
+the search corpus once; at query time, sketch only the analyst's table
+and score it against the stored sketches — never materializing a join.
+
+:class:`SketchIndex` is that store.  It is deliberately simple (an
+in-memory dict keyed by table name); the interesting work happens in
+:mod:`repro.datasearch.search`, which ranks indexed tables by estimated
+joinability and estimated statistical relationship.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.base import Sketcher
+from repro.datasearch.join_estimates import JoinSketch
+from repro.datasearch.table import Table
+
+__all__ = ["SketchIndex"]
+
+
+class SketchIndex:
+    """Pre-computed :class:`JoinSketch` objects for a corpus of tables."""
+
+    def __init__(self, sketcher: Sketcher) -> None:
+        self.sketcher = sketcher
+        self._sketches: dict[str, JoinSketch] = {}
+
+    def add(self, table: Table) -> JoinSketch:
+        """Sketch and index a table; replaces any same-named entry."""
+        sketch = JoinSketch.build(table, self.sketcher)
+        self._sketches[table.name] = sketch
+        return sketch
+
+    def add_all(self, tables: Iterator[Table] | list[Table]) -> None:
+        for table in tables:
+            self.add(table)
+
+    def get(self, name: str) -> JoinSketch:
+        if name not in self._sketches:
+            raise KeyError(f"table {name!r} is not indexed")
+        return self._sketches[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sketches
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    def __iter__(self) -> Iterator[JoinSketch]:
+        return iter(self._sketches.values())
+
+    def storage_words(self) -> float:
+        """Total index footprint in 64-bit words."""
+        return float(sum(sketch.storage_words() for sketch in self))

@@ -1,0 +1,118 @@
+"""Dataset search: rank a data lake against a query table.
+
+Implements the two-stage discovery loop from the paper's motivating
+example (taxi ridership vs weather):
+
+1. **joinability** — estimate the join size between the query table's
+   keys and every indexed table's keys; keep tables whose estimated key
+   overlap clears a threshold;
+2. **relevance** — among joinable tables, estimate the statistical
+   relationship (post-join correlation or inner product) between the
+   query column and every candidate column, and rank by magnitude.
+
+Everything runs on sketches; no join is ever materialized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.join_estimates import JoinSketch, JoinStatisticsEstimator
+from repro.datasearch.table import Table
+
+__all__ = ["SearchHit", "DatasetSearch"]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked search result."""
+
+    table_name: str
+    column: str
+    join_size: float
+    containment: float
+    score: float
+    correlation: float
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchHit({self.table_name}.{self.column}: score={self.score:.3f}, "
+            f"corr={self.correlation:.3f}, join~{self.join_size:.0f})"
+        )
+
+
+class DatasetSearch:
+    """Sketch-based joinable-and-related table search."""
+
+    def __init__(self, index: SketchIndex, min_containment: float = 0.05) -> None:
+        """``min_containment``: minimum estimated fraction of query keys
+        that must appear in a candidate table for it to be considered
+        joinable."""
+        if not 0.0 <= min_containment <= 1.0:
+            raise ValueError(
+                f"min_containment must be in [0, 1], got {min_containment}"
+            )
+        self.index = index
+        self.min_containment = min_containment
+
+    def sketch_query(self, table: Table) -> JoinSketch:
+        """Sketch the analyst's query table with the index's method."""
+        return JoinSketch.build(table, self.index.sketcher)
+
+    def joinable(self, query: JoinSketch) -> list[tuple[str, float, float]]:
+        """Tables passing the joinability filter.
+
+        Returns ``(name, estimated_join_size, estimated_containment)``
+        sorted by containment, where containment is the estimated join
+        size divided by the query's row count.
+        """
+        results = []
+        for candidate in self.index:
+            estimator = JoinStatisticsEstimator(query, candidate)
+            join_size = estimator.join_size()
+            containment = join_size / max(query.num_rows, 1)
+            if containment >= self.min_containment:
+                results.append((candidate.table_name, join_size, containment))
+        results.sort(key=lambda item: item[2], reverse=True)
+        return results
+
+    def search(
+        self,
+        query: JoinSketch,
+        query_column: str,
+        top_k: int = 10,
+        by: str = "correlation",
+    ) -> list[SearchHit]:
+        """Rank all indexed columns by estimated relationship strength.
+
+        ``by`` selects the relevance score: ``"correlation"`` (absolute
+        estimated post-join Pearson correlation, the Santos et al.
+        query) or ``"inner_product"`` (absolute estimated post-join
+        inner product).
+        """
+        if by not in ("correlation", "inner_product"):
+            raise ValueError(f"unknown ranking criterion {by!r}")
+        hits: list[SearchHit] = []
+        for name, join_size, containment in self.joinable(query):
+            candidate = self.index.get(name)
+            estimator = JoinStatisticsEstimator(query, candidate)
+            for column in candidate.values:
+                correlation = estimator.correlation(query_column, column)
+                if by == "correlation":
+                    score = abs(correlation) if not math.isnan(correlation) else 0.0
+                else:
+                    score = abs(estimator.inner_product(query_column, column))
+                hits.append(
+                    SearchHit(
+                        table_name=name,
+                        column=column,
+                        join_size=join_size,
+                        containment=containment,
+                        score=score,
+                        correlation=correlation,
+                    )
+                )
+        hits.sort(key=lambda hit: hit.score, reverse=True)
+        return hits[:top_k]

@@ -1,0 +1,84 @@
+"""Table-to-vector encodings (Figure 3 of the paper).
+
+A table ``T = (K, V)`` becomes sparse vectors over the key domain:
+
+* ``x_1[K]`` — the *indicator* vector: 1 at every key of ``K``;
+* ``x_V``   — the *value* vector: ``V``'s value at its key's index;
+* ``x_V²``  — squared values, enabling post-join variance estimates.
+
+Key spaces are arbitrary (dates, strings, ids), so keys are digested to
+64-bit integers with a deterministic FNV-1a/splitmix64 construction and
+folded into the Carter–Wegman domain ``[0, 2^31 - 1)``.  The paper's
+point that ``n`` never needs materializing applies verbatim: only
+non-zero coordinates are ever touched.  Digest collisions are
+birthday-bounded (about ``r² / 2^31`` for ``r`` keys) and tolerated the
+same way dataset-search systems tolerate them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.datasearch.table import Table
+from repro.hashing.primes import MERSENNE_31
+from repro.hashing.splitmix import hash_bytes, hash_string
+from repro.vectors.sparse import SparseVector
+
+__all__ = [
+    "key_to_index",
+    "keys_to_indices",
+    "indicator_vector",
+    "value_vector",
+    "squared_value_vector",
+]
+
+
+def key_to_index(key: object, domain: int = MERSENNE_31) -> int:
+    """Digest an arbitrary hashable key to an index in ``[0, domain)``.
+
+    Integers hash by their 8-byte little-endian encoding, strings by
+    UTF-8 bytes; other types by the UTF-8 bytes of ``repr(key)``
+    (stable for the value types tables use: dates, tuples, floats).
+    """
+    if isinstance(key, (int, np.integer)):
+        digest = hash_bytes(int(key).to_bytes(8, "little", signed=True))
+    elif isinstance(key, str):
+        digest = hash_string(key)
+    elif isinstance(key, bytes):
+        digest = hash_bytes(key)
+    else:
+        digest = hash_string(repr(key))
+    return digest % domain
+
+
+def keys_to_indices(keys: Iterable, domain: int = MERSENNE_31) -> np.ndarray:
+    """Vector of digested indices for a key sequence."""
+    return np.array([key_to_index(key, domain) for key in keys], dtype=np.int64)
+
+
+def indicator_vector(table: Table, domain: int = MERSENNE_31) -> SparseVector:
+    """``x_1[K]`` — 1 at every key of the table (Figure 3)."""
+    indices = keys_to_indices(table.keys, domain)
+    return SparseVector.from_pairs(indices, np.ones(indices.size))
+
+
+def value_vector(table: Table, column: str, domain: int = MERSENNE_31) -> SparseVector:
+    """``x_V`` — the column's value at its key's index (Figure 3).
+
+    Rows whose value is exactly zero vanish from the sparse support;
+    estimators that need "zero is a value" semantics (e.g. means over
+    all joined rows) therefore always combine ``x_V`` with the
+    indicator vector rather than relying on ``x_V``'s support.
+    """
+    indices = keys_to_indices(table.keys, domain)
+    return SparseVector.from_pairs(indices, table.column(column))
+
+
+def squared_value_vector(
+    table: Table, column: str, domain: int = MERSENNE_31
+) -> SparseVector:
+    """``x_{V²}`` — squared values, for post-join second moments."""
+    indices = keys_to_indices(table.keys, domain)
+    return SparseVector.from_pairs(indices, table.column(column) ** 2)

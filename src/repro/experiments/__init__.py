@@ -1,0 +1,38 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+* :mod:`repro.experiments.table1` — error-bound comparison (Table 1);
+* :mod:`repro.experiments.figure4` — synthetic-data sweep (Figure 4);
+* :mod:`repro.experiments.figure5` — World-Bank-like winning tables
+  (Figure 5);
+* :mod:`repro.experiments.figure6` — text-similarity sweep (Figure 6);
+* :mod:`repro.experiments.ablations` — design-choice ablations.
+
+Each module has a ``--paper`` flag for full-scale runs and a
+``--quick`` flag for smoke tests; defaults are an intermediate scale
+that preserves the papers' qualitative shapes in seconds-to-minutes.
+"""
+
+from repro.experiments.metrics import ErrorRecord, group_mean, normalized_error, summarize
+from repro.experiments.report import format_matrix, format_series_panel, format_table
+from repro.experiments.runner import (
+    EXTENDED_METHODS,
+    PAPER_METHODS,
+    MethodSpec,
+    method_registry,
+    run_sweep,
+)
+
+__all__ = [
+    "EXTENDED_METHODS",
+    "ErrorRecord",
+    "MethodSpec",
+    "PAPER_METHODS",
+    "format_matrix",
+    "format_series_panel",
+    "format_table",
+    "group_mean",
+    "method_registry",
+    "normalized_error",
+    "run_sweep",
+    "summarize",
+]

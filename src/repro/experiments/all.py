@@ -1,0 +1,84 @@
+"""Run every experiment and write a single consolidated report.
+
+``python -m repro.experiments.all [--quick|--paper] [--out FILE]``
+regenerates Table 1, Figures 4-6 and the ablations in one pass and
+writes the combined text report (the source material of
+EXPERIMENTS.md) to stdout and optionally to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import ablations, figure4, figure5, figure6, table1
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(scale: str = "default") -> str:
+    """Execute every driver at the requested scale; returns the report."""
+    if scale not in ("quick", "default", "paper"):
+        raise ValueError(f"unknown scale {scale!r}")
+
+    def pick(config_cls):
+        if scale == "quick":
+            return config_cls.quick()
+        if scale == "paper" and hasattr(config_cls, "paper_scale"):
+            return config_cls.paper_scale()
+        return config_cls()
+
+    sections = []
+    timings = []
+
+    start = time.perf_counter()
+    if scale == "quick":
+        sections.append(table1.render(table1.run(m=64, trials=2)))
+    else:
+        sections.append(table1.render(table1.run()))
+    timings.append(("Table 1", time.perf_counter() - start))
+
+    start = time.perf_counter()
+    config4 = pick(figure4.Figure4Config)
+    sections.append(figure4.render(figure4.run(config4), config4))
+    timings.append(("Figure 4", time.perf_counter() - start))
+
+    start = time.perf_counter()
+    sections.append(figure5.render(figure5.run(pick(figure5.Figure5Config))))
+    timings.append(("Figure 5", time.perf_counter() - start))
+
+    start = time.perf_counter()
+    config6 = pick(figure6.Figure6Config)
+    sections.append(figure6.render(figure6.run(config6), config6))
+    timings.append(("Figure 6", time.perf_counter() - start))
+
+    start = time.perf_counter()
+    sections.append(ablations.run_all(pick(ablations.AblationConfig)))
+    timings.append(("Ablations", time.perf_counter() - start))
+
+    footer = "\n".join(
+        f"  {name}: {elapsed:.1f}s" for name, elapsed in timings
+    )
+    sections.append(f"Wall-clock per experiment ({scale} scale):\n{footer}")
+    return "\n\n" + ("\n\n" + "=" * 72 + "\n\n").join(sections)
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    scale_group = parser.add_mutually_exclusive_group()
+    scale_group.add_argument("--quick", action="store_true")
+    scale_group.add_argument("--paper", action="store_true")
+    parser.add_argument("--out", type=str, default=None, help="also write to FILE")
+    args = parser.parse_args(argv)
+    scale = "quick" if args.quick else "paper" if args.paper else "default"
+    report = run_all(scale)
+    sys.stdout.write(report + "\n")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Figure 4 — inner product estimation on synthetic data.
+
+Four panels, one per support-overlap ratio (1%, 5%, 10%, 50%), each
+plotting mean normalized estimation error against sketch storage for
+the five methods (JL, CS, MH, KMV, WMH) on the Section 5.1 synthetic
+workload (n = 10000, nnz = 2000, 10% outliers in [20, 30]).
+
+Paper's qualitative findings this reproduces:
+
+* at overlap <= 10%, WMH clearly beats the linear sketches;
+* unweighted sampling (MH, KMV) also beats linear sketches at 1%
+  overlap but is hurt by the outliers as overlap grows;
+* at 50% overlap, linear sketching is comparable to WMH.
+
+Run ``python -m repro.experiments.figure4`` (add ``--paper`` for the
+full-size sweep).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.data.synthetic import SyntheticConfig, generate_pair
+from repro.experiments.metrics import ErrorRecord, summarize
+from repro.experiments.report import format_series_panel
+from repro.experiments.runner import PAPER_METHODS, run_sweep
+
+__all__ = ["Figure4Config", "run", "render", "main"]
+
+
+@dataclass(frozen=True)
+class Figure4Config:
+    """Sweep configuration; defaults are a fast, shape-preserving scale."""
+
+    overlaps: Sequence[float] = (0.01, 0.05, 0.10, 0.50)
+    storages: Sequence[int] = (100, 200, 300, 400)
+    trials: int = 5
+    pairs_per_overlap: int = 1
+    methods: Sequence[str] = PAPER_METHODS
+    synthetic: SyntheticConfig = field(default_factory=SyntheticConfig)
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "Figure4Config":
+        """The full Section 5.1 protocol (10 trials, denser sweep)."""
+        return cls(storages=(50, 100, 150, 200, 250, 300, 350, 400), trials=10)
+
+    @classmethod
+    def quick(cls) -> "Figure4Config":
+        """Small scale for tests and smoke runs."""
+        return cls(
+            overlaps=(0.05, 0.50),
+            storages=(100, 300),
+            trials=2,
+            synthetic=SyntheticConfig(n=2_000, nnz=400),
+        )
+
+
+def run(config: Figure4Config = Figure4Config()) -> dict[float, list[ErrorRecord]]:
+    """Execute the sweep; returns records per overlap panel."""
+    panels: dict[float, list[ErrorRecord]] = {}
+    for panel_index, overlap in enumerate(config.overlaps):
+        pairs = [
+            generate_pair(
+                config.synthetic.with_overlap(overlap),
+                seed=config.seed + 1000 * panel_index + pair_id,
+            )
+            for pair_id in range(config.pairs_per_overlap)
+        ]
+        panels[overlap] = run_sweep(
+            pairs,
+            storages=config.storages,
+            trials=config.trials,
+            methods=config.methods,
+            seed=config.seed + panel_index,
+        )
+    return panels
+
+
+def summarize_panels(
+    panels: Mapping[float, list[ErrorRecord]], config: Figure4Config
+) -> dict[float, dict[str, list[float]]]:
+    """Mean-error series per panel: ``{overlap: {method: [err/storage]}}``."""
+    return {
+        overlap: summarize(records, config.methods, config.storages)
+        for overlap, records in panels.items()
+    }
+
+
+def render(panels: Mapping[float, list[ErrorRecord]], config: Figure4Config) -> str:
+    """Text rendering of all four panels."""
+    sections = []
+    for overlap, records in panels.items():
+        series = summarize(records, config.methods, config.storages)
+        sections.append(
+            format_series_panel(
+                f"Figure 4 ({overlap:.0%} overlap): mean normalized error "
+                f"vs storage (words)",
+                config.storages,
+                series,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper", action="store_true", help="run the full paper-scale sweep"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="run the reduced smoke-test sweep"
+    )
+    args = parser.parse_args(argv)
+    if args.paper:
+        config = Figure4Config.paper_scale()
+    elif args.quick:
+        config = Figure4Config.quick()
+    else:
+        config = Figure4Config()
+    print(render(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

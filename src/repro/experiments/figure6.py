@@ -1,0 +1,158 @@
+"""Figure 6 — text (cosine) similarity estimation on a newsgroups corpus.
+
+The paper samples 700 documents from 20 newsgroups, builds TF-IDF
+vectors over unigrams + bigrams, and estimates cosine similarity for
+>200k document pairs at storage sizes 100-400, in two strata:
+
+* (a) all documents;
+* (b) documents longer than 700 words — where unweighted MinHash
+  degrades (large supports dilute the heavy TF-IDF weights) while
+  Weighted MinHash keeps its accuracy.
+
+Our corpus is the synthetic Zipfian generator of
+:mod:`repro.data.newsgroups` (see DESIGN.md's substitution table);
+vectors are unit-normalized so inner products are cosines and the
+normalized error equals absolute cosine error.
+
+Run ``python -m repro.experiments.figure6`` (``--paper`` for 700 docs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.newsgroups import NewsgroupsConfig, generate_corpus
+from repro.experiments.metrics import ErrorRecord, summarize
+from repro.experiments.report import format_series_panel
+from repro.experiments.runner import PAPER_METHODS, run_sweep
+from repro.text.tfidf import TfidfVectorizer
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["Figure6Config", "run", "render", "main"]
+
+#: Figure 6(b)'s document-length threshold, in words.
+LONG_DOCUMENT_WORDS = 700
+
+
+@dataclass(frozen=True)
+class Figure6Config:
+    storages: Sequence[int] = (100, 200, 300, 400)
+    trials: int = 3
+    num_sampled_pairs: int = 150
+    methods: Sequence[str] = PAPER_METHODS
+    corpus: NewsgroupsConfig = field(default_factory=lambda: NewsgroupsConfig(num_documents=120))
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "Figure6Config":
+        return cls(
+            trials=10,
+            num_sampled_pairs=2_000,
+            corpus=NewsgroupsConfig(num_documents=700),
+        )
+
+    @classmethod
+    def quick(cls) -> "Figure6Config":
+        return cls(
+            storages=(100, 300),
+            trials=1,
+            num_sampled_pairs=20,
+            corpus=NewsgroupsConfig(num_documents=40),
+        )
+
+
+def build_vectors(
+    config: Figure6Config,
+) -> tuple[list[SparseVector], list[int]]:
+    """Corpus → unit TF-IDF vectors, plus each document's word count."""
+    documents = generate_corpus(config.corpus, seed=config.seed)
+    vectorizer = TfidfVectorizer(use_bigrams=True, normalize=True)
+    vectors = vectorizer.fit_transform([doc.tokens for doc in documents])
+    lengths = [doc.num_words for doc in documents]
+    return vectors, lengths
+
+
+def _sample_pairs(
+    vectors: list[SparseVector],
+    eligible: list[int],
+    count: int,
+    rng: np.random.Generator,
+) -> list[tuple[SparseVector, SparseVector]]:
+    all_pairs = list(itertools.combinations(eligible, 2))
+    if not all_pairs:
+        return []
+    chosen = rng.choice(len(all_pairs), size=min(count, len(all_pairs)), replace=False)
+    return [(vectors[all_pairs[i][0]], vectors[all_pairs[i][1]]) for i in chosen]
+
+
+def run(
+    config: Figure6Config = Figure6Config(),
+) -> dict[str, list[ErrorRecord]]:
+    """Two strata: 'all' documents and '>700 words' documents."""
+    vectors, lengths = build_vectors(config)
+    rng = np.random.default_rng(config.seed + 17)
+    strata = {
+        "all": list(range(len(vectors))),
+        "long": [
+            index
+            for index, words in enumerate(lengths)
+            if words > LONG_DOCUMENT_WORDS
+        ],
+    }
+    results: dict[str, list[ErrorRecord]] = {}
+    for stratum, eligible in strata.items():
+        pairs = _sample_pairs(vectors, eligible, config.num_sampled_pairs, rng)
+        if len(pairs) == 0:
+            results[stratum] = []
+            continue
+        results[stratum] = run_sweep(
+            pairs,
+            storages=config.storages,
+            trials=config.trials,
+            methods=config.methods,
+            seed=config.seed,
+        )
+    return results
+
+
+def render(results: dict[str, list[ErrorRecord]], config: Figure6Config) -> str:
+    titles = {
+        "all": "Figure 6(a) All documents: mean cosine error vs storage",
+        "long": (
+            f"Figure 6(b) Documents > {LONG_DOCUMENT_WORDS} words: "
+            "mean cosine error vs storage"
+        ),
+    }
+    sections = []
+    for stratum, records in results.items():
+        if not records:
+            sections.append(f"{titles[stratum]}\n(no eligible documents)")
+            continue
+        series = summarize(records, config.methods, config.storages)
+        sections.append(
+            format_series_panel(titles[stratum], config.storages, series)
+        )
+    return "\n\n".join(sections)
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true")
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    if args.paper:
+        config = Figure6Config.paper_scale()
+    elif args.quick:
+        config = Figure6Config.quick()
+    else:
+        config = Figure6Config()
+    print(render(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

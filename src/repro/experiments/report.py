@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+The reproduction is headless (no matplotlib), so every "figure" is
+rendered as an aligned text table of the same series the paper plots —
+which is also what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series_panel", "format_matrix"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace-aligned table with a header rule."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_panel(
+    title: str,
+    storages: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """One figure panel: methods as rows, the storage sweep as columns."""
+    headers = ["method"] + [str(storage) for storage in storages]
+    rows = [[method] + list(values) for method, values in series.items()]
+    return format_table(headers, rows, title=title)
+
+
+def format_matrix(
+    title: str,
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    cells: Sequence[Sequence[float]],
+    corner: str = "",
+) -> str:
+    """A labelled 2-D grid (the Figure 5 winning-table layout)."""
+    headers = [corner] + list(column_labels)
+    rows = [
+        [row_label] + list(row_cells)
+        for row_label, row_cells in zip(row_labels, cells)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "--"
+        return f"{value:+.4f}" if value < 0 or abs(value) < 1e-2 else f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,40 @@
+"""Hashing substrate: counter-based uniform streams and 2-wise families.
+
+Two constructions back every sketch in this package:
+
+* :mod:`repro.hashing.splitmix` — a counter-based splitmix64 stream that
+  plays the role of the paper's idealized "uniformly random hash
+  function to [0, 1]" and supports consistent replay across vectors.
+* :mod:`repro.hashing.universal` — the Carter–Wegman 2-wise family
+  modulo a 31-bit prime that the paper's experiments use.
+"""
+
+from repro.hashing.primes import MERSENNE_31, MERSENNE_61, is_prime, next_prime
+from repro.hashing.splitmix import (
+    GOLDEN_GAMMA,
+    counter_uniform,
+    derive_key,
+    derive_key_grid,
+    hash_bytes,
+    hash_string,
+    mix64,
+    uniform_from_bits,
+)
+from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
+
+__all__ = [
+    "GOLDEN_GAMMA",
+    "MERSENNE_31",
+    "MERSENNE_61",
+    "TwoWiseHashFamily",
+    "counter_uniform",
+    "derive_key",
+    "derive_key_grid",
+    "fold_to_domain",
+    "hash_bytes",
+    "hash_string",
+    "is_prime",
+    "mix64",
+    "next_prime",
+    "uniform_from_bits",
+]

@@ -1,0 +1,58 @@
+"""Prime-number utilities for universal hashing.
+
+The paper's experiments use Carter–Wegman hashing modulo a 31-bit prime
+(Section 5, "Choice of Hash Function").  We pin the same modulus — the
+Mersenne prime ``2**31 - 1`` — and provide a deterministic Miller–Rabin
+test plus ``next_prime`` so tests and the naive expanded-vector sketcher
+can pick moduli for other domain sizes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MERSENNE_31", "MERSENNE_61", "is_prime", "next_prime"]
+
+#: The 31-bit Mersenne prime used as the default hash modulus.
+MERSENNE_31 = (1 << 31) - 1
+
+#: The 61-bit Mersenne prime, used when the index domain exceeds 2**31.
+MERSENNE_61 = (1 << 61) - 1
+
+# Witness set proven sufficient for deterministic Miller-Rabin on all
+# integers below 3,317,044,064,679,887,385,961,981 (> 2**64).
+_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(candidate: int) -> bool:
+    """Deterministic Miller–Rabin primality test for 64-bit integers."""
+    if candidate < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if candidate % p == 0:
+            return candidate == p
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _WITNESSES:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(floor: int) -> int:
+    """Return the smallest prime ``>= floor``."""
+    if floor <= 2:
+        return 2
+    candidate = floor | 1  # only odd candidates
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate

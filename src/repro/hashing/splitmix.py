@@ -1,0 +1,156 @@
+"""Counter-based deterministic randomness built on splitmix64.
+
+The paper's analysis assumes access to *uniformly random hash functions*
+mapping indices to the real interval ``[0, 1]``.  Two properties of that
+idealization matter for the algorithms:
+
+1. **Cross-vector consistency** — two vectors sketched independently
+   (different machines, different times) must evaluate the *same*
+   function on shared indices, so hash collisions certify shared
+   support.  This rules out stateful generators: everything must be a
+   pure function of ``(seed, position)``.
+
+2. **Stream semantics** — the fast Weighted MinHash implementation
+   (see :mod:`repro.core.wmh`) replays, per ``(repetition, block)``
+   pair, a stream of uniform draws that simulates the prefix-minimum
+   record process of the expanded vector.  Both vectors must replay the
+   identical stream.
+
+splitmix64 (Steele, Lea & Flood 2014) is a counter-based generator with
+excellent statistical quality: ``mix64(key + counter * GOLDEN)`` is a
+pure function, trivially vectorizable with numpy ``uint64`` arithmetic,
+and passes BigCrush as a stream.  We use it wherever the *idealized*
+uniform hash is required; the Carter–Wegman 2-wise family that the
+paper's own experiments use lives in :mod:`repro.hashing.universal`.
+
+All functions here operate on (arrays of) ``numpy.uint64`` and wrap
+modulo ``2**64`` exactly like the reference C implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GOLDEN_GAMMA",
+    "mix64",
+    "derive_key",
+    "derive_key_grid",
+    "counter_uniform",
+    "uniform_from_bits",
+    "hash_bytes",
+    "hash_string",
+]
+
+#: The golden-ratio increment of the splitmix64 stream.
+GOLDEN_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+_MIX_MUL_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MUL_2 = np.uint64(0x94D049BB133111EB)
+_SHIFT_30 = np.uint64(30)
+_SHIFT_27 = np.uint64(27)
+_SHIFT_31 = np.uint64(31)
+_SHIFT_12 = np.uint64(12)
+
+#: ``2**-52`` — converts a 52-bit integer into a float in ``[0, 1)``.
+#: 52 bits (not the customary 53) so that the offset-by-half-an-ulp
+#: maximum ``(2**52 - 0.5) * 2**-52 = 1 - 2**-53`` is exactly
+#: representable: with 53 bits the maximum would round up to 1.0.
+_INV_2_52 = float(2.0**-52)
+
+
+def mix64(x: np.ndarray | np.uint64 | int) -> np.ndarray | np.uint64:
+    """Apply the splitmix64 finalizer to ``x`` (element-wise).
+
+    This is a bijection on 64-bit integers with full avalanche: every
+    output bit depends on every input bit.  Inputs are converted to
+    ``numpy.uint64``; Python integers are reduced modulo ``2**64``.
+    """
+    z = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = (z ^ (z >> _SHIFT_30)) * _MIX_MUL_1
+        z = (z ^ (z >> _SHIFT_27)) * _MIX_MUL_2
+        z = z ^ (z >> _SHIFT_31)
+    if np.isscalar(x) or np.ndim(x) == 0:
+        return np.uint64(z)
+    return z
+
+
+def derive_key(*parts: int) -> np.uint64:
+    """Derive a single 64-bit stream key from integer components.
+
+    Chaining ``mix64`` over the parts gives independent-looking keys for
+    distinct tuples, e.g. ``derive_key(seed, repetition, block)``.
+    """
+    key = np.uint64(0x6A09E667F3BCC909)  # fractional bits of sqrt(2)
+    with np.errstate(over="ignore"):
+        for part in parts:
+            key = mix64(key + np.uint64(part % (1 << 64)) + GOLDEN_GAMMA)
+    return np.uint64(key)
+
+
+def derive_key_grid(seed: int, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Derive a ``(len(rows), len(cols))`` grid of independent stream keys.
+
+    ``rows`` typically indexes sketch repetitions and ``cols`` indexes
+    vector blocks.  The result equals
+    ``derive_key(seed, rows[i], cols[j])`` element-wise but is computed
+    with two vectorized mixing passes.
+    """
+    rows64 = np.asarray(rows, dtype=np.uint64)
+    cols64 = np.asarray(cols, dtype=np.uint64)
+    base = np.uint64(0x6A09E667F3BCC909)
+    with np.errstate(over="ignore"):
+        key0 = mix64(base + np.uint64(seed % (1 << 64)) + GOLDEN_GAMMA)
+        row_keys = mix64(key0 + rows64 + GOLDEN_GAMMA)
+        grid = mix64(row_keys[:, None] + cols64[None, :] + GOLDEN_GAMMA)
+    return grid
+
+
+def uniform_from_bits(bits: np.ndarray) -> np.ndarray:
+    """Map 64-bit words to floats strictly inside ``(0, 1)``.
+
+    We keep the top 52 bits and offset by half an ulp so the result can
+    never be exactly ``0.0`` or ``1.0`` — both endpoints would break the
+    geometric-skip sampling in the fast WMH sketcher (``log1p(-1)``)
+    and the Flajolet–Martin union estimator (division by a zero
+    minimum).
+    """
+    bits = np.asarray(bits, dtype=np.uint64)
+    return ((bits >> _SHIFT_12).astype(np.float64) + 0.5) * _INV_2_52
+
+
+def counter_uniform(keys: np.ndarray | np.uint64, counter: int) -> np.ndarray:
+    """Return the ``counter``-th uniform draw of each key's stream.
+
+    ``counter_uniform(k, c)`` is a pure function of ``(k, c)``: the same
+    pair always yields the same float, which is what lets two
+    independently computed sketches replay identical randomness.
+    """
+    keys64 = np.asarray(keys, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        state = keys64 + np.uint64(counter) * GOLDEN_GAMMA
+    return uniform_from_bits(mix64(state))
+
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x00000100000001B3)
+
+
+def hash_bytes(data: bytes) -> int:
+    """FNV-1a 64-bit hash of a byte string, finalized with ``mix64``.
+
+    Used to map arbitrary table keys and text tokens into the integer
+    index domain.  Deterministic across processes (unlike Python's
+    built-in ``hash``, which is salted per interpreter run).
+    """
+    h = _FNV_OFFSET
+    with np.errstate(over="ignore"):
+        for byte in data:
+            h = (h ^ np.uint64(byte)) * _FNV_PRIME
+    return int(mix64(h))
+
+
+def hash_string(text: str) -> int:
+    """Hash a unicode string to a deterministic 64-bit integer."""
+    return hash_bytes(text.encode("utf-8"))

@@ -1,0 +1,107 @@
+"""Carter–Wegman 2-wise independent hash families.
+
+This is the hash family the paper's experiments actually use
+(Section 5, "Choice of Hash Function"): a linear function with random
+coefficients modulo a 31-bit prime ``p``,
+
+    h(i) = (alpha * i + beta) mod p,      alpha in [1, p-1], beta in [0, p-1],
+
+mapped to the unit interval as ``h(i) / p``.  Because ``p`` has 31 bits
+the raw hash fits a 32-bit integer, which is what drives the paper's
+storage accounting: one MinHash-style sample = 64-bit value + 32-bit
+hash = 1.5 words (see :mod:`repro.experiments.runner`).
+
+The family is 2-wise independent over the index domain ``[0, p)``.
+Callers with larger key spaces (e.g. 64-bit table-key digests) must
+first fold keys into the domain — :func:`fold_to_domain` does this with
+a splitmix64 finalizer so folding collisions are birthday-bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.primes import MERSENNE_31
+from repro.hashing.splitmix import mix64
+
+__all__ = ["TwoWiseHashFamily", "fold_to_domain"]
+
+
+def fold_to_domain(indices: np.ndarray, prime: int = MERSENNE_31) -> np.ndarray:
+    """Fold arbitrary 64-bit indices into the CW domain ``[0, prime)``.
+
+    Applies the splitmix64 finalizer before reduction so that
+    structured index sets (consecutive integers, strided keys) do not
+    interact with the linear structure of the CW family.
+    """
+    mixed = mix64(np.asarray(indices, dtype=np.uint64))
+    return (np.asarray(mixed, dtype=np.uint64) % np.uint64(prime)).astype(np.int64)
+
+
+class TwoWiseHashFamily:
+    """A batch of ``m`` independent 2-wise hash functions mod ``prime``.
+
+    Parameters
+    ----------
+    m:
+        Number of hash functions (one per sketch repetition).
+    seed:
+        Seed for drawing the ``alpha, beta`` coefficients.
+    prime:
+        Field modulus; defaults to the Mersenne prime ``2**31 - 1``.
+
+    Notes
+    -----
+    Coefficients are drawn with ``numpy.random.Generator(PCG64(seed))``,
+    so the family is a pure function of ``(m, seed, prime)`` — two
+    parties constructing it with the same arguments evaluate identical
+    functions, which is what makes independently computed sketches
+    comparable.
+    """
+
+    def __init__(self, m: int, seed: int, prime: int = MERSENNE_31) -> None:
+        if m <= 0:
+            raise ValueError(f"need at least one hash function, got m={m}")
+        if prime <= 2:
+            raise ValueError(f"prime must exceed 2, got {prime}")
+        self.m = int(m)
+        self.seed = int(seed)
+        self.prime = int(prime)
+        rng = np.random.Generator(np.random.PCG64(seed))
+        self._alpha = rng.integers(1, prime, size=m, dtype=np.uint64)
+        self._beta = rng.integers(0, prime, size=m, dtype=np.uint64)
+
+    def hash_ints(self, indices: np.ndarray) -> np.ndarray:
+        """Hash folded indices to integers; shape ``(m, len(indices))``.
+
+        ``indices`` must already lie inside ``[0, prime)`` (use
+        :func:`fold_to_domain` for raw keys).  The computation uses
+        ``uint64`` arithmetic: ``alpha * i`` is at most
+        ``(2**31)**2 < 2**63``, so no overflow occurs.
+        """
+        idx = np.asarray(indices, dtype=np.uint64)
+        if idx.size and int(idx.max()) >= self.prime:
+            raise ValueError(
+                "index outside the hash domain "
+                f"[0, {self.prime}); fold keys first with fold_to_domain()"
+            )
+        with np.errstate(over="ignore"):
+            raw = (self._alpha[:, None] * idx[None, :] + self._beta[:, None]) % np.uint64(
+                self.prime
+            )
+        return raw
+
+    def hash_unit(self, indices: np.ndarray) -> np.ndarray:
+        """Hash to floats in ``(0, 1]``; shape ``(m, len(indices))``.
+
+        We map ``h`` to ``(h + 1) / p`` so the value 0 — which would
+        break minimum-based union estimators — can never occur.
+        """
+        return (self.hash_ints(indices).astype(np.float64) + 1.0) / self.prime
+
+    def single_unit(self, row: int, indices: np.ndarray) -> np.ndarray:
+        """Evaluate just the ``row``-th function; shape ``(len(indices),)``."""
+        idx = np.asarray(indices, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            raw = (self._alpha[row] * idx + self._beta[row]) % np.uint64(self.prime)
+        return (raw.astype(np.float64) + 1.0) / self.prime

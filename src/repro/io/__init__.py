@@ -1,0 +1,15 @@
+"""Binary serialization of sketches (the paper's storage model, made real)."""
+
+from repro.io.serialize import (
+    SerializationError,
+    pack_sketch,
+    packed_size_words,
+    unpack_sketch,
+)
+
+__all__ = [
+    "SerializationError",
+    "pack_sketch",
+    "packed_size_words",
+    "unpack_sketch",
+]

@@ -1,0 +1,10 @@
+"""Approximate maximum-inner-product search over sketches (extension).
+
+Connects the paper's sketches to the LSH/MIPS literature its related
+work cites: banded LSH over signature keys for candidate generation,
+Algorithm 5 estimates for ranking.
+"""
+
+from repro.mips.lsh import MIPSIndex, SignatureLSH, collision_probability
+
+__all__ = ["MIPSIndex", "SignatureLSH", "collision_probability"]

@@ -1,0 +1,36 @@
+"""Baseline and extension sketches evaluated against Weighted MinHash.
+
+Paper baselines (Section 5): :class:`JohnsonLindenstrauss` ("JL"),
+:class:`CountSketch` ("CS"), :class:`MinHash` ("MH"),
+:class:`KMinimumValues` ("KMV").  Extensions: :class:`SimHash`
+(1-bit cosine sketch) and :class:`ICWS` (expansion-free weighted
+sampling).
+"""
+
+from repro.sketches.bbit import BbitMinHash, BbitSketch
+from repro.sketches.countsketch import CountSketch, CountSketchData
+from repro.sketches.icws import ICWS, ICWSSketch
+from repro.sketches.jl import JLSketch, JohnsonLindenstrauss
+from repro.sketches.kmv import KMinimumValues, KMVSketch
+from repro.sketches.minhash import MinHash, MinHashSketch
+from repro.sketches.priority import PrioritySampling, PrioritySketch
+from repro.sketches.simhash import SimHash, SimHashSketch
+
+__all__ = [
+    "ICWS",
+    "ICWSSketch",
+    "BbitMinHash",
+    "BbitSketch",
+    "CountSketch",
+    "CountSketchData",
+    "JLSketch",
+    "JohnsonLindenstrauss",
+    "KMVSketch",
+    "KMinimumValues",
+    "MinHash",
+    "MinHashSketch",
+    "PrioritySampling",
+    "PrioritySketch",
+    "SimHash",
+    "SimHashSketch",
+]

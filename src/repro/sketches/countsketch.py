@@ -1,0 +1,116 @@
+"""CountSketch (baseline "CS"), Charikar–Chen–Farach-Colton 2002.
+
+A sparse linear sketch: each repetition hashes every index to one of
+``w`` buckets with a random sign, and the bucket accumulates the signed
+value.  The inner product of two tables is an unbiased estimate of
+``<a, b>``; following the paper (and Larsen–Pagh–Tětek 2021), we use
+**5 independent repetitions and take the median** of the per-repetition
+estimates, with the storage budget split evenly across repetitions.
+
+Both the bucket hash and the sign hash are Carter–Wegman 2-wise
+functions modulo the 31-bit Mersenne prime, which is all the analysis
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sketcher
+from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["CountSketchData", "CountSketch", "DEFAULT_REPETITIONS"]
+
+#: The paper follows Larsen et al.: 5 repetitions, median estimate.
+DEFAULT_REPETITIONS = 5
+
+
+@dataclass(frozen=True)
+class CountSketchData:
+    """``(repetitions, width)`` table of signed bucket sums."""
+
+    table: np.ndarray
+    repetitions: int
+    width: int
+    seed: int
+
+    def storage_words(self) -> float:
+        return float(self.repetitions * self.width)
+
+
+class CountSketch(Sketcher):
+    """CountSketch with median-of-repetitions estimation.
+
+    Parameters
+    ----------
+    width:
+        Buckets per repetition.
+    repetitions:
+        Independent tables; the estimate is their median (default 5).
+    seed:
+        Seed for the bucket/sign hash families.
+    """
+
+    name = "CS"
+
+    def __init__(
+        self,
+        width: int,
+        repetitions: int = DEFAULT_REPETITIONS,
+        seed: int = 0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        if repetitions <= 0:
+            raise ValueError(f"repetitions must be positive, got {repetitions}")
+        self.width = int(width)
+        self.repetitions = int(repetitions)
+        self.seed = int(seed)
+        # Two independent CW families: bucket placement and signs.
+        self._buckets = TwoWiseHashFamily(repetitions, seed=seed * 2 + 1)
+        self._signs = TwoWiseHashFamily(repetitions, seed=seed * 2 + 2)
+
+    @classmethod
+    def from_storage(cls, words: int, seed: int = 0, **kwargs: Any) -> "CountSketch":
+        """Split the word budget evenly across the repetitions."""
+        repetitions = int(kwargs.pop("repetitions", DEFAULT_REPETITIONS))
+        width = max(int(words) // repetitions, 1)
+        return cls(width=width, repetitions=repetitions, seed=seed, **kwargs)
+
+    def storage_words(self) -> float:
+        return float(self.repetitions * self.width)
+
+    def sketch(self, vector: SparseVector) -> CountSketchData:
+        table = np.zeros((self.repetitions, self.width), dtype=np.float64)
+        if vector.nnz:
+            folded = fold_to_domain(vector.indices)
+            buckets = self._buckets.hash_ints(folded) % np.uint64(self.width)
+            signs = np.where(
+                self._signs.hash_ints(folded) & np.uint64(1), 1.0, -1.0
+            )
+            for rep in range(self.repetitions):
+                np.add.at(
+                    table[rep],
+                    buckets[rep].astype(np.int64),
+                    signs[rep] * vector.values,
+                )
+        return CountSketchData(
+            table=table,
+            repetitions=self.repetitions,
+            width=self.width,
+            seed=self.seed,
+        )
+
+    def estimate(self, sketch_a: CountSketchData, sketch_b: CountSketchData) -> float:
+        self._require(
+            sketch_a.repetitions == sketch_b.repetitions
+            and sketch_a.width == sketch_b.width
+            and sketch_a.seed == sketch_b.seed,
+            "CountSketch tables built with different parameters",
+        )
+        per_repetition = np.einsum("rw,rw->r", sketch_a.table, sketch_b.table)
+        return float(np.median(per_repetition))

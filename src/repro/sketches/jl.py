@@ -1,0 +1,88 @@
+"""Johnson–Lindenstrauss / AMS sign projection (baseline "JL").
+
+The classic linear sketch of Fact 1: ``S(a) = Πa`` for a random
+``m x n`` matrix ``Π`` with i.i.d. ``±1/sqrt(m)`` entries, estimated by
+the sketch inner product ``<S(a), S(b)>``.  This is the "tug-of-war" /
+AMS sketch of Alon–Matias–Szegedy and the dense-projection JL transform
+of Achlioptas (binary-coin variant).
+
+Guarantee (Fact 1): with ``m = O(log(1/δ)/ε²)`` rows,
+``|<S(a),S(b)> - <a,b>| <= ε ||a|| ||b||`` with probability ``1 - δ`` —
+optimal for dense vectors, but insensitive to support overlap, which is
+exactly the weakness Theorem 2 exploits.
+
+Implementation: the matrix is never materialized.  Column ``j`` of
+``Π`` is derived on demand from a splitmix64 stream keyed on
+``(seed, j)``, so sketching touches only the non-zero entries
+(``O(nnz * m)``) and works over open index domains, while two machines
+sketching different vectors still agree on ``Π``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sketcher
+from repro.hashing.splitmix import counter_uniform, derive_key_grid
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["JLSketch", "JohnsonLindenstrauss"]
+
+
+@dataclass(frozen=True)
+class JLSketch:
+    """A linear sketch ``Πa``: ``m`` doubles (1 word each)."""
+
+    projection: np.ndarray
+    m: int
+    seed: int
+
+    def storage_words(self) -> float:
+        return float(self.m)
+
+
+class JohnsonLindenstrauss(Sketcher):
+    """Dense ±1 random projection sized ``m`` rows."""
+
+    name = "JL"
+
+    def __init__(self, m: int, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError(f"row count m must be positive, got {m}")
+        self.m = int(m)
+        self.seed = int(seed)
+
+    @classmethod
+    def from_storage(cls, words: int, seed: int = 0, **kwargs: Any) -> "JohnsonLindenstrauss":
+        """Linear sketches store one 64-bit double per row: ``m = words``."""
+        return cls(m=max(int(words), 1), seed=seed, **kwargs)
+
+    def storage_words(self) -> float:
+        return float(self.m)
+
+    def _signs(self, indices: np.ndarray) -> np.ndarray:
+        """The ``(m, nnz)`` block of ``Π`` restricted to ``indices``.
+
+        Entry ``(r, j)`` is ``+1`` or ``-1`` according to one uniform
+        draw of the stream keyed on ``(seed, r, indices[j])``.
+        """
+        keys = derive_key_grid(self.seed, np.arange(self.m, dtype=np.int64), indices)
+        uniforms = counter_uniform(keys, 0)
+        return np.where(uniforms < 0.5, -1.0, 1.0)
+
+    def sketch(self, vector: SparseVector) -> JLSketch:
+        if vector.nnz == 0:
+            return JLSketch(projection=np.zeros(self.m), m=self.m, seed=self.seed)
+        signs = self._signs(vector.indices)
+        projection = (signs @ vector.values) / np.sqrt(self.m)
+        return JLSketch(projection=projection, m=self.m, seed=self.seed)
+
+    def estimate(self, sketch_a: JLSketch, sketch_b: JLSketch) -> float:
+        self._require(
+            sketch_a.m == sketch_b.m and sketch_a.seed == sketch_b.seed,
+            "JL sketches built with different (m, seed) are not comparable",
+        )
+        return float(np.dot(sketch_a.projection, sketch_b.projection))

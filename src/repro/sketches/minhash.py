@@ -1,0 +1,101 @@
+"""Unweighted MinHash inner-product sketch (Algorithms 1 and 2).
+
+The warm-up method of Section 3 and the experimental baseline "MH".
+Per repetition ``i``, hash every non-zero index with an independent
+function ``h_i`` and keep the minimum hash together with the vector
+value at the arg-min index.  Estimation (Algorithm 2):
+
+    Ũ   = m / Σ_i min(H_hash_a[i], H_hash_b[i]) - 1      (union size)
+    est = (Ũ/m) Σ_i 1[H_hash_a[i] = H_hash_b[i]] · H_val_a[i] · H_val_b[i]
+
+Ũ is a Flajolet–Martin style distinct-elements estimate of
+``|A ∪ B|`` (Lemma 1); matched repetitions are uniform samples from
+``A ∩ B`` (Fact 3).  Theorem 4: for entries bounded in ``[-c, c]`` the
+error is ``ε c² sqrt(max(|A|,|B|)·|A∩B|)`` — which degrades badly under
+heavy entries, the failure mode Weighted MinHash fixes.
+
+Hashing follows the paper's experiments: 2-wise Carter–Wegman functions
+modulo the 31-bit Mersenne prime, stored as 32-bit values (hence the
+1.5-words-per-sample storage accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
+from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["MinHashSketch", "MinHash"]
+
+
+@dataclass(frozen=True)
+class MinHashSketch:
+    """Output of Algorithm 1: ``{H_hash, H_val}``."""
+
+    hashes: np.ndarray
+    values: np.ndarray
+    m: int
+    seed: int
+
+    def storage_words(self) -> float:
+        return WORDS_PER_SAMPLE_SAMPLING * self.m
+
+
+class MinHash(Sketcher):
+    """Unweighted (augmented) MinHash sampling sketch."""
+
+    name = "MH"
+
+    def __init__(self, m: int, seed: int = 0) -> None:
+        if m <= 0:
+            raise ValueError(f"sample count m must be positive, got {m}")
+        self.m = int(m)
+        self.seed = int(seed)
+        self._family = TwoWiseHashFamily(self.m, seed=self.seed)
+
+    @classmethod
+    def from_storage(cls, words: int, seed: int = 0, **kwargs: Any) -> "MinHash":
+        m = int(words / WORDS_PER_SAMPLE_SAMPLING)
+        return cls(m=max(m, 1), seed=seed, **kwargs)
+
+    def storage_words(self) -> float:
+        return WORDS_PER_SAMPLE_SAMPLING * self.m
+
+    def sketch(self, vector: SparseVector) -> MinHashSketch:
+        if vector.nnz == 0:
+            return MinHashSketch(
+                hashes=np.full(self.m, np.inf),
+                values=np.zeros(self.m),
+                m=self.m,
+                seed=self.seed,
+            )
+        folded = fold_to_domain(vector.indices)
+        hashes = self._family.hash_unit(folded)  # (m, nnz)
+        best = np.argmin(hashes, axis=1)
+        rows = np.arange(self.m)
+        return MinHashSketch(
+            hashes=hashes[rows, best],
+            values=vector.values[best],
+            m=self.m,
+            seed=self.seed,
+        )
+
+    def estimate(self, sketch_a: MinHashSketch, sketch_b: MinHashSketch) -> float:
+        self._require(
+            sketch_a.m == sketch_b.m and sketch_a.seed == sketch_b.seed,
+            "MinHash sketches built with different (m, seed)",
+        )
+        if not np.isfinite(sketch_a.hashes).any() or not np.isfinite(sketch_b.hashes).any():
+            return 0.0
+        minima = np.minimum(sketch_a.hashes, sketch_b.hashes)
+        union_estimate = sketch_a.m / float(minima.sum()) - 1.0
+        matches = sketch_a.hashes == sketch_b.hashes
+        matched_products = float(
+            np.sum(np.where(matches, sketch_a.values * sketch_b.values, 0.0))
+        )
+        return (union_estimate / sketch_a.m) * matched_products

@@ -1,0 +1,6 @@
+"""Text pipeline: tokenization, n-grams, TF-IDF vectors (Figure 6)."""
+
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.tokenize import bigrams, terms_and_bigrams, tokenize
+
+__all__ = ["TfidfVectorizer", "bigrams", "terms_and_bigrams", "tokenize"]

@@ -1,0 +1,92 @@
+"""TF-IDF vectorization (Salton et al. 1975), as used by Figure 6.
+
+Documents become sparse vectors whose coordinates are hashed features
+(unigrams + bigrams) weighted by ``tf * idf`` with the smooth inverse
+document frequency
+
+    idf(t) = ln((1 + N) / (1 + df(t))) + 1,
+
+then L2-normalized so inner products equal cosine similarities — the
+similarity measure Figure 6 estimates.  Feature indices come from the
+deterministic 64-bit string digest folded into the Carter–Wegman
+domain, so the ambient dimension is never materialized (the paper's
+"very high dimension" setting).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.datasearch.vectorize import key_to_index
+from repro.text.tokenize import terms_and_bigrams
+from repro.vectors.sparse import SparseVector
+
+__all__ = ["TfidfVectorizer"]
+
+
+class TfidfVectorizer:
+    """Fit document frequencies on a corpus, then vectorize documents.
+
+    Parameters
+    ----------
+    use_bigrams:
+        Include adjacent-token bigrams as features (Figure 6 does).
+    normalize:
+        L2-normalize the output vectors (so ``<a, b>`` = cosine).
+    """
+
+    def __init__(self, use_bigrams: bool = True, normalize: bool = True) -> None:
+        self.use_bigrams = use_bigrams
+        self.normalize = normalize
+        self._document_frequency: Counter[str] = Counter()
+        self._num_documents = 0
+
+    # ------------------------------------------------------------------
+
+    def _features(self, tokens: Sequence[str]) -> list[str]:
+        if self.use_bigrams:
+            return terms_and_bigrams(tokens)
+        return list(tokens)
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "TfidfVectorizer":
+        """Count document frequencies over tokenized documents."""
+        for tokens in documents:
+            self._num_documents += 1
+            self._document_frequency.update(set(self._features(tokens)))
+        return self
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_documents
+
+    def idf(self, feature: str) -> float:
+        """Smooth inverse document frequency of one feature."""
+        import math
+
+        df = self._document_frequency.get(feature, 0)
+        return math.log((1.0 + self._num_documents) / (1.0 + df)) + 1.0
+
+    def transform(self, tokens: Sequence[str]) -> SparseVector:
+        """TF-IDF vector of one tokenized document."""
+        if self._num_documents == 0:
+            raise RuntimeError("vectorizer must be fit before transform")
+        term_counts = Counter(self._features(tokens))
+        if not term_counts:
+            return SparseVector.zero()
+        indices = []
+        weights = []
+        for feature, count in term_counts.items():
+            indices.append(key_to_index(feature))
+            weights.append(count * self.idf(feature))
+        vector = SparseVector.from_pairs(indices, weights)
+        if self.normalize and vector.nnz:
+            vector = vector.unit()
+        return vector
+
+    def fit_transform(
+        self, documents: Sequence[Sequence[str]]
+    ) -> list[SparseVector]:
+        """Fit on the corpus and return every document's vector."""
+        self.fit(documents)
+        return [self.transform(tokens) for tokens in documents]

@@ -1,0 +1,36 @@
+"""Tokenization and n-gram extraction for the text experiments.
+
+Figure 6 represents each 20-newsgroups document as a TF-IDF vector over
+*terms and bigrams* (combinations of two consecutive terms).  This
+module supplies the corresponding text primitives: a lowercase
+word tokenizer and a bigram expander.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+__all__ = ["tokenize", "bigrams", "terms_and_bigrams"]
+
+_WORD = re.compile(r"[a-z0-9']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens (letters, digits, apostrophes)."""
+    return _WORD.findall(text.lower())
+
+
+def bigrams(tokens: Iterable[str]) -> list[str]:
+    """Adjacent-token bigrams, joined with an underscore."""
+    token_list = list(tokens)
+    return [
+        f"{first}_{second}"
+        for first, second in zip(token_list, token_list[1:])
+    ]
+
+
+def terms_and_bigrams(tokens: Iterable[str]) -> list[str]:
+    """Unigrams followed by bigrams — the Figure 6 feature set."""
+    token_list = list(tokens)
+    return token_list + bigrams(token_list)

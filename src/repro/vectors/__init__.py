@@ -1,0 +1,27 @@
+"""Sparse vector data model and support algebra."""
+
+from repro.vectors.ops import (
+    cosine_similarity,
+    inner_product,
+    intersection_norms,
+    jaccard_similarity,
+    kurtosis,
+    overlap_ratio,
+    support_intersection,
+    support_union_size,
+    weighted_jaccard_similarity,
+)
+from repro.vectors.sparse import SparseVector
+
+__all__ = [
+    "SparseVector",
+    "cosine_similarity",
+    "inner_product",
+    "intersection_norms",
+    "jaccard_similarity",
+    "kurtosis",
+    "overlap_ratio",
+    "support_intersection",
+    "support_union_size",
+    "weighted_jaccard_similarity",
+]

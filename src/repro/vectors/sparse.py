@@ -1,0 +1,218 @@
+"""Sparse vector data model.
+
+Every sketch in this package consumes a :class:`SparseVector`: a set of
+``(index, value)`` pairs with sorted, unique ``int64`` indices and
+nonzero ``float64`` values.  The dimension ``n`` is deliberately *open*
+(optional): as the paper notes (Section 1.2), sketching only touches
+the non-zero entries, so ``n`` can be "large enough to cover the whole
+domain of the keys being sketched (e.g. n = 2**32 or n = 2**64)" without
+ever being materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["SparseVector"]
+
+
+class SparseVector:
+    """An immutable sparse vector with sorted unique integer indices.
+
+    Parameters
+    ----------
+    indices:
+        Integer coordinates of the non-zero entries.  Must be
+        non-negative; duplicates are rejected (use :meth:`from_pairs`
+        to aggregate duplicates by summation).
+    values:
+        Entry values aligned with ``indices``.  Exact zeros are dropped.
+    n:
+        Optional ambient dimension.  ``None`` means an open domain.
+    """
+
+    __slots__ = ("indices", "values", "n")
+
+    def __init__(
+        self,
+        indices: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[float],
+        n: int | None = None,
+    ) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.asarray(values, dtype=np.float64)
+        if idx.ndim != 1 or val.ndim != 1:
+            raise ValueError("indices and values must be one-dimensional")
+        if idx.shape != val.shape:
+            raise ValueError(
+                f"indices and values length mismatch: {idx.size} vs {val.size}"
+            )
+        if idx.size and idx.min() < 0:
+            raise ValueError("indices must be non-negative")
+        if not np.all(np.isfinite(val)):
+            raise ValueError("values must be finite")
+        order = np.argsort(idx, kind="stable")
+        idx = idx[order]
+        val = val[order]
+        if idx.size > 1 and np.any(np.diff(idx) == 0):
+            raise ValueError(
+                "duplicate indices; use SparseVector.from_pairs to aggregate"
+            )
+        keep = val != 0.0
+        idx = idx[keep]
+        val = val[keep]
+        if n is not None:
+            n = int(n)
+            if idx.size and idx.max() >= n:
+                raise ValueError(
+                    f"index {int(idx.max())} outside dimension n={n}"
+                )
+        # The arrays are treated as immutable from here on.
+        idx.setflags(write=False)
+        val.setflags(write=False)
+        object.__setattr__(self, "indices", idx)
+        object.__setattr__(self, "values", val)
+        object.__setattr__(self, "n", n)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SparseVector is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray | Iterable[float]) -> "SparseVector":
+        """Build from a dense array, keeping only the non-zero entries."""
+        arr = np.asarray(dense, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("dense input must be one-dimensional")
+        nz = np.flatnonzero(arr)
+        return cls(nz, arr[nz], n=arr.size)
+
+    @classmethod
+    def from_dict(cls, entries: Mapping[int, float], n: int | None = None) -> "SparseVector":
+        """Build from an ``{index: value}`` mapping."""
+        if not entries:
+            return cls(np.empty(0, np.int64), np.empty(0, np.float64), n=n)
+        idx = np.fromiter(entries.keys(), dtype=np.int64, count=len(entries))
+        val = np.fromiter(entries.values(), dtype=np.float64, count=len(entries))
+        return cls(idx, val, n=n)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        indices: Iterable[int],
+        values: Iterable[float],
+        n: int | None = None,
+    ) -> "SparseVector":
+        """Build from possibly-duplicated pairs, summing duplicate indices."""
+        idx = np.asarray(list(indices), dtype=np.int64)
+        val = np.asarray(list(values), dtype=np.float64)
+        if idx.size == 0:
+            return cls(idx, val, n=n)
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        summed = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(summed, inverse, val)
+        return cls(uniq, summed, n=n)
+
+    @classmethod
+    def zero(cls, n: int | None = None) -> "SparseVector":
+        """The all-zero vector."""
+        return cls(np.empty(0, np.int64), np.empty(0, np.float64), n=n)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero entries."""
+        return int(self.indices.size)
+
+    def norm(self) -> float:
+        """Euclidean norm ``||a||``."""
+        return float(np.linalg.norm(self.values))
+
+    def norm1(self) -> float:
+        """L1 norm ``||a||_1``."""
+        return float(np.abs(self.values).sum())
+
+    def norm_inf(self) -> float:
+        """Infinity norm ``max_i |a[i]|`` (0 for the zero vector)."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.abs(self.values).max())
+
+    def support(self) -> np.ndarray:
+        """The sorted array of non-zero indices."""
+        return self.indices
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+
+    def dot(self, other: "SparseVector") -> float:
+        """Exact inner product ``<a, b>`` via sorted-index intersection."""
+        common, pos_a, pos_b = np.intersect1d(
+            self.indices, other.indices, assume_unique=True, return_indices=True
+        )
+        del common
+        return float(np.dot(self.values[pos_a], other.values[pos_b]))
+
+    def scaled(self, factor: float) -> "SparseVector":
+        """Return ``factor * a``."""
+        if factor == 0.0:
+            return SparseVector.zero(n=self.n)
+        return SparseVector(self.indices, self.values * factor, n=self.n)
+
+    def unit(self) -> "SparseVector":
+        """Return ``a / ||a||``; raises on the zero vector."""
+        nrm = self.norm()
+        if nrm == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return self.scaled(1.0 / nrm)
+
+    def restrict(self, to_indices: np.ndarray) -> "SparseVector":
+        """Return the vector restricted to ``to_indices`` (others zeroed)."""
+        mask = np.isin(self.indices, np.asarray(to_indices, dtype=np.int64))
+        return SparseVector(self.indices[mask], self.values[mask], n=self.n)
+
+    def squared(self) -> "SparseVector":
+        """Return the element-wise square ``a**2`` (used for post-join variance)."""
+        return SparseVector(self.indices, self.values**2, n=self.n)
+
+    def to_dense(self, n: int | None = None) -> np.ndarray:
+        """Materialize as a dense array of length ``n`` (or ``self.n``)."""
+        size = n if n is not None else self.n
+        if size is None:
+            size = int(self.indices.max()) + 1 if self.indices.size else 0
+        dense = np.zeros(size, dtype=np.float64)
+        dense[self.indices] = self.values
+        return dense
+
+    def __getitem__(self, index: int) -> float:
+        pos = np.searchsorted(self.indices, index)
+        if pos < self.indices.size and self.indices[pos] == index:
+            return float(self.values[pos])
+        return 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return (
+            self.indices.shape == other.indices.shape
+            and bool(np.all(self.indices == other.indices))
+            and bool(np.all(self.values == other.values))
+        )
+
+    def __hash__(self) -> int:  # immutable, so hashable by content digest
+        return hash((self.indices.tobytes(), self.values.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseVector(nnz={self.nnz}, n={self.n}, "
+            f"norm={self.norm():.6g})"
+        )

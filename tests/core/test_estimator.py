@@ -1,0 +1,188 @@
+"""Tests for the Algorithm 5 estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.core.estimator import (
+    estimate_inner_product,
+    estimate_weighted_union,
+    estimate_weighted_union_from_jaccard,
+)
+from repro.core.theory import wmh_bound
+from repro.core.wmh import WeightedMinHash
+from repro.vectors.sparse import SparseVector
+
+
+class TestCompatibilityChecks:
+    def test_mismatched_m(self, small_pair):
+        a, b = small_pair
+        sketch_a = WeightedMinHash(m=16, seed=0).sketch(a)
+        sketch_b = WeightedMinHash(m=32, seed=0).sketch(b)
+        with pytest.raises(SketchMismatchError, match="sample counts"):
+            estimate_inner_product(sketch_a, sketch_b)
+
+    def test_mismatched_seed(self, small_pair):
+        a, b = small_pair
+        sketch_a = WeightedMinHash(m=16, seed=0).sketch(a)
+        sketch_b = WeightedMinHash(m=16, seed=1).sketch(b)
+        with pytest.raises(SketchMismatchError, match="seeds"):
+            estimate_inner_product(sketch_a, sketch_b)
+
+    def test_mismatched_L(self, small_pair):
+        a, b = small_pair
+        sketch_a = WeightedMinHash(m=16, seed=0, L=1 << 10).sketch(a)
+        sketch_b = WeightedMinHash(m=16, seed=0, L=1 << 11).sketch(b)
+        with pytest.raises(SketchMismatchError, match="discretization"):
+            estimate_inner_product(sketch_a, sketch_b)
+
+    def test_unknown_union_variant(self, small_pair):
+        a, b = small_pair
+        sketcher = WeightedMinHash(m=16, seed=0)
+        with pytest.raises(ValueError, match="weighted_union"):
+            estimate_inner_product(
+                sketcher.sketch(a), sketcher.sketch(b), weighted_union="bogus"
+            )
+
+
+class TestDegenerateInputs:
+    def test_zero_vector_estimates_zero(self, small_pair):
+        a, _ = small_pair
+        sketcher = WeightedMinHash(m=16, seed=0)
+        estimate = estimate_inner_product(
+            sketcher.sketch(a), sketcher.sketch(SparseVector.zero())
+        )
+        assert estimate == 0.0
+
+    def test_both_zero(self):
+        sketcher = WeightedMinHash(m=16, seed=0)
+        zero_sketch = sketcher.sketch(SparseVector.zero())
+        assert estimate_inner_product(zero_sketch, zero_sketch) == 0.0
+
+    def test_disjoint_supports_estimate_near_zero(self):
+        a = SparseVector(np.arange(50), np.ones(50))
+        b = SparseVector(np.arange(100, 150), np.ones(50))
+        sketcher = WeightedMinHash(m=200, seed=1, L=1 << 14)
+        estimate = estimate_inner_product(sketcher.sketch(a), sketcher.sketch(b))
+        assert estimate == 0.0  # no collisions -> empty sum
+
+
+class TestAccuracy:
+    def test_identical_vectors_recover_squared_norm(self, small_pair):
+        a, _ = small_pair
+        sketcher = WeightedMinHash(m=256, seed=2, L=1 << 20)
+        estimate = estimate_inner_product(sketcher.sketch(a), sketcher.sketch(a))
+        # Every repetition matches; the only noise is the union estimate.
+        assert estimate == pytest.approx(a.norm() ** 2, rel=0.15)
+
+    def test_mean_estimate_is_unbiased(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=5)
+        truth = a.dot(b)
+        estimates = [
+            estimate_inner_product(
+                WeightedMinHash(m=200, seed=seed, L=1 << 18).sketch(a),
+                WeightedMinHash(m=200, seed=seed, L=1 << 18).sketch(b),
+            )
+            for seed in range(60)
+        ]
+        standard_error = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - truth) < 4.0 * standard_error + 0.02 * abs(truth)
+
+    def test_error_shrinks_with_m(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=6)
+        truth = a.dot(b)
+
+        def mean_error(m: int) -> float:
+            errors = []
+            for seed in range(25):
+                sketcher = WeightedMinHash(m=m, seed=seed, L=1 << 18)
+                estimate = estimate_inner_product(
+                    sketcher.sketch(a), sketcher.sketch(b)
+                )
+                errors.append(abs(estimate - truth))
+            return float(np.mean(errors))
+
+        assert mean_error(512) < mean_error(32)
+
+    def test_theorem2_bound_holds_with_high_probability(self, pair_factory):
+        # Theorem 2 at constant failure probability: with m samples,
+        # error <= eps * max(...) should hold for most seeds (we allow a
+        # generous constant of 3 and require >= 80% success).
+        a, b = pair_factory(n=500, nnz=100, overlap=0.3, seed=7)
+        truth = a.dot(b)
+        m = 256
+        bound = 3.0 * wmh_bound(a, b, m)
+        successes = 0
+        for seed in range(30):
+            sketcher = WeightedMinHash(m=m, seed=seed, L=1 << 18)
+            estimate = estimate_inner_product(sketcher.sketch(a), sketcher.sketch(b))
+            successes += abs(estimate - truth) <= bound
+        assert successes >= 24
+
+    def test_scale_covariance(self, pair_factory):
+        # estimate(a, c*b) should track c * estimate(a, b) through the
+        # norm bookkeeping (hashes/values are identical).
+        a, b = pair_factory(n=300, nnz=60, overlap=0.5, seed=8)
+        sketcher = WeightedMinHash(m=128, seed=3, L=1 << 16)
+        base = estimate_inner_product(sketcher.sketch(a), sketcher.sketch(b))
+        scaled = estimate_inner_product(
+            sketcher.sketch(a), sketcher.sketch(b.scaled(50.0))
+        )
+        assert scaled == pytest.approx(50.0 * base, rel=1e-9)
+
+    def test_jaccard_variant_agrees_with_fm(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=150, overlap=0.5, seed=9)
+        truth = a.dot(b)
+        fm_errors, jaccard_errors = [], []
+        for seed in range(20):
+            sketcher = WeightedMinHash(m=300, seed=seed, L=1 << 18)
+            sketch_a, sketch_b = sketcher.sketch(a), sketcher.sketch(b)
+            fm_errors.append(
+                abs(estimate_inner_product(sketch_a, sketch_b, "fm") - truth)
+            )
+            jaccard_errors.append(
+                abs(estimate_inner_product(sketch_a, sketch_b, "jaccard") - truth)
+            )
+        scale = a.norm() * b.norm()
+        assert np.mean(fm_errors) / scale < 0.2
+        assert np.mean(jaccard_errors) / scale < 0.2
+
+
+class TestWeightedUnionEstimators:
+    def test_fm_union_estimate_accuracy(self, pair_factory):
+        from repro.core.rounding import round_vector
+
+        a, b = pair_factory(n=400, nnz=100, overlap=0.3, seed=10)
+        L = 1 << 16
+        rounded_a = round_vector(a, L)
+        rounded_b = round_vector(b, L)
+        weights_a = dict(zip(rounded_a.indices.tolist(), (rounded_a.values**2).tolist()))
+        weights_b = dict(zip(rounded_b.indices.tolist(), (rounded_b.values**2).tolist()))
+        exact = sum(
+            max(weights_a.get(k, 0.0), weights_b.get(k, 0.0))
+            for k in set(weights_a) | set(weights_b)
+        )
+        estimates = []
+        for seed in range(15):
+            sketcher = WeightedMinHash(m=400, seed=seed, L=L)
+            estimates.append(
+                estimate_weighted_union(sketcher.sketch(a), sketcher.sketch(b))
+            )
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.1)
+
+    def test_jaccard_identity_endpoints(self):
+        # J = 1 (identical unit vectors) -> M = 1; J = 0 -> M = 2.
+        assert estimate_weighted_union_from_jaccard(1.0) == pytest.approx(1.0)
+        assert estimate_weighted_union_from_jaccard(0.0) == pytest.approx(2.0)
+
+    def test_jaccard_identity_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="match fraction"):
+            estimate_weighted_union_from_jaccard(1.5)
+
+    def test_fm_union_rejects_empty_sketches(self):
+        sketcher = WeightedMinHash(m=8, seed=0)
+        zero = sketcher.sketch(SparseVector.zero())
+        with pytest.raises(ValueError, match="empty"):
+            estimate_weighted_union(zero, zero)

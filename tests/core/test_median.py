@@ -1,0 +1,103 @@
+"""Tests for median-of-t boosting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.core.median import MedianBoosted, MedianSketch
+from repro.core.wmh import WeightedMinHash
+from repro.sketches.minhash import MinHash
+
+
+class TestConstruction:
+    def test_rejects_bad_t(self):
+        with pytest.raises(ValueError, match="t must be positive"):
+            MedianBoosted(lambda seed: WeightedMinHash(m=4, seed=seed), t=0)
+
+    def test_name_reflects_inner_method(self):
+        boosted = MedianBoosted(lambda seed: WeightedMinHash(m=4, seed=seed), t=3)
+        assert boosted.name == "median3(WMH)"
+
+    def test_parts_have_distinct_seeds(self, small_pair):
+        a, _ = small_pair
+        boosted = MedianBoosted(
+            lambda seed: WeightedMinHash(m=16, seed=seed, L=1 << 14), t=3
+        )
+        sketch = boosted.sketch(a)
+        hashes = [tuple(part.hashes.tolist()) for part in sketch.parts]
+        assert len(set(hashes)) == 3
+
+    def test_from_storage_is_disabled(self):
+        with pytest.raises(NotImplementedError):
+            MedianBoosted.from_storage(100)
+
+    def test_split_storage_divides_budget(self):
+        boosted = MedianBoosted.split_storage(WeightedMinHash, words=300, t=3)
+        # Each part gets ~100 words -> 66 samples each.
+        assert all(part.m == 66 for part in boosted._parts)
+
+    def test_generic_over_sketchers(self, small_pair):
+        a, b = small_pair
+        boosted = MedianBoosted(lambda seed: MinHash(m=64, seed=seed), t=3)
+        estimate = boosted.estimate(boosted.sketch(a), boosted.sketch(b))
+        assert np.isfinite(estimate)
+
+
+class TestEstimation:
+    def test_median_of_singleton_equals_inner(self, small_pair):
+        a, b = small_pair
+        inner = WeightedMinHash(m=64, seed=1_000_003 + 1, L=1 << 16)
+        boosted = MedianBoosted(
+            lambda seed: WeightedMinHash(m=64, seed=seed, L=1 << 16), t=1, seed=1
+        )
+        assert boosted.estimate(
+            boosted.sketch(a), boosted.sketch(b)
+        ) == pytest.approx(inner.estimate(inner.sketch(a), inner.sketch(b)))
+
+    def test_mismatched_t_rejected(self, small_pair):
+        a, b = small_pair
+        boosted3 = MedianBoosted(lambda s: WeightedMinHash(m=8, seed=s), t=3)
+        boosted5 = MedianBoosted(lambda s: WeightedMinHash(m=8, seed=s), t=5)
+        with pytest.raises(SketchMismatchError):
+            boosted3.estimate(boosted3.sketch(a), boosted5.sketch(b))
+
+    def test_median_sketch_reports_t(self, small_pair):
+        a, _ = small_pair
+        boosted = MedianBoosted(lambda s: WeightedMinHash(m=8, seed=s), t=5)
+        assert boosted.sketch(a).t == 5
+
+    def test_storage_words_sums_parts(self):
+        boosted = MedianBoosted(lambda s: WeightedMinHash(m=10, seed=s), t=4)
+        assert boosted.storage_words() == pytest.approx(4 * (15.0 + 1.0))
+
+    def test_boosting_reduces_failure_rate(self, pair_factory):
+        # On a heavy-tailed workload, median-of-5 must fail (exceed a
+        # fixed error threshold) less often than a single sketch of the
+        # same per-part size.
+        a, b = pair_factory(n=400, nnz=100, overlap=0.2, seed=11, values="outliers")
+        truth = a.dot(b)
+        scale = a.norm() * b.norm()
+        threshold = 0.08 * scale
+
+        def failure_rate(t: int) -> float:
+            failures = 0
+            runs = 30
+            for trial in range(runs):
+                boosted = MedianBoosted(
+                    lambda seed: WeightedMinHash(m=96, seed=seed, L=1 << 18),
+                    t=t,
+                    seed=trial,
+                )
+                estimate = boosted.estimate(boosted.sketch(a), boosted.sketch(b))
+                failures += abs(estimate - truth) > threshold
+            return failures / runs
+
+        assert failure_rate(5) <= failure_rate(1) + 0.05
+
+
+class TestMedianSketchDataclass:
+    def test_parts_tuple(self):
+        sketch = MedianSketch(parts=(1, 2, 3))
+        assert sketch.t == 3

@@ -1,0 +1,142 @@
+"""Tests for Algorithm 4 (vector rounding) — the Lemma 3 invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rounding import round_unit_vector, round_vector
+from repro.vectors.sparse import SparseVector
+
+
+def random_unit_values(size: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=size)
+    values[values == 0.0] = 0.5
+    return values / np.linalg.norm(values)
+
+
+class TestRoundUnitVector:
+    @pytest.mark.parametrize("L", [1, 7, 64, 1024, 1 << 20])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_counts_sum_to_exactly_L(self, L, seed):
+        _, counts = round_unit_vector(random_unit_values(50, seed), L)
+        assert int(counts.sum()) == L
+
+    @pytest.mark.parametrize("L", [64, 1024, 1 << 20])
+    def test_output_is_unit_norm(self, L):
+        rounded, _ = round_unit_vector(random_unit_values(50, 3), L)
+        assert np.linalg.norm(rounded) == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize("L", [64, 1024])
+    def test_squared_entries_are_integer_multiples(self, L):
+        rounded, counts = round_unit_vector(random_unit_values(30, 4), L)
+        np.testing.assert_allclose(rounded**2 * L, counts, atol=1e-6)
+
+    def test_all_entries_rounded_down_except_largest(self):
+        values = random_unit_values(40, 5)
+        rounded, _ = round_unit_vector(values, 256)
+        largest = int(np.argmax(np.abs(values)))
+        for position in range(40):
+            if position == largest:
+                assert abs(rounded[position]) >= abs(values[position]) - 1e-12
+            else:
+                assert abs(rounded[position]) <= abs(values[position]) + 1e-12
+
+    def test_signs_preserved(self):
+        values = np.array([0.6, -0.8])
+        rounded, _ = round_unit_vector(values, 100)
+        assert rounded[0] > 0 > rounded[1]
+
+    def test_idempotent_on_discrete_vectors(self):
+        # A vector whose squared entries are already multiples of 1/L
+        # must round to itself (Lemma 3 claim 1 + the snap tolerance).
+        L = 1000
+        counts = np.array([300, 500, 200])
+        values = np.sqrt(counts / L)
+        rounded, new_counts = round_unit_vector(values, L)
+        np.testing.assert_array_equal(new_counts, counts)
+        np.testing.assert_allclose(rounded, values, rtol=1e-15)
+
+    def test_small_entries_round_to_zero(self):
+        # With L = 4, an entry of squared mass 0.1 < 1/4 must vanish.
+        values = np.array([np.sqrt(0.9), np.sqrt(0.1)])
+        rounded, counts = round_unit_vector(values, 4)
+        assert counts[1] == 0
+        assert rounded[1] == 0.0
+
+    def test_single_entry_vector(self):
+        rounded, counts = round_unit_vector(np.array([1.0]), 17)
+        assert counts[0] == 17
+        assert rounded[0] == pytest.approx(1.0)
+
+    def test_L_one_concentrates_everything_on_largest(self):
+        values = random_unit_values(10, 6)
+        rounded, counts = round_unit_vector(values, 1)
+        largest = int(np.argmax(np.abs(values)))
+        assert counts[largest] == 1
+        assert counts.sum() == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            round_unit_vector(np.array([]), 10)
+
+    def test_rejects_bad_L(self):
+        with pytest.raises(ValueError, match="L must be >= 1"):
+            round_unit_vector(np.array([1.0]), 0)
+
+    def test_rejects_super_unit_input(self):
+        with pytest.raises(ValueError, match="not a unit vector"):
+            round_unit_vector(np.array([2.0, 2.0]), 100)
+
+
+class TestRoundVector:
+    def test_preserves_original_norm_metadata(self):
+        vector = SparseVector([1, 2], [3.0, 4.0])
+        rounded = round_vector(vector, 1024)
+        assert rounded.norm == pytest.approx(5.0)
+        assert rounded.L == 1024
+
+    def test_rounded_support_is_subset(self):
+        rng = np.random.default_rng(7)
+        vector = SparseVector(np.arange(100), rng.normal(size=100))
+        rounded = round_vector(vector, 64)  # L < nnz: most entries vanish
+        assert rounded.nnz <= vector.nnz
+        assert np.all(np.isin(rounded.indices, vector.indices))
+        assert int(rounded.counts.sum()) == 64
+
+    def test_counts_strictly_positive(self):
+        vector = SparseVector([5, 9], [1.0, 2.0])
+        rounded = round_vector(vector, 128)
+        assert np.all(rounded.counts >= 1)
+
+    def test_as_sparse_is_unit(self):
+        vector = SparseVector([1, 4, 9], [1.0, -2.0, 3.0])
+        assert round_vector(vector, 4096).as_sparse().norm() == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_scale_invariance(self):
+        # round(c * a) must equal round(a) for any c > 0 — this is what
+        # makes WMH sketches scale-consistent.
+        vector = SparseVector([1, 2, 3], [0.1, 0.5, -0.3])
+        base = round_vector(vector, 2048)
+        scaled = round_vector(vector.scaled(1000.0), 2048)
+        np.testing.assert_array_equal(base.counts, scaled.counts)
+        np.testing.assert_allclose(base.values, scaled.values)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError, match="zero vector"):
+            round_vector(SparseVector.zero(), 10)
+
+    def test_lemma3_rounding_fixpoint(self):
+        # a' = ||a|| * round(a/||a||) rounds to the same RoundedVector
+        # as a itself (Lemma 3 claim 2's precondition).
+        vector = SparseVector([2, 3, 5], [1.5, -0.7, 2.2])
+        first = round_vector(vector, 4096)
+        reconstructed = SparseVector(
+            first.indices, first.values * first.norm
+        )
+        second = round_vector(reconstructed, 4096)
+        np.testing.assert_array_equal(first.counts, second.counts)
+        np.testing.assert_allclose(first.values, second.values, rtol=1e-12)

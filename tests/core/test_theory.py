@@ -1,0 +1,149 @@
+"""Tests for the Table 1 bound formulas."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    compare_bounds,
+    epsilon_for_samples,
+    linear_sketch_bound,
+    minhash_bound,
+    samples_for_epsilon,
+    wmh_advantage,
+    wmh_bound,
+)
+from repro.vectors.sparse import SparseVector
+
+
+class TestEpsilonConversions:
+    def test_epsilon_for_samples(self):
+        assert epsilon_for_samples(100) == pytest.approx(0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            epsilon_for_samples(0)
+
+    def test_samples_for_epsilon(self):
+        assert samples_for_epsilon(0.1) == 100
+
+    def test_rejects_out_of_range_epsilon(self):
+        with pytest.raises(ValueError):
+            samples_for_epsilon(0.0)
+        with pytest.raises(ValueError):
+            samples_for_epsilon(2.0)
+
+    def test_roundtrip_upper_bound(self):
+        # ceil() of 1/eps^2 may land one above m due to float rounding.
+        for m in (4, 100, 1234):
+            assert m <= samples_for_epsilon(epsilon_for_samples(m)) <= m + 1
+
+
+class TestBoundFormulas:
+    def test_linear_bound_manual(self):
+        a = SparseVector([1, 2], [3.0, 4.0])  # norm 5
+        b = SparseVector([1], [2.0])  # norm 2
+        assert linear_sketch_bound(a, b, 100) == pytest.approx(0.1 * 10.0)
+
+    def test_wmh_bound_manual(self):
+        # a = (3, 4) on {1, 2}; b = (2) on {1}. I = {1}:
+        # ||a_I|| = 3, ||b_I|| = 2 -> max(3*2, 5*2) = 10 ... careful:
+        # max(||a_I|| ||b||, ||a|| ||b_I||) = max(3*2, 5*2) = 10.
+        a = SparseVector([1, 2], [3.0, 4.0])
+        b = SparseVector([1], [2.0])
+        assert wmh_bound(a, b, 100) == pytest.approx(0.1 * 10.0)
+
+    def test_wmh_never_exceeds_linear(self):
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            a = SparseVector(rng.permutation(200)[:50], rng.normal(size=50))
+            b = SparseVector(rng.permutation(200)[:50], rng.normal(size=50))
+            assert wmh_bound(a, b, 64) <= linear_sketch_bound(a, b, 64) + 1e-12
+
+    def test_wmh_bound_zero_for_disjoint(self):
+        a = SparseVector([1], [5.0])
+        b = SparseVector([2], [5.0])
+        assert wmh_bound(a, b, 16) == 0.0
+
+    def test_minhash_bound_binary_matches_wmh(self):
+        # Section 2: for binary vectors the two bounds coincide.
+        a = SparseVector([1, 2, 3, 4], np.ones(4))
+        b = SparseVector([3, 4, 5], np.ones(3))
+        assert minhash_bound(a, b, 25) == pytest.approx(wmh_bound(a, b, 25))
+
+    def test_minhash_bound_blows_up_with_outliers(self):
+        base_a = SparseVector([1, 2, 3], [1.0, 1.0, 1.0])
+        base_b = SparseVector([2, 3, 4], [1.0, 1.0, 1.0])
+        heavy_a = SparseVector([1, 2, 3], [30.0, 1.0, 1.0])
+        heavy_b = SparseVector([2, 3, 4], [1.0, 1.0, 30.0])
+        assert minhash_bound(heavy_a, heavy_b, 25) > 100 * minhash_bound(
+            base_a, base_b, 25
+        )
+
+    def test_bounds_decrease_with_m(self):
+        a = SparseVector([1, 2], [1.0, 2.0])
+        b = SparseVector([2, 3], [1.0, 2.0])
+        assert wmh_bound(a, b, 400) < wmh_bound(a, b, 100)
+        assert linear_sketch_bound(a, b, 400) < linear_sketch_bound(a, b, 100)
+
+
+class TestAdvantage:
+    def test_advantage_at_least_one(self):
+        rng = np.random.default_rng(1)
+        for trial in range(10):
+            a = SparseVector(rng.permutation(100)[:30], rng.normal(size=30))
+            b = SparseVector(rng.permutation(100)[:30], rng.normal(size=30))
+            assert wmh_advantage(a, b) >= 1.0 - 1e-12
+
+    def test_advantage_disjoint_is_infinite(self):
+        a = SparseVector([1], [1.0])
+        b = SparseVector([2], [1.0])
+        assert math.isinf(wmh_advantage(a, b))
+
+    def test_advantage_full_overlap_is_one(self):
+        a = SparseVector([1, 2], [1.0, 2.0])
+        assert wmh_advantage(a, a) == pytest.approx(1.0)
+
+    def test_advantage_tracks_sqrt_gamma(self):
+        # "Typical case": a gamma fraction of mass overlaps -> advantage
+        # about 1/sqrt(gamma) (paper, Section 1.1).
+        n, nnz = 10_000, 1_000
+        gamma = 0.04
+        rng = np.random.default_rng(2)
+        shared = int(gamma * nnz)
+        permutation = rng.permutation(n)
+        idx_a = np.concatenate([permutation[:shared], permutation[shared : shared + nnz - shared]])
+        idx_b = np.concatenate(
+            [permutation[:shared], permutation[shared + nnz - shared : shared + 2 * (nnz - shared)]]
+        )
+        a = SparseVector(idx_a, np.ones(nnz))
+        b = SparseVector(idx_b, np.ones(nnz))
+        assert wmh_advantage(a, b) == pytest.approx(1.0 / math.sqrt(gamma), rel=0.05)
+
+
+class TestCompareBounds:
+    def test_fields_consistent(self):
+        a = SparseVector([1, 2], [1.0, 1.0])
+        b = SparseVector([2, 3], [1.0, 1.0])
+        comparison = compare_bounds(a, b, 49)
+        assert comparison.linear == pytest.approx(linear_sketch_bound(a, b, 49))
+        assert comparison.minhash == pytest.approx(minhash_bound(a, b, 49))
+        assert comparison.wmh == pytest.approx(wmh_bound(a, b, 49))
+        assert comparison.m == 49
+
+    def test_ratio_property(self):
+        a = SparseVector([1, 2], [1.0, 1.0])
+        b = SparseVector([2, 3], [1.0, 1.0])
+        comparison = compare_bounds(a, b, 49)
+        assert comparison.wmh_vs_linear == pytest.approx(
+            comparison.linear / comparison.wmh
+        )
+
+    def test_ratio_disjoint(self):
+        comparison = compare_bounds(
+            SparseVector([1], [1.0]), SparseVector([2], [1.0]), 4
+        )
+        assert math.isinf(comparison.wmh_vs_linear)

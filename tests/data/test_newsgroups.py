@@ -1,0 +1,76 @@
+"""Tests for the synthetic newsgroups corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.newsgroups import NewsgroupsConfig, generate_corpus
+from repro.text.tfidf import TfidfVectorizer
+from repro.vectors.ops import cosine_similarity
+
+
+class TestCorpusShape:
+    def test_document_count(self):
+        docs = generate_corpus(NewsgroupsConfig(num_documents=25), seed=0)
+        assert len(docs) == 25
+
+    def test_min_length_respected(self):
+        config = NewsgroupsConfig(num_documents=50, min_length=30)
+        docs = generate_corpus(config, seed=1)
+        assert min(doc.num_words for doc in docs) >= 30
+
+    def test_long_document_stratum_exists(self):
+        # Figure 6(b) needs documents > 700 words.
+        docs = generate_corpus(NewsgroupsConfig(num_documents=300), seed=2)
+        assert sum(doc.num_words > 700 for doc in docs) >= 15
+
+    def test_topics_within_range(self):
+        config = NewsgroupsConfig(num_documents=50, num_topics=7)
+        docs = generate_corpus(config, seed=3)
+        assert all(0 <= doc.topic < 7 for doc in docs)
+
+    def test_tokens_are_vocabulary_words(self):
+        config = NewsgroupsConfig(num_documents=10, vocabulary_size=100)
+        docs = generate_corpus(config, seed=4)
+        for doc in docs:
+            for token in doc.tokens:
+                assert token.startswith("w")
+                assert 0 <= int(token[1:]) < 100
+
+    def test_deterministic(self):
+        config = NewsgroupsConfig(num_documents=10)
+        first = generate_corpus(config, seed=5)
+        second = generate_corpus(config, seed=5)
+        assert [d.tokens for d in first] == [d.tokens for d in second]
+
+    def test_doc_ids_sequential(self):
+        docs = generate_corpus(NewsgroupsConfig(num_documents=10), seed=6)
+        assert [doc.doc_id for doc in docs] == list(range(10))
+
+
+class TestTopicStructure:
+    def test_same_topic_documents_more_similar(self):
+        # The property Figure 6 needs: topical cosine structure.
+        docs = generate_corpus(NewsgroupsConfig(num_documents=80), seed=7)
+        vectorizer = TfidfVectorizer()
+        vectors = vectorizer.fit_transform([doc.tokens for doc in docs])
+        same_topic, cross_topic = [], []
+        for i in range(40):
+            for j in range(i + 1, 40):
+                similarity = cosine_similarity(vectors[i], vectors[j])
+                if docs[i].topic == docs[j].topic:
+                    same_topic.append(similarity)
+                else:
+                    cross_topic.append(similarity)
+        assert same_topic and cross_topic
+        assert np.mean(same_topic) > np.mean(cross_topic) + 0.1
+
+    def test_zipfian_head_dominates(self):
+        # A few head words should account for a large token share.
+        docs = generate_corpus(NewsgroupsConfig(num_documents=50), seed=8)
+        from collections import Counter
+
+        counts = Counter(token for doc in docs for token in doc.tokens)
+        total = sum(counts.values())
+        top_share = sum(count for _, count in counts.most_common(50)) / total
+        assert top_share > 0.25

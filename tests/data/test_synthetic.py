@@ -1,0 +1,91 @@
+"""Tests for the Section 5.1 synthetic workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import PAPER_CONFIG, SyntheticConfig, generate_pair
+from repro.vectors.ops import overlap_ratio, support_intersection
+
+
+class TestConfigValidation:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.n == 10_000
+        assert PAPER_CONFIG.nnz == 2_000
+        assert PAPER_CONFIG.outlier_fraction == 0.1
+        assert PAPER_CONFIG.outlier_low == 20.0
+        assert PAPER_CONFIG.outlier_high == 30.0
+
+    def test_rejects_nnz_above_n(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            SyntheticConfig(n=10, nnz=20)
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            SyntheticConfig(overlap=1.5)
+
+    def test_rejects_bad_outlier_fraction(self):
+        with pytest.raises(ValueError, match="outlier_fraction"):
+            SyntheticConfig(outlier_fraction=-0.1)
+
+    def test_rejects_domain_too_small_for_disjoint_supports(self):
+        with pytest.raises(ValueError, match="domain too small"):
+            SyntheticConfig(n=100, nnz=80, overlap=0.0)
+
+    def test_with_overlap(self):
+        config = SyntheticConfig().with_overlap(0.5)
+        assert config.overlap == 0.5
+        assert config.n == 10_000
+
+
+class TestGeneratedPairs:
+    @pytest.mark.parametrize("overlap", [0.01, 0.05, 0.1, 0.5])
+    def test_overlap_is_exact(self, overlap):
+        config = SyntheticConfig(n=4_000, nnz=800, overlap=overlap, outlier_fraction=0.0)
+        a, b = generate_pair(config, seed=0)
+        expected_shared = int(round(overlap * 800))
+        assert support_intersection(a, b).size == expected_shared
+        assert overlap_ratio(a, b) == pytest.approx(overlap, abs=0.01)
+
+    def test_support_sizes(self):
+        config = SyntheticConfig(n=2_000, nnz=400, overlap=0.1)
+        a, b = generate_pair(config, seed=1)
+        assert a.nnz == 400
+        assert b.nnz == 400
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig(n=2_000, nnz=400, overlap=0.1)
+        a1, b1 = generate_pair(config, seed=5)
+        a2, b2 = generate_pair(config, seed=5)
+        assert a1 == a2
+        assert b1 == b2
+
+    def test_different_seeds_differ(self):
+        config = SyntheticConfig(n=2_000, nnz=400, overlap=0.1)
+        a1, _ = generate_pair(config, seed=5)
+        a2, _ = generate_pair(config, seed=6)
+        assert a1 != a2
+
+    def test_outlier_fraction_and_range(self):
+        config = SyntheticConfig(n=2_000, nnz=400, overlap=0.1)
+        a, _ = generate_pair(config, seed=2)
+        outliers = a.values[(a.values >= 20.0) & (a.values <= 30.0)]
+        assert outliers.size == pytest.approx(40, abs=2)
+
+    def test_body_values_within_unit_range(self):
+        config = SyntheticConfig(n=2_000, nnz=400, overlap=0.1)
+        a, _ = generate_pair(config, seed=3)
+        body = a.values[a.values < 20.0]
+        assert np.all(np.abs(body) <= 1.0)
+
+    def test_no_outliers_when_disabled(self):
+        config = SyntheticConfig(n=2_000, nnz=400, overlap=0.1, outlier_fraction=0.0)
+        a, _ = generate_pair(config, seed=4)
+        assert np.all(np.abs(a.values) <= 1.0)
+
+    def test_indices_within_domain(self):
+        config = SyntheticConfig(n=2_000, nnz=400, overlap=0.1)
+        a, b = generate_pair(config, seed=5)
+        assert int(a.indices.max()) < 2_000
+        assert int(b.indices.max()) < 2_000

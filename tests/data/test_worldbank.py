@@ -1,0 +1,85 @@
+"""Tests for the World-Bank-like column-pair generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.worldbank import (
+    WorldBankConfig,
+    generate_column_pair,
+    generate_corpus,
+)
+
+
+class TestGenerateColumnPair:
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            generate_column_pair(overlap=1.2, outlier_rate=0.0, seed=0)
+
+    def test_unit_norm_columns(self):
+        pair = generate_column_pair(overlap=0.3, outlier_rate=0.05, seed=1)
+        assert pair.left.norm() == pytest.approx(1.0, abs=1e-9)
+        assert pair.right.norm() == pytest.approx(1.0, abs=1e-9)
+
+    def test_measured_overlap_close_to_requested(self):
+        pair = generate_column_pair(overlap=0.4, outlier_rate=0.0, seed=2)
+        assert pair.overlap == pytest.approx(0.4, abs=0.02)
+
+    def test_zero_overlap(self):
+        pair = generate_column_pair(overlap=0.0, outlier_rate=0.0, seed=3)
+        assert pair.overlap == 0.0
+        assert pair.left.dot(pair.right) == 0.0
+
+    def test_full_overlap(self):
+        pair = generate_column_pair(overlap=1.0, outlier_rate=0.0, seed=4)
+        assert pair.overlap == pytest.approx(1.0)
+
+    def test_outliers_raise_kurtosis(self):
+        calm = generate_column_pair(overlap=0.5, outlier_rate=0.0, seed=5)
+        heavy = generate_column_pair(overlap=0.5, outlier_rate=0.15, seed=5)
+        assert heavy.kurtosis > calm.kurtosis
+
+    def test_gaussian_columns_have_normal_kurtosis(self):
+        pair = generate_column_pair(
+            overlap=0.5,
+            outlier_rate=0.0,
+            seed=6,
+            config=WorldBankConfig(rows_low=1_900, rows_high=2_000),
+        )
+        assert pair.kurtosis == pytest.approx(3.0, abs=1.0)
+
+    def test_deterministic(self):
+        first = generate_column_pair(overlap=0.3, outlier_rate=0.05, seed=7)
+        second = generate_column_pair(overlap=0.3, outlier_rate=0.05, seed=7)
+        assert first.left == second.left
+        assert first.right == second.right
+
+    def test_row_count_range_respected(self):
+        config = WorldBankConfig(rows_low=50, rows_high=60)
+        pair = generate_column_pair(overlap=0.5, outlier_rate=0.0, seed=8, config=config)
+        assert 50 <= pair.left.nnz <= 60
+
+
+class TestGenerateCorpus:
+    def test_pair_count(self):
+        pairs = list(generate_corpus(25, seed=0))
+        assert len(pairs) == 25
+
+    def test_deterministic(self):
+        first = [p.overlap for p in generate_corpus(10, seed=1)]
+        second = [p.overlap for p in generate_corpus(10, seed=1)]
+        assert first == second
+
+    def test_overlap_marginal_skews_low(self):
+        # Paper: 42% of World Bank pairs had overlap < 0.1.
+        pairs = list(generate_corpus(300, seed=2))
+        overlaps = np.array([p.overlap for p in pairs])
+        assert np.mean(overlaps < 0.25) > 0.3
+        assert overlaps.max() > 0.7  # but the high range is populated too
+
+    def test_kurtosis_spans_bins(self):
+        pairs = list(generate_corpus(300, seed=3))
+        kurtoses = np.array([p.kurtosis for p in pairs])
+        assert (kurtoses < 5).any()
+        assert (kurtoses > 50).any()

@@ -1,0 +1,127 @@
+"""Tests for the sketch index and dataset search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.search import DatasetSearch
+from repro.datasearch.table import Table
+
+
+def make_lake(seed: int = 0):
+    """A query table plus a lake with one planted correlated table.
+
+    The query is "taxi rides per day"; the lake contains a weather
+    table over the same dates whose precipitation strongly
+    anti-correlates with ridership, plus unrelated tables over disjoint
+    key spaces.
+    """
+    rng = np.random.default_rng(seed)
+    dates = [f"2022-{month:02d}-{day:02d}" for month in range(1, 13) for day in range(1, 28)]
+    precipitation = np.abs(rng.normal(size=len(dates))) * 10
+    rides = 10_000 - 500 * precipitation + rng.normal(scale=200, size=len(dates))
+
+    query = Table("taxi", keys=dates, columns={"rides": rides})
+    weather = Table("weather", keys=dates, columns={"precipitation": precipitation})
+    unrelated = Table(
+        "census",
+        keys=[f"tract-{i}" for i in range(300)],
+        columns={"population": rng.uniform(100, 10_000, size=300)},
+    )
+    noise = Table(
+        "noise",
+        keys=dates,
+        columns={"random": rng.normal(size=len(dates))},
+    )
+    return query, [weather, unrelated, noise]
+
+
+class TestSketchIndex:
+    def test_add_and_get(self):
+        _, tables = make_lake()
+        index = SketchIndex(WeightedMinHash(m=128, seed=0))
+        index.add(tables[0])
+        assert "weather" in index
+        assert index.get("weather").table_name == "weather"
+
+    def test_len_and_iter(self):
+        _, tables = make_lake()
+        index = SketchIndex(WeightedMinHash(m=128, seed=0))
+        index.add_all(tables)
+        assert len(index) == 3
+        assert {sketch.table_name for sketch in index} == {
+            "weather",
+            "census",
+            "noise",
+        }
+
+    def test_get_missing_raises(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0))
+        with pytest.raises(KeyError):
+            index.get("nope")
+
+    def test_replace_same_name(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0))
+        table = Table("t", keys=[1], columns={"v": [1.0]})
+        index.add(table)
+        index.add(table)
+        assert len(index) == 1
+
+    def test_storage_accounting(self):
+        _, tables = make_lake()
+        index = SketchIndex(WeightedMinHash(m=64, seed=0))
+        index.add_all(tables)
+        assert index.storage_words() > 0
+
+
+class TestDatasetSearch:
+    @pytest.fixture(scope="class")
+    def search_setup(self):
+        query, tables = make_lake(seed=1)
+        index = SketchIndex(WeightedMinHash(m=2_000, seed=3, L=1 << 20))
+        index.add_all(tables)
+        search = DatasetSearch(index, min_containment=0.2)
+        return search, search.sketch_query(query)
+
+    def test_bad_containment_rejected(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0))
+        with pytest.raises(ValueError):
+            DatasetSearch(index, min_containment=1.5)
+
+    def test_joinable_filters_disjoint_tables(self, search_setup):
+        search, query_sketch = search_setup
+        joinable_names = [name for name, _, _ in search.joinable(query_sketch)]
+        assert "weather" in joinable_names
+        assert "noise" in joinable_names
+        assert "census" not in joinable_names
+
+    def test_containment_near_one_for_shared_keys(self, search_setup):
+        search, query_sketch = search_setup
+        results = {name: containment for name, _, containment in search.joinable(query_sketch)}
+        assert results["weather"] == pytest.approx(1.0, abs=0.25)
+
+    def test_search_ranks_planted_table_first(self, search_setup):
+        search, query_sketch = search_setup
+        hits = search.search(query_sketch, query_column="rides", top_k=5)
+        assert hits[0].table_name == "weather"
+        assert hits[0].column == "precipitation"
+        assert hits[0].correlation < -0.3  # strongly negative
+
+    def test_search_by_inner_product(self, search_setup):
+        search, query_sketch = search_setup
+        hits = search.search(
+            query_sketch, query_column="rides", top_k=5, by="inner_product"
+        )
+        assert len(hits) >= 1
+
+    def test_unknown_ranking_criterion(self, search_setup):
+        search, query_sketch = search_setup
+        with pytest.raises(ValueError, match="criterion"):
+            search.search(query_sketch, query_column="rides", by="vibes")
+
+    def test_top_k_limits_results(self, search_setup):
+        search, query_sketch = search_setup
+        assert len(search.search(query_sketch, query_column="rides", top_k=1)) == 1

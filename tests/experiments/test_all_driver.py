@@ -1,0 +1,33 @@
+"""Tests for the consolidated experiments driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.all import main, run_all
+
+
+class TestRunAll:
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            run_all("enormous")
+
+    @pytest.fixture(scope="class")
+    def quick_report(self):
+        return run_all("quick")
+
+    def test_contains_every_section(self, quick_report):
+        assert "Table 1" in quick_report
+        assert "Figure 4" in quick_report
+        assert "Figure 5" in quick_report
+        assert "Figure 6" in quick_report
+        assert "Ablation" in quick_report
+
+    def test_reports_timings(self, quick_report):
+        assert "Wall-clock per experiment" in quick_report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        main(["--quick", "--out", str(out)])
+        assert "Table 1" in capsys.readouterr().out
+        assert "Figure 6" in out.read_text()

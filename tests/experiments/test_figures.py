@@ -1,0 +1,161 @@
+"""Smoke and shape tests for every figure/table driver (quick scale)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, figure4, figure5, figure6, table1
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def quick_result(self):
+        config = figure4.Figure4Config.quick()
+        return config, figure4.run(config)
+
+    def test_panels_match_overlaps(self, quick_result):
+        config, panels = quick_result
+        assert set(panels) == set(config.overlaps)
+
+    def test_records_cover_grid(self, quick_result):
+        config, panels = quick_result
+        for records in panels.values():
+            assert len(records) == (
+                len(config.methods) * len(config.storages) * config.trials
+            )
+
+    def test_render_contains_all_methods(self, quick_result):
+        config, panels = quick_result
+        text = figure4.render(panels, config)
+        for method in config.methods:
+            assert method in text
+
+    def test_summaries_are_finite(self, quick_result):
+        config, panels = quick_result
+        for series in figure4.summarize_panels(panels, config).values():
+            for values in series.values():
+                assert all(math.isfinite(v) for v in values)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def quick_result(self):
+        return figure5.run(figure5.Figure5Config.quick())
+
+    def test_matrices_for_both_comparisons(self, quick_result):
+        assert set(quick_result.matrices) == {"JL", "MH"}
+
+    def test_counts_total_matches_pairs(self, quick_result):
+        assert int(quick_result.counts.sum()) == figure5.Figure5Config.quick().num_pairs
+
+    def test_render_mentions_winning_tables(self, quick_result):
+        text = figure5.render(quick_result)
+        assert "WMH error - JL error" in text
+        assert "pair counts" in text
+
+    def test_matrix_shapes(self, quick_result):
+        config = figure5.Figure5Config.quick()
+        rows = len(config.kurtosis_bins) - 1
+        columns = len(config.overlap_bins) - 1
+        for matrix in quick_result.matrices.values():
+            assert matrix.shape == (rows, columns)
+
+    def test_bin_index_clamps_to_last_bin(self):
+        assert figure5._bin_index(2.0, (0.0, 0.5, 1.01)) == 1
+        assert figure5._bin_index(0.2, (0.0, 0.5, 1.01)) == 0
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def quick_result(self):
+        config = figure6.Figure6Config.quick()
+        return config, figure6.run(config)
+
+    def test_both_strata_present(self, quick_result):
+        _, results = quick_result
+        assert set(results) == {"all", "long"}
+
+    def test_all_stratum_has_records(self, quick_result):
+        config, results = quick_result
+        assert len(results["all"]) > 0
+
+    def test_render(self, quick_result):
+        config, results = quick_result
+        text = figure6.render(results, config)
+        assert "Figure 6(a)" in text
+        assert "Figure 6(b)" in text
+
+    def test_vectors_are_unit_norm(self):
+        config = figure6.Figure6Config.quick()
+        vectors, lengths = figure6.build_vectors(config)
+        assert len(vectors) == len(lengths)
+        for vector in vectors[:5]:
+            assert vector.norm() == pytest.approx(1.0)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1.run(m=64, trials=2, seed=0)
+
+    def test_all_families_present(self, rows):
+        assert {row.family for row in rows} == set(table1.VECTOR_FAMILIES)
+
+    def test_wmh_bound_never_exceeds_linear(self, rows):
+        for row in rows:
+            assert row.wmh_bound <= row.linear_bound * (1 + 1e-12)
+
+    def test_binary_family_bounds_coincide(self, rows):
+        binary = next(row for row in rows if row.family.startswith("binary"))
+        assert binary.wmh_bound == pytest.approx(binary.minhash_bound)
+
+    def test_dense_family_has_no_advantage(self, rows):
+        dense = next(row for row in rows if row.family == "dense")
+        assert dense.advantage == pytest.approx(1.0, abs=0.05)
+
+    def test_render(self, rows):
+        text = table1.render(rows)
+        assert "Table 1" in text
+        assert "bound WMH" in text
+
+
+class TestAblations:
+    def test_run_all_sections(self):
+        report = ablations.run_all(ablations.AblationConfig.quick())
+        assert "choice of L" in report
+        assert "weighted union" in report
+        assert "norm scaling" in report
+        assert "median-of-t" in report
+        assert "SimHash" in report
+
+    def test_choice_of_L_shows_degradation(self):
+        config = ablations.AblationConfig.quick()
+        text = ablations.ablate_choice_of_L(config)
+        # The table must include the sub-n and the 1000n settings.
+        assert "L = 0.1 n" in text
+        assert "L = 1000 n" in text
+
+
+class TestMains:
+    def test_figure4_main_quick(self, capsys):
+        figure4.main(["--quick"])
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_figure5_main_quick(self, capsys):
+        figure5.main(["--quick"])
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_figure6_main_quick(self, capsys):
+        figure6.main(["--quick"])
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_table1_main(self, capsys):
+        table1.main(["--m", "36", "--trials", "1"])
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_ablations_main_quick(self, capsys):
+        ablations.main(["--quick"])
+        assert "Ablation" in capsys.readouterr().out

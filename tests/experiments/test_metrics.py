@@ -1,0 +1,76 @@
+"""Tests for experiment metrics and aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import (
+    ErrorRecord,
+    group_mean,
+    group_median,
+    normalized_error,
+    summarize,
+    summarize_median,
+)
+from repro.vectors.sparse import SparseVector
+
+
+class TestNormalizedError:
+    def test_manual(self):
+        a = SparseVector([1], [3.0])
+        b = SparseVector([1], [4.0])
+        # truth 12, estimate 15, norms 3*4: (15-12)/12 = 0.25.
+        assert normalized_error(15.0, 12.0, a, b) == pytest.approx(0.25)
+
+    def test_zero_error(self):
+        a = SparseVector([1], [1.0])
+        assert normalized_error(1.0, 1.0, a, a) == 0.0
+
+    def test_zero_norms_exact(self):
+        z = SparseVector.zero()
+        assert normalized_error(0.0, 0.0, z, z) == 0.0
+
+    def test_zero_norms_wrong_estimate(self):
+        z = SparseVector.zero()
+        assert math.isinf(normalized_error(1.0, 0.0, z, z))
+
+
+def _records():
+    return [
+        ErrorRecord(method="JL", storage=100, error=0.1),
+        ErrorRecord(method="JL", storage=100, error=0.3),
+        ErrorRecord(method="JL", storage=200, error=0.05),
+        ErrorRecord(method="WMH", storage=100, error=1.0),
+    ]
+
+
+class TestAggregation:
+    def test_group_mean(self):
+        means = group_mean(_records(), key=lambda r: (r.method, r.storage))
+        assert means[("JL", 100)] == pytest.approx(0.2)
+        assert means[("WMH", 100)] == pytest.approx(1.0)
+
+    def test_group_median_robust_to_outlier(self):
+        records = [
+            ErrorRecord(method="WMH", storage=100, error=e)
+            for e in (0.01, 0.02, 5.0)
+        ]
+        medians = group_median(records, key=lambda r: r.method)
+        assert medians["WMH"] == pytest.approx(0.02)
+
+    def test_summarize_series_order(self):
+        series = summarize(_records(), methods=["JL", "WMH"], storages=[100, 200])
+        assert series["JL"] == [pytest.approx(0.2), pytest.approx(0.05)]
+
+    def test_summarize_missing_cells_are_nan(self):
+        series = summarize(_records(), methods=["WMH"], storages=[100, 200])
+        assert math.isnan(series["WMH"][1])
+
+    def test_summarize_median(self):
+        records = [
+            ErrorRecord(method="JL", storage=100, error=e) for e in (0.1, 0.2, 9.0)
+        ]
+        series = summarize_median(records, methods=["JL"], storages=[100])
+        assert series["JL"][0] == pytest.approx(0.2)

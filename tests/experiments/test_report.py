@@ -1,0 +1,52 @@
+"""Tests for the plain-text report renderers."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_matrix, format_series_panel, format_table
+
+
+class TestFormatTable:
+    def test_includes_headers_and_rows(self):
+        text = format_table(["x", "y"], [[1, 2.5], [3, 4.0]])
+        assert "x" in text and "y" in text
+        assert "2.5000" in text
+
+    def test_title_first_line(self):
+        text = format_table(["a"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_alignment_consistent_width(self):
+        text = format_table(["method", "err"], [["JL", 0.5], ["WMH", 0.25]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_nan_rendered_as_dashes(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "--" in text
+
+    def test_small_values_keep_sign_and_precision(self):
+        text = format_table(["v"], [[-0.003], [0.004]])
+        assert "-0.0030" in text
+        assert "+0.0040" in text
+
+
+class TestPanels:
+    def test_series_panel_layout(self):
+        text = format_series_panel(
+            "Panel", [100, 200], {"JL": [0.1, 0.2], "WMH": [0.05, 0.1]}
+        )
+        assert "Panel" in text
+        assert "100" in text and "200" in text
+        assert "JL" in text and "WMH" in text
+
+    def test_matrix_layout(self):
+        text = format_matrix(
+            "Grid",
+            ["low", "high"],
+            ["c1", "c2"],
+            [[1.0, 2.0], [3.0, 4.0]],
+            corner="kurt",
+        )
+        assert "Grid" in text
+        assert "kurt" in text
+        assert "low" in text and "c2" in text

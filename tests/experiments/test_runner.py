@@ -1,0 +1,94 @@
+"""Tests for the storage-equalized sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    EXTENDED_METHODS,
+    PAPER_METHODS,
+    method_registry,
+    run_sweep,
+)
+from repro.vectors.sparse import SparseVector
+
+
+class TestRegistry:
+    def test_paper_methods_present(self):
+        registry = method_registry()
+        assert set(PAPER_METHODS) <= set(registry)
+
+    def test_extended_methods_present(self):
+        registry = method_registry()
+        assert set(EXTENDED_METHODS) <= set(registry)
+
+    def test_storage_equalization(self):
+        # The paper's accounting: linear = 1 word/row, sampling =
+        # 1.5 words/sample; CS splits into 5 repetitions.
+        registry = method_registry()
+        assert registry["JL"].build(300, 0).m == 300
+        assert registry["MH"].build(300, 0).m == 200
+        assert registry["KMV"].build(300, 0).k == 200
+        assert registry["WMH"].build(300, 0).m == 200
+        cs = registry["CS"].build(300, 0)
+        assert cs.repetitions * cs.width == 300
+
+    def test_wmh_L_override(self):
+        registry = method_registry(wmh_L=1 << 12)
+        assert registry["WMH"].build(100, 0).L == 1 << 12
+
+    def test_builders_apply_seed(self):
+        registry = method_registry()
+        assert registry["JL"].build(100, 7).seed == 7
+
+
+class TestRunSweep:
+    @pytest.fixture
+    def tiny_pairs(self, pair_factory):
+        return [
+            pair_factory(n=200, nnz=40, overlap=0.3, seed=s) for s in range(2)
+        ]
+
+    def test_record_count(self, tiny_pairs):
+        records = run_sweep(
+            tiny_pairs, storages=[60, 120], trials=2, methods=("JL", "WMH")
+        )
+        # methods x storages x trials x pairs
+        assert len(records) == 2 * 2 * 2 * 2
+
+    def test_records_labelled(self, tiny_pairs):
+        records = run_sweep(tiny_pairs, storages=[60], trials=1, methods=("JL",))
+        assert {record.method for record in records} == {"JL"}
+        assert {record.storage for record in records} == {60}
+        assert {record.pair_id for record in records} == {0, 1}
+
+    def test_unknown_method_rejected(self, tiny_pairs):
+        with pytest.raises(ValueError, match="unknown methods"):
+            run_sweep(tiny_pairs, storages=[60], methods=("JL", "Oracle"))
+
+    def test_errors_are_finite_and_nonnegative(self, tiny_pairs):
+        records = run_sweep(
+            tiny_pairs, storages=[90], trials=2, methods=PAPER_METHODS
+        )
+        assert all(record.error >= 0.0 for record in records)
+        assert all(record.error < 10.0 for record in records)
+
+    def test_sketch_cache_consistent_with_fresh_sketches(self, pair_factory):
+        # A vector appearing in two pairs must produce identical
+        # estimates whether or not the cache is involved.
+        a, b = pair_factory(n=200, nnz=40, overlap=0.5, seed=9)
+        records_shared = run_sweep(
+            [(a, b), (a, b)], storages=[90], trials=1, methods=("WMH",), seed=1
+        )
+        records_single = run_sweep(
+            [(a, b)], storages=[90], trials=1, methods=("WMH",), seed=1
+        )
+        assert records_shared[0].error == pytest.approx(records_single[0].error)
+        assert records_shared[1].error == pytest.approx(records_single[0].error)
+
+    def test_zero_vector_pair_handled(self):
+        zero = SparseVector.zero()
+        records = run_sweep(
+            [(zero, zero)], storages=[60], trials=1, methods=("WMH", "JL")
+        )
+        assert all(record.error == 0.0 for record in records)

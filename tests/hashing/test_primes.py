@@ -1,0 +1,55 @@
+"""Tests for primality utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hashing.primes import MERSENNE_31, MERSENNE_61, is_prime, next_prime
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("prime", [2, 3, 5, 7, 11, 13, 97, 7919, 104729])
+    def test_known_primes(self, prime):
+        assert is_prime(prime)
+
+    @pytest.mark.parametrize("composite", [0, 1, 4, 6, 9, 15, 91, 7917, 104730])
+    def test_known_composites(self, composite):
+        assert not is_prime(composite)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_mersenne_constants_are_prime(self):
+        assert is_prime(MERSENNE_31)
+        assert is_prime(MERSENNE_61)
+
+    def test_mersenne_values(self):
+        assert MERSENNE_31 == 2**31 - 1
+        assert MERSENNE_61 == 2**61 - 1
+
+    def test_carmichael_number_rejected(self):
+        # 561 = 3 * 11 * 17 fools the Fermat test but not Miller-Rabin.
+        assert not is_prime(561)
+
+    def test_large_semiprime_rejected(self):
+        assert not is_prime(MERSENNE_31 * 3)
+
+
+class TestNextPrime:
+    def test_from_prime_returns_itself(self):
+        assert next_prime(97) == 97
+
+    def test_from_composite(self):
+        assert next_prime(90) == 97
+
+    def test_small_floors(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+
+    def test_above_mersenne(self):
+        assert next_prime(MERSENNE_31 + 1) > MERSENNE_31
+
+    def test_result_is_prime(self):
+        for floor in (10, 1000, 12345, 2**20):
+            assert is_prime(next_prime(floor))

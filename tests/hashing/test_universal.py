@@ -1,0 +1,95 @@
+"""Tests for the Carter–Wegman 2-wise hash family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.primes import MERSENNE_31
+from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
+
+
+class TestConstruction:
+    def test_rejects_zero_functions(self):
+        with pytest.raises(ValueError):
+            TwoWiseHashFamily(0, seed=1)
+
+    def test_rejects_tiny_prime(self):
+        with pytest.raises(ValueError):
+            TwoWiseHashFamily(4, seed=1, prime=2)
+
+    def test_same_seed_same_family(self):
+        idx = np.arange(50)
+        a = TwoWiseHashFamily(8, seed=3).hash_unit(idx)
+        b = TwoWiseHashFamily(8, seed=3).hash_unit(idx)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        idx = np.arange(50)
+        a = TwoWiseHashFamily(8, seed=3).hash_unit(idx)
+        b = TwoWiseHashFamily(8, seed=4).hash_unit(idx)
+        assert not np.allclose(a, b)
+
+
+class TestHashing:
+    def test_unit_range_half_open(self):
+        family = TwoWiseHashFamily(16, seed=0)
+        values = family.hash_unit(np.arange(10_000))
+        assert values.min() > 0.0
+        assert values.max() <= 1.0
+
+    def test_matrix_shape(self):
+        family = TwoWiseHashFamily(7, seed=0)
+        assert family.hash_ints(np.arange(13)).shape == (7, 13)
+
+    def test_rejects_indices_outside_domain(self):
+        family = TwoWiseHashFamily(2, seed=0)
+        with pytest.raises(ValueError, match="fold"):
+            family.hash_ints(np.array([MERSENNE_31 + 5]))
+
+    def test_single_unit_matches_matrix_row(self):
+        family = TwoWiseHashFamily(5, seed=9)
+        idx = np.arange(100)
+        matrix = family.hash_unit(idx)
+        for row in range(5):
+            np.testing.assert_array_equal(family.single_unit(row, idx), matrix[row])
+
+    def test_collision_rate_is_birthday_bounded(self):
+        # Distinct indices collide with probability 1/p per function.
+        family = TwoWiseHashFamily(1, seed=2)
+        values = family.hash_ints(np.arange(50_000))[0]
+        assert np.unique(values).size >= 49_990
+
+    def test_uniformity_of_single_function(self):
+        family = TwoWiseHashFamily(1, seed=5)
+        values = family.hash_unit(np.arange(200_000))[0]
+        assert abs(values.mean() - 0.5) < 0.01
+        # Linear functions on consecutive inputs wrap uniformly.
+        histogram, _ = np.histogram(values, bins=10, range=(0, 1))
+        assert histogram.min() > 15_000
+
+    def test_pairwise_independence_statistic(self):
+        # For 2-wise independence, P[h(i) < 1/2 and h(j) < 1/2] ~ 1/4.
+        family = TwoWiseHashFamily(200, seed=8)
+        pair = family.hash_unit(np.array([123, 9_876]))
+        joint = np.mean((pair[:, 0] < 0.5) & (pair[:, 1] < 0.5))
+        assert abs(joint - 0.25) < 0.1
+
+
+class TestFoldToDomain:
+    def test_output_within_domain(self):
+        folded = fold_to_domain(np.arange(10_000))
+        assert folded.min() >= 0
+        assert folded.max() < MERSENNE_31
+
+    def test_deterministic(self):
+        idx = np.array([1, 2, 3, 2**40])
+        np.testing.assert_array_equal(fold_to_domain(idx), fold_to_domain(idx))
+
+    def test_injective_on_small_sets(self):
+        folded = fold_to_domain(np.arange(10_000))
+        assert np.unique(folded).size == 10_000
+
+    def test_custom_prime(self):
+        folded = fold_to_domain(np.arange(100), prime=101)
+        assert folded.max() < 101

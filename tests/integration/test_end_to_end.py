@@ -1,0 +1,144 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise realistic multi-module flows: the taxi/weather dataset
+search story from the paper's introduction, the document-similarity
+pipeline of Figure 6, and cross-method agreement on one workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.median import MedianBoosted
+from repro.core.theory import wmh_advantage
+from repro.core.wmh import WeightedMinHash
+from repro.data.newsgroups import NewsgroupsConfig, generate_corpus
+from repro.data.synthetic import SyntheticConfig, generate_pair
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.join_estimates import JoinSketch, JoinStatisticsEstimator
+from repro.datasearch.search import DatasetSearch
+from repro.datasearch.table import Table
+from repro.experiments.runner import PAPER_METHODS, method_registry
+from repro.text.tfidf import TfidfVectorizer
+from repro.vectors.ops import cosine_similarity
+
+
+class TestTaxiWeatherStory:
+    """The paper's Section 1.2 walkthrough, end to end on sketches."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(11)
+        days_2022 = [f"2022-{m:02d}-{d:02d}" for m in range(1, 13) for d in range(1, 29)]
+        # Weather data spans a *much longer* period than the taxi table
+        # (the paper's 1960-present example -> low Jaccard similarity).
+        days_all = [
+            f"{year}-{m:02d}-{d:02d}"
+            for year in range(2013, 2023)
+            for m in range(1, 13)
+            for d in range(1, 29)
+        ]
+        precipitation_all = np.abs(rng.normal(size=len(days_all))) * 8
+        precipitation_2022 = precipitation_all[-len(days_2022):]
+        rides = 9_000 - 400 * precipitation_2022 + rng.normal(scale=150, size=len(days_2022))
+
+        taxi = Table("taxi_2022", keys=days_2022, columns={"rides": rides})
+        weather = Table("weather_1960", keys=days_all, columns={"precip": precipitation_all})
+        unrelated = Table(
+            "stations",
+            keys=[f"station-{i}" for i in range(400)],
+            columns={"capacity": rng.uniform(5, 50, size=400)},
+        )
+        index = SketchIndex(WeightedMinHash(m=3_000, seed=7, L=1 << 22))
+        index.add_all([weather, unrelated])
+        search = DatasetSearch(index, min_containment=0.3)
+        return taxi, weather, search
+
+    def test_low_jaccard_high_containment(self, setup):
+        taxi, weather, search = setup
+        query = search.sketch_query(taxi)
+        joinable = search.joinable(query)
+        names = [name for name, _, _ in joinable]
+        assert "weather_1960" in names
+        # Jaccard is ~1/10 but containment of the query is ~1.
+        _, join_size, containment = joinable[names.index("weather_1960")]
+        assert containment > 0.7
+        assert join_size == pytest.approx(taxi.num_rows, rel=0.3)
+
+    def test_search_surfaces_precipitation(self, setup):
+        taxi, _, search = setup
+        hits = search.search(search.sketch_query(taxi), query_column="rides")
+        assert hits[0].table_name == "weather_1960"
+        assert hits[0].correlation < -0.2
+
+    def test_estimated_correlation_tracks_exact(self, setup):
+        taxi, weather, search = setup
+        exact = taxi.join(weather).correlation("rides", "precip")
+        estimator = JoinStatisticsEstimator(
+            search.sketch_query(taxi), search.index.get("weather_1960")
+        )
+        estimate = estimator.correlation("rides", "precip")
+        assert exact < -0.8
+        assert estimate == pytest.approx(exact, abs=0.4)
+
+
+class TestDocumentPipeline:
+    def test_cosine_estimation_over_corpus(self):
+        documents = generate_corpus(NewsgroupsConfig(num_documents=40), seed=3)
+        vectors = TfidfVectorizer().fit_transform([d.tokens for d in documents])
+        sketcher = WeightedMinHash.from_storage(400, seed=5)
+        sketches = [sketcher.sketch(v) for v in vectors]
+        errors = []
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            i, j = rng.choice(40, size=2, replace=False)
+            estimate = sketcher.estimate(sketches[int(i)], sketches[int(j)])
+            errors.append(abs(estimate - cosine_similarity(vectors[int(i)], vectors[int(j)])))
+        assert float(np.median(errors)) < 0.05
+
+
+class TestCrossMethodAgreement:
+    def test_all_methods_converge_on_large_budget(self, pair_factory):
+        a, b = pair_factory(n=400, nnz=100, overlap=0.5, seed=13)
+        truth = a.dot(b)
+        scale = a.norm() * b.norm()
+        registry = method_registry()
+        for method in PAPER_METHODS:
+            errors = [
+                abs(registry[method].build(2_000, seed).estimate_pair(a, b) - truth)
+                / scale
+                for seed in range(5)
+            ]
+            assert float(np.median(errors)) < 0.08, method
+
+
+class TestPaperHeadline:
+    def test_wmh_beats_linear_at_low_overlap_end_to_end(self):
+        """The paper's headline claim on its own synthetic workload."""
+        config = SyntheticConfig(n=4_000, nnz=800, overlap=0.02)
+        a, b = generate_pair(config, seed=1)
+        assert wmh_advantage(a, b) > 2.0  # the bound predicts a big win
+        truth = a.dot(b)
+        scale = a.norm() * b.norm()
+        registry = method_registry()
+
+        def median_error(method: str) -> float:
+            errors = [
+                abs(registry[method].build(300, seed).estimate_pair(a, b) - truth)
+                / scale
+                for seed in range(9)
+            ]
+            return float(np.median(errors))
+
+        assert median_error("WMH") < median_error("JL")
+
+    def test_median_boosting_controls_tails_in_application(self, pair_factory):
+        a, b = pair_factory(n=400, nnz=100, overlap=0.1, seed=17, values="outliers")
+        truth = a.dot(b)
+        scale = a.norm() * b.norm()
+        boosted = MedianBoosted(
+            lambda seed: WeightedMinHash(m=128, seed=seed, L=1 << 20), t=5, seed=0
+        )
+        estimate = boosted.estimate(boosted.sketch(a), boosted.sketch(b))
+        assert abs(estimate - truth) / scale < 0.2

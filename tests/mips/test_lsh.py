@@ -1,0 +1,138 @@
+"""Tests for LSH banding and sketch-based MIPS retrieval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.mips.lsh import MIPSIndex, SignatureLSH, collision_probability
+from repro.vectors.sparse import SparseVector
+
+
+class TestCollisionProbability:
+    def test_endpoints(self):
+        assert collision_probability(0.0, 4, 8) == 0.0
+        assert collision_probability(1.0, 4, 8) == 1.0
+
+    def test_monotone_in_similarity(self):
+        values = [collision_probability(s, 4, 8) for s in (0.1, 0.3, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_s_curve_shape(self):
+        # More rows per band sharpen the threshold: low similarities are
+        # suppressed, high similarities survive.
+        assert collision_probability(0.2, 8, 4) < collision_probability(0.2, 2, 4)
+        assert collision_probability(0.95, 8, 4) > 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            collision_probability(1.5, 2, 2)
+
+
+class TestSignatureLSH:
+    def test_rejects_bad_banding(self):
+        with pytest.raises(ValueError):
+            SignatureLSH(bands=0, rows_per_band=2)
+
+    def test_rejects_short_signature(self):
+        lsh = SignatureLSH(bands=4, rows_per_band=4)
+        with pytest.raises(ValueError, match="banding needs"):
+            lsh.insert("x", np.arange(8, dtype=np.float64))
+
+    def test_identical_signatures_always_candidates(self):
+        lsh = SignatureLSH(bands=4, rows_per_band=4)
+        signature = np.random.default_rng(0).random(16)
+        lsh.insert("a", signature)
+        assert lsh.candidates(signature) == {"a"}
+
+    def test_disjoint_signatures_rarely_candidates(self):
+        rng = np.random.default_rng(1)
+        lsh = SignatureLSH(bands=4, rows_per_band=4)
+        lsh.insert("a", rng.random(16))
+        assert lsh.candidates(rng.random(16)) == set()
+
+    def test_len_counts_inserts(self):
+        lsh = SignatureLSH(bands=2, rows_per_band=2)
+        rng = np.random.default_rng(2)
+        for item in range(5):
+            lsh.insert(item, rng.random(4))
+        assert len(lsh) == 5
+
+    def test_empirical_recall_matches_s_curve(self):
+        # Build signatures that agree per-entry with probability J and
+        # check band-collision frequency against 1 - (1 - J^r)^b.
+        rng = np.random.default_rng(3)
+        bands, rows = 8, 2
+        similarity = 0.6
+        trials, hits = 400, 0
+        for _ in range(trials):
+            base = rng.random(bands * rows)
+            other = base.copy()
+            resample = rng.random(base.size) > similarity
+            other[resample] = rng.random(int(resample.sum()))
+            lsh = SignatureLSH(bands=bands, rows_per_band=rows)
+            lsh.insert("base", base)
+            hits += "base" in lsh.candidates(other)
+        expected = collision_probability(similarity, rows, bands)
+        assert hits / trials == pytest.approx(expected, abs=0.08)
+
+
+def corpus_vectors(seed: int = 0, count: int = 30):
+    """A corpus plus a query with one planted near-duplicate."""
+    rng = np.random.default_rng(seed)
+    vectors = {}
+    base_indices = rng.permutation(2_000)[:150]
+    base_values = rng.normal(size=150)
+    query = SparseVector(base_indices, base_values)
+    # Planted neighbor: 95% of the query's mass.
+    keep = rng.random(150) < 0.95
+    vectors["neighbor"] = SparseVector(base_indices[keep], base_values[keep])
+    for item in range(count - 1):
+        idx = rng.permutation(2_000)[:150]
+        vectors[f"random-{item}"] = SparseVector(idx, rng.normal(size=150))
+    return query, vectors
+
+
+class TestMIPSIndex:
+    def test_rejects_banding_beyond_signature(self):
+        with pytest.raises(ValueError, match="banding needs"):
+            MIPSIndex(WeightedMinHash(m=8, seed=0), bands=4, rows_per_band=4)
+
+    def test_probe_all_finds_planted_neighbor(self):
+        query, vectors = corpus_vectors(seed=4)
+        index = MIPSIndex(WeightedMinHash(m=128, seed=1, L=1 << 16), bands=16, rows_per_band=4)
+        for item_id, vector in vectors.items():
+            index.add(item_id, vector)
+        hits = index.query(query, top_k=3, probe_all=True)
+        assert hits[0].item_id == "neighbor"
+
+    def test_lsh_query_finds_planted_neighbor(self):
+        query, vectors = corpus_vectors(seed=5)
+        index = MIPSIndex(WeightedMinHash(m=128, seed=2, L=1 << 16), bands=32, rows_per_band=2)
+        for item_id, vector in vectors.items():
+            index.add(item_id, vector)
+        hits = index.query(query, top_k=3)
+        assert any(hit.item_id == "neighbor" for hit in hits)
+
+    def test_lsh_prunes_candidates(self):
+        query, vectors = corpus_vectors(seed=6, count=40)
+        index = MIPSIndex(WeightedMinHash(m=128, seed=3, L=1 << 16), bands=8, rows_per_band=8)
+        for item_id, vector in vectors.items():
+            index.add(item_id, vector)
+        shortlist = index.query(query, top_k=100)
+        exhaustive = index.query(query, top_k=100, probe_all=True)
+        assert len(shortlist) < len(exhaustive)
+
+    def test_len(self):
+        _, vectors = corpus_vectors(seed=7, count=5)
+        index = MIPSIndex(WeightedMinHash(m=64, seed=0), bands=8, rows_per_band=4)
+        for item_id, vector in vectors.items():
+            index.add(item_id, vector)
+        assert len(index) == 5
+
+    def test_tune_report(self):
+        index = MIPSIndex(WeightedMinHash(m=64, seed=0), bands=8, rows_per_band=4)
+        report = index.tune_report([0.1, 0.9])
+        assert "8 bands" in report
+        assert "0.90" in report

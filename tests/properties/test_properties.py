@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These encode the algebraic invariants the paper's analysis relies on —
+most importantly the Lemma 3 rounding invariants and the consistency
+properties of the sketching primitives — over adversarially generated
+inputs rather than fixed examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounding import round_unit_vector, round_vector
+from repro.core.theory import linear_sketch_bound, wmh_bound
+from repro.core.wmh import WeightedMinHash, simulate_block_minima
+from repro.datasearch.vectorize import key_to_index
+from repro.hashing.primes import MERSENNE_31
+from repro.hashing.splitmix import counter_uniform, derive_key
+from repro.vectors.ops import (
+    jaccard_similarity,
+    weighted_jaccard_similarity,
+)
+from repro.vectors.sparse import SparseVector
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+finite_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).filter(lambda value: abs(value) > 1e-9)
+
+
+@st.composite
+def sparse_vectors(draw, max_nnz: int = 30, max_index: int = 1_000):
+    size = draw(st.integers(min_value=1, max_value=max_nnz))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_index),
+            min_size=size,
+            max_size=size,
+            unique=True,
+        )
+    )
+    values = draw(
+        st.lists(finite_values, min_size=size, max_size=size)
+    )
+    return SparseVector(indices, values)
+
+
+@st.composite
+def unit_value_arrays(draw, max_size: int = 20):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=1.0, allow_nan=False).filter(
+                lambda value: abs(value) > 1e-6
+            ),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    values = np.asarray(raw)
+    return values / np.linalg.norm(values)
+
+
+# ----------------------------------------------------------------------
+# SparseVector algebra
+# ----------------------------------------------------------------------
+
+
+class TestSparseVectorProperties:
+    @given(sparse_vectors(), sparse_vectors())
+    def test_dot_is_symmetric(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a), rel=1e-12, abs=1e-12)
+
+    @given(sparse_vectors())
+    def test_dot_self_is_squared_norm(self, a):
+        assert a.dot(a) == pytest.approx(a.norm() ** 2, rel=1e-9)
+
+    @given(sparse_vectors(), st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_scaling_scales_dot(self, a, c):
+        b = a.scaled(c)
+        assert a.dot(b) == pytest.approx(c * a.dot(a), rel=1e-9, abs=1e-6)
+
+    @given(sparse_vectors())
+    def test_cauchy_schwarz(self, a):
+        b = SparseVector(a.indices, a.values[::-1].copy())
+        # Relative slack: for large-magnitude entries the float error of
+        # the dot product scales with the norm product itself.
+        norm_product = a.norm() * b.norm()
+        assert abs(a.dot(b)) <= norm_product * (1 + 1e-9) + 1e-9
+
+    @given(sparse_vectors())
+    def test_norm_inequalities(self, a):
+        # ||a||_inf <= ||a|| <= ||a||_1 for every vector.
+        assert a.norm_inf() <= a.norm() + 1e-9
+        assert a.norm() <= a.norm1() + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), finite_values), min_size=1, max_size=40
+        )
+    )
+    def test_from_pairs_matches_dict_aggregation(self, pairs):
+        indices = [i for i, _ in pairs]
+        values = [v for _, v in pairs]
+        vector = SparseVector.from_pairs(indices, values)
+        expected: dict[int, float] = {}
+        for index, value in pairs:
+            expected[index] = expected.get(index, 0.0) + value
+        for index, value in expected.items():
+            assert vector[index] == pytest.approx(value, rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# similarity measures
+# ----------------------------------------------------------------------
+
+
+class TestSimilarityProperties:
+    @given(sparse_vectors(), sparse_vectors())
+    def test_jaccard_in_unit_interval(self, a, b):
+        assert 0.0 <= jaccard_similarity(a, b) <= 1.0
+
+    @given(sparse_vectors(), sparse_vectors())
+    def test_weighted_jaccard_in_unit_interval(self, a, b):
+        assert 0.0 <= weighted_jaccard_similarity(a, b) <= 1.0 + 1e-12
+
+    @given(sparse_vectors())
+    def test_weighted_jaccard_self_is_one(self, a):
+        assert weighted_jaccard_similarity(a, a) == pytest.approx(1.0)
+
+    @given(sparse_vectors(), st.floats(min_value=0.01, max_value=100))
+    def test_weighted_jaccard_scale_invariant(self, a, c):
+        b = SparseVector(a.indices, np.abs(a.values) + 0.5)
+        assert weighted_jaccard_similarity(a, b) == pytest.approx(
+            weighted_jaccard_similarity(a.scaled(c), b), rel=1e-9
+        )
+
+    @given(sparse_vectors(), sparse_vectors(), st.integers(1, 10_000))
+    def test_wmh_bound_dominated_by_linear(self, a, b, m):
+        assert wmh_bound(a, b, m) <= linear_sketch_bound(a, b, m) * (1 + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# rounding (Lemma 3 invariants under adversarial inputs)
+# ----------------------------------------------------------------------
+
+
+class TestRoundingProperties:
+    @given(unit_value_arrays(), st.integers(min_value=1, max_value=1 << 20))
+    def test_counts_sum_to_L(self, values, L):
+        _, counts = round_unit_vector(values, L)
+        assert int(counts.sum()) == L
+
+    @given(unit_value_arrays(), st.integers(min_value=1, max_value=1 << 20))
+    def test_unit_norm_preserved(self, values, L):
+        rounded, _ = round_unit_vector(values, L)
+        assert np.linalg.norm(rounded) == pytest.approx(1.0, abs=1e-9)
+
+    @given(unit_value_arrays(), st.integers(min_value=4, max_value=1 << 16))
+    def test_signs_never_flip(self, values, L):
+        rounded, _ = round_unit_vector(values, L)
+        assert np.all((rounded == 0.0) | (np.sign(rounded) == np.sign(values)))
+
+    @given(unit_value_arrays(), st.integers(min_value=1, max_value=1 << 16))
+    def test_only_largest_rounds_up(self, values, L):
+        rounded, _ = round_unit_vector(values, L)
+        largest = int(np.argmax(np.abs(values)))
+        others = np.delete(np.arange(values.size), largest)
+        assert np.all(np.abs(rounded[others]) <= np.abs(values[others]) + 1e-12)
+
+    @given(sparse_vectors(), st.integers(min_value=2, max_value=1 << 16))
+    def test_round_vector_scale_invariance_up_to_float_boundaries(self, vector, L):
+        # In exact arithmetic round(c*a) == round(a); in floats, entries
+        # sitting exactly on a 1/L boundary may flip by one count (and
+        # the largest entry absorbs the difference).  The invariant that
+        # survives floating point: same occupancy budget, and per-entry
+        # counts differing by at most the flooring slack.
+        base = round_vector(vector, L)
+        scaled = round_vector(vector.scaled(3.0), L)
+        assert int(base.counts.sum()) == int(scaled.counts.sum()) == L
+        base_map = dict(zip(base.indices.tolist(), base.counts.tolist()))
+        scaled_map = dict(zip(scaled.indices.tolist(), scaled.counts.tolist()))
+        total_difference = sum(
+            abs(base_map.get(i, 0) - scaled_map.get(i, 0))
+            for i in set(base_map) | set(scaled_map)
+        )
+        assert total_difference <= 2 * (vector.nnz + 1)
+
+    @given(unit_value_arrays(), st.integers(min_value=1, max_value=1 << 16))
+    def test_rounding_is_idempotent(self, values, L):
+        first, counts_first = round_unit_vector(values, L)
+        nonzero = first != 0.0
+        assume(nonzero.any())
+        second, counts_second = round_unit_vector(first[nonzero], L)
+        np.testing.assert_array_equal(counts_second, counts_first[nonzero])
+
+
+# ----------------------------------------------------------------------
+# hashing / sketching consistency
+# ----------------------------------------------------------------------
+
+
+class TestHashingProperties:
+    @given(st.integers(min_value=0, max_value=2**63), st.integers(0, 1_000_000))
+    def test_counter_uniform_open_interval(self, seed, counter):
+        draw = float(counter_uniform(derive_key(seed), counter))
+        assert 0.0 < draw < 1.0
+
+    @given(st.text(max_size=50))
+    def test_key_to_index_in_domain(self, key):
+        assert 0 <= key_to_index(key) < MERSENNE_31
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_int_keys_in_domain(self, key):
+        assert 0 <= key_to_index(key) < MERSENNE_31
+
+
+class TestSketchingProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=1_000),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    def test_block_minima_within_unit_interval(self, seed, m, k):
+        minima = simulate_block_minima(
+            seed=seed, m=m, block_ids=np.array([3]), counts=np.array([k])
+        )
+        assert np.all((minima > 0.0) & (minima < 1.0))
+
+    @settings(deadline=None, max_examples=20)
+    @given(sparse_vectors(max_nnz=15), st.integers(min_value=0, max_value=100))
+    def test_sketch_self_estimate_positive(self, vector, seed):
+        sketcher = WeightedMinHash(m=64, seed=seed, L=1 << 14)
+        estimate = sketcher.estimate(sketcher.sketch(vector), sketcher.sketch(vector))
+        # <a, a> > 0; the estimate must at least get the sign right.
+        assert estimate > 0.0
+
+    @settings(deadline=None, max_examples=20)
+    @given(sparse_vectors(max_nnz=15), st.integers(min_value=0, max_value=100))
+    def test_sketch_scale_invariance_property(self, vector, seed):
+        sketcher = WeightedMinHash(m=32, seed=seed, L=1 << 14)
+        base = sketcher.sketch(vector)
+        scaled = sketcher.sketch(vector.scaled(2.0))
+        np.testing.assert_array_equal(base.hashes, scaled.hashes)
+        np.testing.assert_array_equal(base.values, scaled.values)

@@ -1,0 +1,128 @@
+"""Tests for CountSketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.sketches.countsketch import DEFAULT_REPETITIONS, CountSketch
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0)
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=8, repetitions=0)
+
+    def test_default_repetitions_match_paper(self):
+        assert DEFAULT_REPETITIONS == 5
+        assert CountSketch(width=8).repetitions == 5
+
+    def test_from_storage_splits_budget(self):
+        sketcher = CountSketch.from_storage(400)
+        assert sketcher.width == 80
+        assert sketcher.storage_words() == 400.0
+
+    def test_from_storage_custom_repetitions(self):
+        sketcher = CountSketch.from_storage(300, repetitions=3)
+        assert sketcher.repetitions == 3
+        assert sketcher.width == 100
+
+
+class TestSketching:
+    def test_table_shape(self, small_pair):
+        a, _ = small_pair
+        data = CountSketch(width=32, seed=0).sketch(a)
+        assert data.table.shape == (5, 32)
+
+    def test_deterministic(self, small_pair):
+        a, _ = small_pair
+        t1 = CountSketch(width=32, seed=4).sketch(a).table
+        t2 = CountSketch(width=32, seed=4).sketch(a).table
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_linear_in_input(self, small_pair):
+        a, _ = small_pair
+        sketcher = CountSketch(width=32, seed=4)
+        np.testing.assert_allclose(
+            sketcher.sketch(a.scaled(3.0)).table,
+            3.0 * sketcher.sketch(a).table,
+            rtol=1e-12,
+        )
+
+    def test_mass_preserved_per_repetition(self, small_pair):
+        # Buckets hold signed sums; total |mass| can cancel, but the
+        # un-signed total per repetition equals the vector's L1 norm
+        # when no bucket collisions occur (use a tiny vector).
+        vector = SparseVector([10, 999, 123456], [1.0, -2.0, 3.5])
+        data = CountSketch(width=1024, seed=1).sketch(vector)
+        np.testing.assert_allclose(
+            np.abs(data.table).sum(axis=1), vector.norm1(), rtol=1e-12
+        )
+
+    def test_zero_vector(self):
+        data = CountSketch(width=16, seed=0).sketch(SparseVector.zero())
+        assert np.all(data.table == 0.0)
+
+
+class TestEstimation:
+    def test_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        sketch_a = CountSketch(width=16, seed=0).sketch(a)
+        sketch_b = CountSketch(width=32, seed=0).sketch(b)
+        with pytest.raises(SketchMismatchError):
+            CountSketch(width=16, seed=0).estimate(sketch_a, sketch_b)
+
+    def test_exact_when_no_collisions(self):
+        # With width >> nnz, every index gets its own bucket and the
+        # estimate is exact in every repetition.
+        a = SparseVector([3, 70, 4321], [1.0, 2.0, 3.0])
+        b = SparseVector([70, 4321, 99999], [5.0, -1.0, 2.0])
+        sketcher = CountSketch(width=4096, seed=2)
+        assert sketcher.estimate_pair(a, b) == pytest.approx(a.dot(b), rel=1e-9)
+
+    def test_unbiased_per_repetition_median_close(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=4)
+        truth = a.dot(b)
+        estimates = [CountSketch(width=64, seed=s).estimate_pair(a, b) for s in range(50)]
+        scale = a.norm() * b.norm()
+        assert abs(np.median(estimates) - truth) / scale < 0.05
+
+    def test_error_shrinks_with_width(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=5)
+        truth = a.dot(b)
+
+        def mean_error(width: int) -> float:
+            return float(
+                np.mean(
+                    [
+                        abs(CountSketch(width=width, seed=s).estimate_pair(a, b) - truth)
+                        for s in range(25)
+                    ]
+                )
+            )
+
+        assert mean_error(512) < mean_error(8)
+
+    def test_median_improves_over_single_repetition(self, pair_factory):
+        # 5 repetitions with the median beat 1 repetition of width 5w at
+        # the tail (the Larsen et al. motivation).  Compare p90 errors.
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=6)
+        truth = a.dot(b)
+
+        def p90(repetitions: int, width: int) -> float:
+            errors = [
+                abs(
+                    CountSketch(width=width, repetitions=repetitions, seed=s).estimate_pair(a, b)
+                    - truth
+                )
+                for s in range(40)
+            ]
+            return float(np.quantile(errors, 0.9))
+
+        assert p90(5, 64) < 2.0 * p90(1, 320)

@@ -1,0 +1,125 @@
+"""Tests for Ioffe's Consistent Weighted Sampling sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.sketches.icws import ICWS
+from repro.vectors.ops import weighted_jaccard_similarity
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            ICWS(m=0)
+
+    def test_from_storage_sampling_cost(self):
+        assert ICWS.from_storage(300).m == 200
+
+
+class TestSketching:
+    def test_deterministic(self, small_pair):
+        a, _ = small_pair
+        s1 = ICWS(m=64, seed=1).sketch(a)
+        s2 = ICWS(m=64, seed=1).sketch(a)
+        np.testing.assert_array_equal(s1.keys, s2.keys)
+        np.testing.assert_array_equal(s1.values, s2.values)
+
+    def test_scale_invariance(self, small_pair):
+        # ICWS samples from squared-normalized weights, so scaling the
+        # vector changes only the stored norm.
+        a, _ = small_pair
+        sketcher = ICWS(m=64, seed=1)
+        base = sketcher.sketch(a)
+        scaled = sketcher.sketch(a.scaled(100.0))
+        np.testing.assert_array_equal(base.keys, scaled.keys)
+        np.testing.assert_allclose(base.values, scaled.values, rtol=1e-12)
+        assert scaled.norm == pytest.approx(100.0 * base.norm)
+
+    def test_zero_vector(self):
+        sketch = ICWS(m=8, seed=0).sketch(SparseVector.zero())
+        assert sketch.norm == 0.0
+
+    def test_values_are_normalized_entries(self, small_pair):
+        a, _ = small_pair
+        sketch = ICWS(m=64, seed=0).sketch(a)
+        normalized = set((a.values / a.norm()).tolist())
+        assert set(sketch.values.tolist()) <= normalized
+
+
+class TestWeightedJaccard:
+    def test_collision_rate_matches_weighted_jaccard(self, pair_factory):
+        # Ioffe's theorem: P[sample match] = weighted Jaccard.
+        a, b = pair_factory(n=300, nnz=80, overlap=0.4, seed=2)
+        expected = weighted_jaccard_similarity(a, b)
+        rates = [
+            ICWS(m=600, seed=s).estimate_weighted_jaccard(
+                ICWS(m=600, seed=s).sketch(a), ICWS(m=600, seed=s).sketch(b)
+            )
+            for s in range(15)
+        ]
+        assert np.mean(rates) == pytest.approx(expected, rel=0.15)
+
+    def test_identical_vectors_always_match(self, small_pair):
+        a, _ = small_pair
+        sketcher = ICWS(m=128, seed=3)
+        assert sketcher.estimate_weighted_jaccard(
+            sketcher.sketch(a), sketcher.sketch(a)
+        ) == 1.0
+
+    def test_disjoint_vectors_rarely_match(self):
+        a = SparseVector(np.arange(50), np.ones(50))
+        b = SparseVector(np.arange(100, 150), np.ones(50))
+        sketcher = ICWS(m=500, seed=4)
+        assert sketcher.estimate_weighted_jaccard(
+            sketcher.sketch(a), sketcher.sketch(b)
+        ) == 0.0
+
+    def test_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(SketchMismatchError):
+            ICWS(m=16, seed=0).estimate_weighted_jaccard(
+                ICWS(m=16, seed=0).sketch(a), ICWS(m=16, seed=1).sketch(b)
+            )
+
+
+class TestEstimation:
+    def test_accuracy(self, pair_factory):
+        a, b = pair_factory(n=300, nnz=80, overlap=0.4, seed=5)
+        truth = a.dot(b)
+        scale = a.norm() * b.norm()
+        errors = [
+            abs(ICWS(m=300, seed=s).estimate_pair(a, b) - truth) / scale
+            for s in range(20)
+        ]
+        assert np.mean(errors) < 0.15
+
+    def test_comparable_to_wmh(self, pair_factory):
+        # ICWS and expansion-based WMH implement the same sampling
+        # measure; their mean errors must be within a small factor.
+        from repro.core.wmh import WeightedMinHash
+
+        a, b = pair_factory(n=300, nnz=80, overlap=0.4, seed=6)
+        truth = a.dot(b)
+        scale = a.norm() * b.norm()
+
+        def mean_error(factory) -> float:
+            return float(
+                np.mean(
+                    [abs(factory(s).estimate_pair(a, b) - truth) / scale for s in range(15)]
+                )
+            )
+
+        icws_error = mean_error(lambda s: ICWS(m=200, seed=s))
+        wmh_error = mean_error(lambda s: WeightedMinHash(m=200, seed=s, L=1 << 20))
+        assert icws_error < 4.0 * wmh_error + 0.02
+
+    def test_zero_vector_estimates_zero(self, small_pair):
+        a, _ = small_pair
+        sketcher = ICWS(m=16, seed=0)
+        assert sketcher.estimate(
+            sketcher.sketch(a), sketcher.sketch(SparseVector.zero())
+        ) == 0.0

@@ -1,0 +1,113 @@
+"""Tests for the JL / AMS sign-projection sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.core.theory import linear_sketch_bound
+from repro.sketches.jl import JohnsonLindenstrauss
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            JohnsonLindenstrauss(m=0)
+
+    def test_from_storage_one_word_per_row(self):
+        assert JohnsonLindenstrauss.from_storage(400).m == 400
+
+    def test_storage_words(self):
+        assert JohnsonLindenstrauss(m=123).storage_words() == 123.0
+
+
+class TestSketching:
+    def test_deterministic(self, small_pair):
+        a, _ = small_pair
+        s1 = JohnsonLindenstrauss(m=32, seed=5).sketch(a)
+        s2 = JohnsonLindenstrauss(m=32, seed=5).sketch(a)
+        np.testing.assert_array_equal(s1.projection, s2.projection)
+
+    def test_linear_in_input(self, small_pair):
+        # S(2a) = 2 S(a) — the defining property of a linear sketch.
+        a, _ = small_pair
+        sketcher = JohnsonLindenstrauss(m=32, seed=5)
+        np.testing.assert_allclose(
+            sketcher.sketch(a.scaled(2.0)).projection,
+            2.0 * sketcher.sketch(a).projection,
+            rtol=1e-12,
+        )
+
+    def test_zero_vector(self):
+        sketch = JohnsonLindenstrauss(m=16, seed=0).sketch(SparseVector.zero())
+        assert np.all(sketch.projection == 0.0)
+
+    def test_norm_preserved_in_expectation(self, small_pair):
+        # E||S(a)||^2 = ||a||^2.
+        a, _ = small_pair
+        squared_norms = [
+            float(np.sum(JohnsonLindenstrauss(m=64, seed=s).sketch(a).projection ** 2))
+            for s in range(40)
+        ]
+        assert np.mean(squared_norms) == pytest.approx(a.norm() ** 2, rel=0.1)
+
+    def test_signs_are_balanced(self):
+        vector = SparseVector(np.arange(2_000), np.ones(2_000))
+        sketcher = JohnsonLindenstrauss(m=1, seed=3)
+        signs = sketcher._signs(vector.indices)
+        assert abs(signs.mean()) < 0.1
+
+
+class TestEstimation:
+    def test_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        sketch_a = JohnsonLindenstrauss(m=16, seed=0).sketch(a)
+        sketch_b = JohnsonLindenstrauss(m=16, seed=1).sketch(b)
+        with pytest.raises(SketchMismatchError):
+            JohnsonLindenstrauss(m=16, seed=0).estimate(sketch_a, sketch_b)
+
+    def test_unbiased(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=1)
+        truth = a.dot(b)
+        estimates = [
+            JohnsonLindenstrauss(m=128, seed=s).estimate_pair(a, b) for s in range(50)
+        ]
+        standard_error = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - truth) < 4 * standard_error + 0.02 * abs(truth)
+
+    def test_error_within_fact1_bound(self, pair_factory):
+        # Fact 1 with a constant-3 cushion should hold for ~all seeds.
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=2)
+        truth = a.dot(b)
+        m = 256
+        bound = 3.0 * linear_sketch_bound(a, b, m)
+        successes = sum(
+            abs(JohnsonLindenstrauss(m=m, seed=s).estimate_pair(a, b) - truth) <= bound
+            for s in range(30)
+        )
+        assert successes >= 27
+
+    def test_error_shrinks_with_m(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=100, overlap=0.4, seed=3)
+        truth = a.dot(b)
+
+        def mean_error(m: int) -> float:
+            return float(
+                np.mean(
+                    [
+                        abs(JohnsonLindenstrauss(m=m, seed=s).estimate_pair(a, b) - truth)
+                        for s in range(25)
+                    ]
+                )
+            )
+
+        assert mean_error(512) < mean_error(16)
+
+    def test_exact_on_self_with_many_rows(self, small_pair):
+        # <S(a), S(a)> concentrates around ||a||^2.
+        a, _ = small_pair
+        sketcher = JohnsonLindenstrauss(m=4096, seed=7)
+        estimate = sketcher.estimate_pair(a, a)
+        assert estimate == pytest.approx(a.norm() ** 2, rel=0.15)

@@ -1,0 +1,141 @@
+"""Tests for the K-Minimum-Values sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.sketches.kmv import KMinimumValues
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError):
+            KMinimumValues(k=1)
+
+    def test_from_storage_sampling_cost(self):
+        assert KMinimumValues.from_storage(300).k == 200
+
+    def test_storage_words(self):
+        assert KMinimumValues(k=100).storage_words() == pytest.approx(150.0)
+
+
+class TestSketching:
+    def test_bottom_k_sorted(self, small_pair):
+        a, _ = small_pair
+        sketch = KMinimumValues(k=32, seed=0).sketch(a)
+        assert sketch.hashes.size == 32
+        assert np.all(np.diff(sketch.hashes) >= 0)
+
+    def test_keeps_smallest_hashes(self, small_pair):
+        a, _ = small_pair
+        full = KMinimumValues(k=a.nnz + 10, seed=0).sketch(a)
+        partial = KMinimumValues(k=16, seed=0).sketch(a)
+        np.testing.assert_array_equal(partial.hashes, np.sort(full.hashes)[:16])
+
+    def test_exact_flag_for_small_vectors(self):
+        vector = SparseVector([1, 2, 3], [1.0, 2.0, 3.0])
+        sketch = KMinimumValues(k=10, seed=0).sketch(vector)
+        assert sketch.exact
+        assert sketch.hashes.size == 3
+
+    def test_not_exact_for_large_vectors(self, small_pair):
+        a, _ = small_pair
+        assert not KMinimumValues(k=16, seed=0).sketch(a).exact
+
+    def test_zero_vector(self):
+        sketch = KMinimumValues(k=4, seed=0).sketch(SparseVector.zero())
+        assert sketch.hashes.size == 0
+        assert sketch.exact
+
+    def test_deterministic(self, small_pair):
+        a, _ = small_pair
+        s1 = KMinimumValues(k=16, seed=3).sketch(a)
+        s2 = KMinimumValues(k=16, seed=3).sketch(a)
+        np.testing.assert_array_equal(s1.hashes, s2.hashes)
+        np.testing.assert_array_equal(s1.values, s2.values)
+
+
+class TestUnionEstimation:
+    def test_union_estimate_accuracy(self, pair_factory):
+        a, b = pair_factory(n=1_000, nnz=300, overlap=0.3, seed=1, values="binary")
+        union = a.nnz + b.nnz - int(a.dot(b))
+        estimates = []
+        for seed in range(15):
+            sketcher = KMinimumValues(k=128, seed=seed)
+            estimates.append(
+                sketcher.estimate_union_size(sketcher.sketch(a), sketcher.sketch(b))
+            )
+        assert np.mean(estimates) == pytest.approx(union, rel=0.15)
+
+    def test_union_exact_for_fully_stored_sketches(self):
+        a = SparseVector([1, 2, 3], np.ones(3))
+        b = SparseVector([3, 4], np.ones(2))
+        sketcher = KMinimumValues(k=100, seed=0)
+        assert sketcher.estimate_union_size(
+            sketcher.sketch(a), sketcher.sketch(b)
+        ) == pytest.approx(4.0)
+
+    def test_union_zero_for_empty(self):
+        sketcher = KMinimumValues(k=4, seed=0)
+        zero = sketcher.sketch(SparseVector.zero())
+        assert sketcher.estimate_union_size(zero, zero) == 0.0
+
+
+class TestInnerProductEstimation:
+    def test_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(SketchMismatchError):
+            KMinimumValues(k=16, seed=0).estimate(
+                KMinimumValues(k=16, seed=0).sketch(a),
+                KMinimumValues(k=32, seed=0).sketch(b),
+            )
+
+    def test_exact_sketches_give_exact_answer(self):
+        a = SparseVector([1, 2, 3], [1.0, 2.0, 3.0])
+        b = SparseVector([2, 3, 9], [5.0, 7.0, 1.0])
+        sketcher = KMinimumValues(k=50, seed=0)
+        assert sketcher.estimate_pair(a, b) == pytest.approx(a.dot(b))
+
+    def test_zero_estimate_for_zero_vector(self, small_pair):
+        a, _ = small_pair
+        sketcher = KMinimumValues(k=16, seed=0)
+        assert sketcher.estimate(
+            sketcher.sketch(a), sketcher.sketch(SparseVector.zero())
+        ) == 0.0
+
+    def test_unbiased_on_binary(self, pair_factory):
+        a, b = pair_factory(n=1_000, nnz=300, overlap=0.4, seed=2, values="binary")
+        truth = a.dot(b)
+        estimates = [
+            KMinimumValues(k=200, seed=s).estimate_pair(a, b) for s in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_accuracy_on_real_values(self, pair_factory):
+        a, b = pair_factory(n=1_000, nnz=300, overlap=0.4, seed=3)
+        truth = a.dot(b)
+        scale = a.norm() * b.norm()
+        errors = [
+            abs(KMinimumValues(k=200, seed=s).estimate_pair(a, b) - truth) / scale
+            for s in range(20)
+        ]
+        assert np.mean(errors) < 0.15
+
+    def test_error_shrinks_with_k(self, pair_factory):
+        a, b = pair_factory(n=1_000, nnz=300, overlap=0.4, seed=4)
+        truth = a.dot(b)
+
+        def mean_error(k: int) -> float:
+            return float(
+                np.mean(
+                    [
+                        abs(KMinimumValues(k=k, seed=s).estimate_pair(a, b) - truth)
+                        for s in range(20)
+                    ]
+                )
+            )
+
+        assert mean_error(256) < mean_error(8)

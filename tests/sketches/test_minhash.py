@@ -1,0 +1,158 @@
+"""Tests for the unweighted MinHash sketch (Algorithms 1-2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.core.theory import minhash_bound
+from repro.sketches.minhash import MinHash
+from repro.vectors.ops import jaccard_similarity
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            MinHash(m=0)
+
+    def test_from_storage_sampling_cost(self):
+        assert MinHash.from_storage(300).m == 200
+
+    def test_storage_words(self):
+        assert MinHash(m=100).storage_words() == pytest.approx(150.0)
+
+
+class TestSketching:
+    def test_deterministic(self, small_pair):
+        a, _ = small_pair
+        s1 = MinHash(m=32, seed=2).sketch(a)
+        s2 = MinHash(m=32, seed=2).sketch(a)
+        np.testing.assert_array_equal(s1.hashes, s2.hashes)
+        np.testing.assert_array_equal(s1.values, s2.values)
+
+    def test_values_drawn_from_vector(self, small_pair):
+        a, _ = small_pair
+        sketch = MinHash(m=64, seed=0).sketch(a)
+        assert set(sketch.values.tolist()) <= set(a.values.tolist())
+
+    def test_hashes_in_unit_interval(self, small_pair):
+        a, _ = small_pair
+        sketch = MinHash(m=64, seed=0).sketch(a)
+        assert sketch.hashes.min() > 0.0
+        assert sketch.hashes.max() <= 1.0
+
+    def test_zero_vector(self):
+        sketch = MinHash(m=8, seed=0).sketch(SparseVector.zero())
+        assert np.all(np.isinf(sketch.hashes))
+
+    def test_sampling_is_uniform_over_support(self):
+        # Each repetition's argmin index is uniform over the support.
+        vector = SparseVector(np.arange(10), np.arange(1.0, 11.0))
+        sketch = MinHash(m=5_000, seed=1).sketch(vector)
+        counts = {value: 0 for value in vector.values}
+        for value in sketch.values:
+            counts[value] += 1
+        frequencies = np.array(list(counts.values())) / 5_000
+        assert np.all(np.abs(frequencies - 0.1) < 0.03)
+
+
+class TestFact3:
+    def test_collision_rate_equals_jaccard(self, pair_factory):
+        a, b = pair_factory(n=400, nnz=100, overlap=0.3, seed=2, values="binary")
+        expected = jaccard_similarity(a, b)
+        rates = [
+            float(
+                np.mean(
+                    MinHash(m=400, seed=s).sketch(a).hashes
+                    == MinHash(m=400, seed=s).sketch(b).hashes
+                )
+            )
+            for s in range(15)
+        ]
+        assert np.mean(rates) == pytest.approx(expected, rel=0.1)
+
+    def test_no_collisions_for_disjoint_supports(self):
+        a = SparseVector(np.arange(50), np.ones(50))
+        b = SparseVector(np.arange(1_000, 1_050), np.ones(50))
+        sketcher = MinHash(m=500, seed=0)
+        matches = sketcher.sketch(a).hashes == sketcher.sketch(b).hashes
+        assert matches.sum() <= 1  # CW hash collisions are possible but rare
+
+
+class TestEstimation:
+    def test_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(SketchMismatchError):
+            MinHash(m=16, seed=0).estimate(
+                MinHash(m=16, seed=0).sketch(a), MinHash(m=16, seed=1).sketch(b)
+            )
+
+    def test_zero_vector_estimates_zero(self, small_pair):
+        a, _ = small_pair
+        sketcher = MinHash(m=16, seed=0)
+        assert sketcher.estimate(
+            sketcher.sketch(a), sketcher.sketch(SparseVector.zero())
+        ) == 0.0
+
+    def test_binary_intersection_estimation(self, pair_factory):
+        # For binary vectors <a, b> = |A ∩ B|; Algorithm 2 must recover
+        # it (this is the classic set-intersection use).
+        a, b = pair_factory(n=400, nnz=100, overlap=0.4, seed=3, values="binary")
+        truth = a.dot(b)
+        estimates = [MinHash(m=400, seed=s).estimate_pair(a, b) for s in range(20)]
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_theorem4_bound_for_bounded_vectors(self, pair_factory):
+        a, b = pair_factory(n=400, nnz=100, overlap=0.3, seed=4)  # normals ~ bounded
+        truth = a.dot(b)
+        m = 256
+        bound = 3.0 * minhash_bound(a, b, m)
+        successes = sum(
+            abs(MinHash(m=m, seed=s).estimate_pair(a, b) - truth) <= bound
+            for s in range(30)
+        )
+        assert successes >= 27
+
+    def test_degrades_on_shared_heavy_entry(self, pair_factory):
+        # The paper's Section 4 motivating failure: a shared heavy entry
+        # dominates <a, b>; uniform sampling misses it most of the time,
+        # while weighted sampling (WMH) nails it.
+        from repro.core.wmh import WeightedMinHash
+
+        rng = np.random.default_rng(5)
+        indices = rng.permutation(400)
+        shared = indices[:30]
+        only_a = indices[30:100]
+        only_b = indices[100:170]
+        values_a = rng.uniform(-1, 1, size=100)
+        values_b = rng.uniform(-1, 1, size=100)
+        values_a[0] = 25.0  # the heavy shared coordinate
+        values_b[0] = 25.0
+        a = SparseVector(np.concatenate([shared, only_a]), values_a)
+        b = SparseVector(np.concatenate([shared, only_b]), values_b)
+        truth = a.dot(b)
+        assert truth > 500  # dominated by the heavy entry
+
+        def median_relative_error(factory) -> float:
+            errors = [
+                abs(factory(s).estimate_pair(a, b) - truth) / truth
+                for s in range(20)
+            ]
+            return float(np.median(errors))
+
+        mh_error = median_relative_error(lambda s: MinHash(m=128, seed=s))
+        wmh_error = median_relative_error(
+            lambda s: WeightedMinHash(m=128, seed=s, L=1 << 20)
+        )
+        assert wmh_error < mh_error / 2
+
+    def test_union_estimate_within_lemma1(self, pair_factory):
+        a, b = pair_factory(n=400, nnz=100, overlap=0.3, seed=6, values="binary")
+        union = a.nnz + b.nnz - int(a.dot(b))
+        sketcher = MinHash(m=800, seed=7)
+        sketch_a, sketch_b = sketcher.sketch(a), sketcher.sketch(b)
+        minima = np.minimum(sketch_a.hashes, sketch_b.hashes)
+        estimate = sketcher.m / float(minima.sum()) - 1.0
+        assert estimate == pytest.approx(union, rel=0.2)

@@ -1,0 +1,154 @@
+"""Tests for coordinated priority sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.sketches.priority import PrioritySampling
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            PrioritySampling(k=0)
+
+    def test_from_storage_sampling_cost(self):
+        assert PrioritySampling.from_storage(300).k == 200
+
+
+class TestSketching:
+    def test_deterministic(self, small_pair):
+        a, _ = small_pair
+        s1 = PrioritySampling(k=32, seed=4).sketch(a)
+        s2 = PrioritySampling(k=32, seed=4).sketch(a)
+        np.testing.assert_array_equal(s1.indices, s2.indices)
+        assert s1.threshold == s2.threshold
+
+    def test_small_vector_stored_exactly(self):
+        vector = SparseVector([1, 5, 9], [1.0, -2.0, 3.0])
+        sketch = PrioritySampling(k=10, seed=0).sketch(vector)
+        assert not np.isfinite(sketch.threshold)
+        assert set(sketch.indices.tolist()) == {1, 5, 9}
+
+    def test_keeps_k_samples(self, small_pair):
+        a, _ = small_pair
+        sketch = PrioritySampling(k=32, seed=0).sketch(a)
+        assert sketch.indices.size == 32
+        assert np.isfinite(sketch.threshold)
+
+    def test_heavy_entries_almost_always_kept(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.1, 0.2, size=200)
+        values[7] = 50.0  # dominant coordinate
+        vector = SparseVector(np.arange(200), values)
+        kept = 0
+        for seed in range(20):
+            sketch = PrioritySampling(k=20, seed=seed).sketch(vector)
+            kept += 7 in sketch.indices.tolist()
+        assert kept == 20
+
+    def test_coordination_shared_uniforms(self, small_pair):
+        # Two different vectors on overlapping supports must rank shared
+        # indices with the same u_j: a shared index kept by the sparser
+        # vector at huge k must... (directly test the internal hook).
+        a, b = small_pair
+        sketcher = PrioritySampling(k=16, seed=3)
+        shared = np.intersect1d(a.indices, b.indices)
+        u_from_a = sketcher._shared_uniforms(shared)
+        u_from_b = sketcher._shared_uniforms(shared)
+        np.testing.assert_array_equal(u_from_a, u_from_b)
+
+    def test_zero_vector(self):
+        sketch = PrioritySampling(k=4, seed=0).sketch(SparseVector.zero())
+        assert sketch.indices.size == 0
+
+
+class TestEstimation:
+    def test_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(SketchMismatchError):
+            PrioritySampling(k=16, seed=0).estimate(
+                PrioritySampling(k=16, seed=0).sketch(a),
+                PrioritySampling(k=16, seed=1).sketch(b),
+            )
+
+    def test_exact_when_everything_fits(self):
+        a = SparseVector([1, 2, 3], [1.0, 2.0, 3.0])
+        b = SparseVector([2, 3, 4], [5.0, 7.0, 1.0])
+        sketcher = PrioritySampling(k=100, seed=0)
+        assert sketcher.estimate_pair(a, b) == pytest.approx(a.dot(b))
+
+    def test_zero_for_disjoint(self):
+        a = SparseVector(np.arange(30), np.ones(30))
+        b = SparseVector(np.arange(100, 130), np.ones(30))
+        sketcher = PrioritySampling(k=8, seed=0)
+        assert sketcher.estimate_pair(a, b) == 0.0
+
+    def test_approximately_unbiased(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=150, overlap=0.4, seed=3)
+        truth = a.dot(b)
+        estimates = [
+            PrioritySampling(k=100, seed=s).estimate_pair(a, b) for s in range(40)
+        ]
+        scale = a.norm() * b.norm()
+        assert abs(np.mean(estimates) - truth) / scale < 0.05
+
+    def test_error_shrinks_with_k(self, pair_factory):
+        a, b = pair_factory(n=500, nnz=150, overlap=0.4, seed=4)
+        truth = a.dot(b)
+
+        def mean_error(k: int) -> float:
+            return float(
+                np.mean(
+                    [
+                        abs(PrioritySampling(k=k, seed=s).estimate_pair(a, b) - truth)
+                        for s in range(20)
+                    ]
+                )
+            )
+
+        assert mean_error(128) < mean_error(8)
+
+    def test_handles_heavy_entries_like_wmh(self, pair_factory):
+        # Coordinated weighted sampling is the same family as WMH: the
+        # shared heavy coordinate must not break it (unlike uniform MH).
+        rng = np.random.default_rng(5)
+        indices = rng.permutation(400)
+        shared = indices[:30]
+        values_a = rng.uniform(-1, 1, size=100)
+        values_b = rng.uniform(-1, 1, size=100)
+        values_a[0] = values_b[0] = 25.0
+        a = SparseVector(np.concatenate([shared, indices[30:100]]), values_a)
+        b = SparseVector(np.concatenate([shared, indices[100:170]]), values_b)
+        truth = a.dot(b)
+        errors = [
+            abs(PrioritySampling(k=64, seed=s).estimate_pair(a, b) - truth) / truth
+            for s in range(20)
+        ]
+        assert float(np.median(errors)) < 0.2
+
+
+class TestSumEstimation:
+    def test_exact_sum_when_everything_fits(self):
+        vector = SparseVector([1, 2], [3.0, 4.0])
+        sketcher = PrioritySampling(k=10, seed=0)
+        assert sketcher.estimate_sum(sketcher.sketch(vector)) == pytest.approx(7.0)
+
+    def test_sum_approximately_unbiased(self):
+        rng = np.random.default_rng(6)
+        vector = SparseVector(np.arange(300), rng.uniform(0.5, 2.0, size=300))
+        exact = float(vector.values.sum())
+        estimates = [
+            PrioritySampling(k=60, seed=s).estimate_sum(
+                PrioritySampling(k=60, seed=s).sketch(vector)
+            )
+            for s in range(40)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.05)
+
+    def test_empty_sum(self):
+        sketcher = PrioritySampling(k=4, seed=0)
+        assert sketcher.estimate_sum(sketcher.sketch(SparseVector.zero())) == 0.0

@@ -1,0 +1,107 @@
+"""Tests for SimHash."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.base import SketchMismatchError
+from repro.sketches.simhash import SimHash
+from repro.vectors.ops import cosine_similarity
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            SimHash(m=0)
+
+    def test_from_storage_64_bits_per_word(self):
+        sketcher = SimHash.from_storage(101)
+        assert sketcher.m == 100 * 64
+
+    def test_storage_words(self):
+        assert SimHash(m=640).storage_words() == pytest.approx(11.0)
+
+
+class TestSketching:
+    def test_bits_deterministic(self, small_pair):
+        a, _ = small_pair
+        s1 = SimHash(m=128, seed=1).sketch(a)
+        s2 = SimHash(m=128, seed=1).sketch(a)
+        np.testing.assert_array_equal(s1.bits, s2.bits)
+
+    def test_scale_invariant_bits(self, small_pair):
+        # Bits depend only on direction: sketch(c a) has identical bits.
+        a, _ = small_pair
+        sketcher = SimHash(m=128, seed=1)
+        np.testing.assert_array_equal(
+            sketcher.sketch(a).bits, sketcher.sketch(a.scaled(7.0)).bits
+        )
+
+    def test_negation_flips_all_bits(self, small_pair):
+        a, _ = small_pair
+        sketcher = SimHash(m=128, seed=1)
+        np.testing.assert_array_equal(
+            sketcher.sketch(a).bits, ~sketcher.sketch(a.scaled(-1.0)).bits
+        )
+
+    def test_zero_vector(self):
+        sketch = SimHash(m=16, seed=0).sketch(SparseVector.zero())
+        assert sketch.norm == 0.0
+
+
+class TestEstimation:
+    def test_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(SketchMismatchError):
+            SimHash(m=16, seed=0).estimate_cosine(
+                SimHash(m=16, seed=0).sketch(a), SimHash(m=16, seed=1).sketch(b)
+            )
+
+    def test_identical_vectors_cosine_one(self, small_pair):
+        a, _ = small_pair
+        sketcher = SimHash(m=512, seed=2)
+        sketch = sketcher.sketch(a)
+        assert sketcher.estimate_cosine(sketch, sketch) == pytest.approx(
+            math.cos(0.0)
+        )
+
+    def test_orthogonal_vectors_cosine_near_zero(self):
+        a = SparseVector([1], [1.0])
+        b = SparseVector([2], [1.0])
+        estimates = [
+            SimHash(m=2_048, seed=s).estimate_cosine(
+                SimHash(m=2_048, seed=s).sketch(a), SimHash(m=2_048, seed=s).sketch(b)
+            )
+            for s in range(10)
+        ]
+        assert abs(np.mean(estimates)) < 0.05
+
+    def test_cosine_accuracy(self, pair_factory):
+        a, b = pair_factory(n=300, nnz=100, overlap=0.6, seed=3)
+        expected = cosine_similarity(a, b)
+        estimates = [
+            SimHash(m=4_096, seed=s).estimate_cosine(
+                SimHash(m=4_096, seed=s).sketch(a), SimHash(m=4_096, seed=s).sketch(b)
+            )
+            for s in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(expected, abs=0.05)
+
+    def test_inner_product_rescales_cosine(self, pair_factory):
+        a, b = pair_factory(n=300, nnz=100, overlap=0.6, seed=4)
+        sketcher = SimHash(m=2_048, seed=5)
+        sketch_a, sketch_b = sketcher.sketch(a), sketcher.sketch(b)
+        assert sketcher.estimate(sketch_a, sketch_b) == pytest.approx(
+            a.norm() * b.norm() * sketcher.estimate_cosine(sketch_a, sketch_b)
+        )
+
+    def test_zero_vector_estimates_zero(self, small_pair):
+        a, _ = small_pair
+        sketcher = SimHash(m=64, seed=0)
+        assert sketcher.estimate(
+            sketcher.sketch(a), sketcher.sketch(SparseVector.zero())
+        ) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the TF-IDF vectorizer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.text.tfidf import TfidfVectorizer
+from repro.vectors.ops import cosine_similarity
+
+
+@pytest.fixture
+def tiny_corpus():
+    return [
+        ["taxi", "rides", "taxi"],
+        ["rain", "rides"],
+        ["taxi", "rain", "snow"],
+    ]
+
+
+class TestFitting:
+    def test_num_documents(self, tiny_corpus):
+        vectorizer = TfidfVectorizer(use_bigrams=False).fit(tiny_corpus)
+        assert vectorizer.num_documents == 3
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            TfidfVectorizer().transform(["x"])
+
+    def test_idf_formula(self, tiny_corpus):
+        vectorizer = TfidfVectorizer(use_bigrams=False).fit(tiny_corpus)
+        # "taxi" appears in 2 of 3 documents.
+        assert vectorizer.idf("taxi") == pytest.approx(math.log(4 / 3) + 1)
+
+    def test_idf_unseen_feature(self, tiny_corpus):
+        vectorizer = TfidfVectorizer(use_bigrams=False).fit(tiny_corpus)
+        assert vectorizer.idf("zebra") == pytest.approx(math.log(4 / 1) + 1)
+
+    def test_repeated_tokens_count_once_for_df(self, tiny_corpus):
+        vectorizer = TfidfVectorizer(use_bigrams=False).fit(tiny_corpus)
+        # "taxi" twice in doc 0 still contributes df = 2 overall.
+        assert vectorizer._document_frequency["taxi"] == 2
+
+
+class TestTransform:
+    def test_normalized_output(self, tiny_corpus):
+        vectorizer = TfidfVectorizer(use_bigrams=False)
+        vectors = vectorizer.fit_transform(tiny_corpus)
+        for vector in vectors:
+            assert vector.norm() == pytest.approx(1.0)
+
+    def test_unnormalized_weights_match_manual(self, tiny_corpus):
+        vectorizer = TfidfVectorizer(use_bigrams=False, normalize=False).fit(tiny_corpus)
+        vector = vectorizer.transform(["taxi", "rides", "taxi"])
+        from repro.datasearch.vectorize import key_to_index
+
+        taxi_weight = vector[key_to_index("taxi")]
+        assert taxi_weight == pytest.approx(2 * (math.log(4 / 3) + 1))
+
+    def test_empty_document(self, tiny_corpus):
+        vectorizer = TfidfVectorizer().fit(tiny_corpus)
+        assert vectorizer.transform([]).nnz == 0
+
+    def test_bigrams_add_features(self, tiny_corpus):
+        with_bigrams = TfidfVectorizer(use_bigrams=True).fit(tiny_corpus)
+        without = TfidfVectorizer(use_bigrams=False).fit(tiny_corpus)
+        doc = ["taxi", "rides"]
+        assert with_bigrams.transform(doc).nnz > without.transform(doc).nnz
+
+    def test_identical_documents_have_cosine_one(self, tiny_corpus):
+        vectorizer = TfidfVectorizer().fit(tiny_corpus)
+        a = vectorizer.transform(["taxi", "rain"])
+        b = vectorizer.transform(["taxi", "rain"])
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_documents_have_cosine_zero(self, tiny_corpus):
+        vectorizer = TfidfVectorizer().fit(tiny_corpus)
+        a = vectorizer.transform(["taxi"])
+        b = vectorizer.transform(["snow"])
+        assert cosine_similarity(a, b) == pytest.approx(0.0)
+
+    def test_fit_transform_returns_all(self, tiny_corpus):
+        vectors = TfidfVectorizer().fit_transform(tiny_corpus)
+        assert len(vectors) == 3
+
+    def test_rare_terms_weighted_higher(self, tiny_corpus):
+        # "snow" (df 1) must outweigh "taxi" (df 2) at equal tf.
+        vectorizer = TfidfVectorizer(use_bigrams=False, normalize=False).fit(tiny_corpus)
+        from repro.datasearch.vectorize import key_to_index
+
+        vector = vectorizer.transform(["snow", "taxi"])
+        assert vector[key_to_index("snow")] > vector[key_to_index("taxi")]

@@ -1,0 +1,49 @@
+"""Tests for tokenization and n-grams."""
+
+from __future__ import annotations
+
+from repro.text.tokenize import bigrams, terms_and_bigrams, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("foo, bar! baz?") == ["foo", "bar", "baz"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert tokenize("it's 42") == ["it's", "42"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \n\t ") == []
+
+
+class TestBigrams:
+    def test_basic(self):
+        assert bigrams(["a", "b", "c"]) == ["a_b", "b_c"]
+
+    def test_single_token(self):
+        assert bigrams(["a"]) == []
+
+    def test_empty(self):
+        assert bigrams([]) == []
+
+    def test_accepts_generators(self):
+        assert bigrams(iter(["x", "y"])) == ["x_y"]
+
+
+class TestTermsAndBigrams:
+    def test_combines(self):
+        assert terms_and_bigrams(["a", "b"]) == ["a", "b", "a_b"]
+
+    def test_matches_paper_feature_set(self):
+        # "each entry represents a term or a combination of 2 terms".
+        features = terms_and_bigrams(["the", "taxi", "data"])
+        assert "taxi" in features
+        assert "the_taxi" in features
+        assert "taxi_data" in features
+        assert len(features) == 5

@@ -1,0 +1,156 @@
+"""Tests for support algebra and similarity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vectors.ops import (
+    cosine_similarity,
+    inner_product,
+    intersection_norms,
+    jaccard_similarity,
+    kurtosis,
+    overlap_ratio,
+    support_intersection,
+    support_union_size,
+    weighted_jaccard_similarity,
+)
+from repro.vectors.sparse import SparseVector
+
+
+@pytest.fixture
+def figure2_vectors():
+    """The key-indicator vectors of the paper's Figure 3 example."""
+    keys_a = [1, 3, 4, 5, 6, 7, 8, 9, 11]
+    keys_b = [2, 4, 5, 8, 10, 11, 12, 15, 16]
+    a = SparseVector(keys_a, np.ones(len(keys_a)), n=17)
+    b = SparseVector(keys_b, np.ones(len(keys_b)), n=17)
+    return a, b
+
+
+class TestSupportAlgebra:
+    def test_figure2_intersection(self, figure2_vectors):
+        a, b = figure2_vectors
+        np.testing.assert_array_equal(support_intersection(a, b), [4, 5, 8, 11])
+
+    def test_figure2_union_size(self, figure2_vectors):
+        a, b = figure2_vectors
+        assert support_union_size(a, b) == 14
+
+    def test_figure2_jaccard(self, figure2_vectors):
+        # The paper: "only 4 out of 14 unique keys are shared ... the
+        # similarity is 2/7".
+        a, b = figure2_vectors
+        assert jaccard_similarity(a, b) == pytest.approx(4 / 14)
+
+    def test_jaccard_identical(self):
+        v = SparseVector([1, 2], [1.0, 2.0])
+        assert jaccard_similarity(v, v) == 1.0
+
+    def test_jaccard_disjoint(self):
+        a = SparseVector([1], [1.0])
+        b = SparseVector([2], [1.0])
+        assert jaccard_similarity(a, b) == 0.0
+
+    def test_jaccard_zero_vectors(self):
+        z = SparseVector.zero()
+        assert jaccard_similarity(z, z) == 0.0
+
+    def test_overlap_ratio_uses_smaller_support(self):
+        a = SparseVector([1, 2, 3, 4], np.ones(4))
+        b = SparseVector([3, 4], np.ones(2))
+        assert overlap_ratio(a, b) == 1.0
+
+    def test_overlap_ratio_zero_vector(self):
+        assert overlap_ratio(SparseVector.zero(), SparseVector([1], [1.0])) == 0.0
+
+
+class TestWeightedJaccard:
+    def test_identical_vectors(self):
+        v = SparseVector([1, 2], [3.0, 4.0])
+        assert weighted_jaccard_similarity(v, v) == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        a = SparseVector([1, 2, 3], [1.0, 2.0, 3.0])
+        b = SparseVector([2, 3, 4], [1.0, 1.0, 1.0])
+        assert weighted_jaccard_similarity(a, b) == pytest.approx(
+            weighted_jaccard_similarity(a.scaled(10.0), b.scaled(0.1))
+        )
+
+    def test_disjoint_supports(self):
+        a = SparseVector([1], [1.0])
+        b = SparseVector([2], [1.0])
+        assert weighted_jaccard_similarity(a, b) == 0.0
+
+    def test_zero_vector(self):
+        assert weighted_jaccard_similarity(SparseVector.zero(), SparseVector([1], [1.0])) == 0.0
+
+    def test_manual_computation(self):
+        # a = (1, 1)/sqrt(2); b = (1, 0): min-sum = 0.5, max-sum = 1.5.
+        a = SparseVector([0, 1], [1.0, 1.0])
+        b = SparseVector([0], [1.0])
+        assert weighted_jaccard_similarity(a, b) == pytest.approx(0.5 / 1.5)
+
+    def test_bounded_by_unweighted_structure(self):
+        a = SparseVector([1, 2, 3], [1.0, 5.0, 0.1])
+        b = SparseVector([2, 3, 4], [5.0, 0.1, 9.0])
+        assert 0.0 <= weighted_jaccard_similarity(a, b) <= 1.0
+
+
+class TestIntersectionNorms:
+    def test_manual(self):
+        a = SparseVector([1, 2, 3], [3.0, 4.0, 12.0])
+        b = SparseVector([1, 2, 9], [1.0, 1.0, 1.0])
+        norm_a_inter, norm_b_inter = intersection_norms(a, b)
+        assert norm_a_inter == pytest.approx(5.0)  # sqrt(9 + 16)
+        assert norm_b_inter == pytest.approx(np.sqrt(2.0))
+
+    def test_disjoint(self):
+        a = SparseVector([1], [2.0])
+        b = SparseVector([2], [2.0])
+        assert intersection_norms(a, b) == (0.0, 0.0)
+
+    def test_bounded_by_full_norms(self):
+        rng = np.random.default_rng(1)
+        a = SparseVector(rng.permutation(100)[:30], rng.normal(size=30))
+        b = SparseVector(rng.permutation(100)[:30], rng.normal(size=30))
+        norm_a_inter, norm_b_inter = intersection_norms(a, b)
+        assert norm_a_inter <= a.norm() + 1e-12
+        assert norm_b_inter <= b.norm() + 1e-12
+
+
+class TestSimilarities:
+    def test_inner_product_matches_dot(self, figure2_vectors):
+        a, b = figure2_vectors
+        assert inner_product(a, b) == a.dot(b) == 4.0
+
+    def test_cosine_identical(self):
+        v = SparseVector([1, 2], [1.0, 2.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity(SparseVector.zero(), SparseVector([1], [1.0])) == 0.0
+
+    def test_cosine_orthogonal(self):
+        a = SparseVector([1], [1.0])
+        b = SparseVector([2], [1.0])
+        assert cosine_similarity(a, b) == 0.0
+
+
+class TestKurtosis:
+    def test_normal_sample_near_three(self):
+        rng = np.random.default_rng(0)
+        assert kurtosis(rng.normal(size=200_000)) == pytest.approx(3.0, abs=0.1)
+
+    def test_constant_sample(self):
+        assert kurtosis(np.ones(100)) == 0.0
+
+    def test_tiny_sample(self):
+        assert kurtosis(np.array([1.0])) == 0.0
+
+    def test_heavy_tail_exceeds_normal(self):
+        rng = np.random.default_rng(0)
+        body = rng.normal(size=10_000)
+        body[:100] = 50.0
+        assert kurtosis(body) > 10.0

@@ -1,0 +1,169 @@
+"""Tests for the SparseVector data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vectors.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_sorts_indices(self):
+        v = SparseVector([5, 1, 3], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(v.indices, [1, 3, 5])
+        np.testing.assert_array_equal(v.values, [2.0, 3.0, 1.0])
+
+    def test_drops_exact_zeros(self):
+        v = SparseVector([1, 2, 3], [1.0, 0.0, 2.0])
+        assert v.nnz == 2
+        np.testing.assert_array_equal(v.indices, [1, 3])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SparseVector([1, 1], [1.0, 2.0])
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SparseVector([-1], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            SparseVector([1, 2], [1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            SparseVector([1], [float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            SparseVector([1], [float("inf")])
+
+    def test_rejects_index_beyond_dimension(self):
+        with pytest.raises(ValueError, match="outside dimension"):
+            SparseVector([10], [1.0], n=10)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            SparseVector(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_immutable_attributes(self):
+        v = SparseVector([1], [1.0])
+        with pytest.raises(AttributeError):
+            v.n = 5
+
+    def test_immutable_arrays(self):
+        v = SparseVector([1], [1.0])
+        with pytest.raises(ValueError):
+            v.values[0] = 2.0
+
+
+class TestConstructors:
+    def test_from_dense_roundtrip(self):
+        dense = np.array([0.0, 1.5, 0.0, -2.0])
+        v = SparseVector.from_dense(dense)
+        assert v.n == 4
+        np.testing.assert_array_equal(v.to_dense(), dense)
+
+    def test_from_dict(self):
+        v = SparseVector.from_dict({3: 1.0, 1: 2.0})
+        np.testing.assert_array_equal(v.indices, [1, 3])
+
+    def test_from_dict_empty(self):
+        assert SparseVector.from_dict({}).nnz == 0
+
+    def test_from_pairs_aggregates_duplicates(self):
+        v = SparseVector.from_pairs([1, 1, 2], [1.0, 2.0, 4.0])
+        assert v[1] == 3.0
+        assert v[2] == 4.0
+
+    def test_from_pairs_cancellation_drops_entry(self):
+        v = SparseVector.from_pairs([1, 1], [1.0, -1.0])
+        assert v.nnz == 0
+
+    def test_zero(self):
+        z = SparseVector.zero(n=10)
+        assert z.nnz == 0
+        assert z.norm() == 0.0
+
+
+class TestNormsAndAlgebra:
+    def test_norm(self):
+        v = SparseVector([1, 2], [3.0, 4.0])
+        assert v.norm() == pytest.approx(5.0)
+
+    def test_norm1(self):
+        v = SparseVector([1, 2], [3.0, -4.0])
+        assert v.norm1() == pytest.approx(7.0)
+
+    def test_norm_inf(self):
+        v = SparseVector([1, 2], [3.0, -4.0])
+        assert v.norm_inf() == pytest.approx(4.0)
+
+    def test_norm_inf_zero_vector(self):
+        assert SparseVector.zero().norm_inf() == 0.0
+
+    def test_dot_disjoint(self):
+        a = SparseVector([1, 2], [1.0, 1.0])
+        b = SparseVector([3, 4], [1.0, 1.0])
+        assert a.dot(b) == 0.0
+
+    def test_dot_overlapping(self):
+        a = SparseVector([1, 2, 3], [1.0, 2.0, 3.0])
+        b = SparseVector([2, 3, 4], [5.0, 7.0, 11.0])
+        assert a.dot(b) == pytest.approx(2 * 5 + 3 * 7)
+
+    def test_dot_matches_dense(self):
+        rng = np.random.default_rng(0)
+        dense_a = rng.normal(size=50) * (rng.random(50) < 0.4)
+        dense_b = rng.normal(size=50) * (rng.random(50) < 0.4)
+        a = SparseVector.from_dense(dense_a)
+        b = SparseVector.from_dense(dense_b)
+        assert a.dot(b) == pytest.approx(float(dense_a @ dense_b))
+
+    def test_scaled(self):
+        v = SparseVector([1], [2.0]).scaled(3.0)
+        assert v[1] == 6.0
+
+    def test_scaled_by_zero(self):
+        assert SparseVector([1], [2.0]).scaled(0.0).nnz == 0
+
+    def test_unit(self):
+        v = SparseVector([1, 2], [3.0, 4.0]).unit()
+        assert v.norm() == pytest.approx(1.0)
+
+    def test_unit_of_zero_raises(self):
+        with pytest.raises(ValueError, match="zero vector"):
+            SparseVector.zero().unit()
+
+    def test_restrict(self):
+        v = SparseVector([1, 2, 3], [1.0, 2.0, 3.0])
+        r = v.restrict(np.array([2, 3, 9]))
+        np.testing.assert_array_equal(r.indices, [2, 3])
+
+    def test_squared(self):
+        v = SparseVector([1, 2], [-3.0, 4.0]).squared()
+        assert v[1] == 9.0 and v[2] == 16.0
+
+
+class TestProtocol:
+    def test_getitem_present_and_absent(self):
+        v = SparseVector([2, 5], [1.5, -2.5])
+        assert v[2] == 1.5
+        assert v[3] == 0.0
+
+    def test_equality(self):
+        assert SparseVector([1], [1.0]) == SparseVector([1], [1.0])
+        assert SparseVector([1], [1.0]) != SparseVector([1], [2.0])
+        assert SparseVector([1], [1.0]) != SparseVector([2], [1.0])
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(SparseVector([1], [1.0])) == hash(SparseVector([1], [1.0]))
+
+    def test_repr_contains_stats(self):
+        text = repr(SparseVector([1, 2], [3.0, 4.0], n=10))
+        assert "nnz=2" in text and "n=10" in text
+
+    def test_to_dense_open_domain(self):
+        v = SparseVector([0, 4], [1.0, 2.0])
+        assert v.to_dense().shape == (5,)
