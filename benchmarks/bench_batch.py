@@ -1,0 +1,142 @@
+"""Batch-vs-scalar sketching throughput, recorded to ``BENCH_batch.json``.
+
+The dataset-search scenario (Section 1.2) sketches a whole data lake;
+this benchmark measures what the batch engine buys there: sketch a
+1000 x 10000 sparse matrix of table key-indicator vectors with the
+scalar per-vector loop versus one ``sketch_batch`` call, plus scoring
+one query against the resulting 1000-sketch bank with an ``estimate``
+loop versus one ``estimate_many`` call.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py [--rows 1000] [--out BENCH_batch.json]
+
+The JSON report maps ``method -> {scalar_s, batch_s, speedup}`` for
+sketching and, per method, the estimation-side timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.wmh import WeightedMinHash
+from repro.experiments.runner import method_registry
+from repro.vectors.sparse import SparseMatrix, SparseVector
+
+#: The workload of the acceptance benchmark: a 1k x 10k sparse matrix
+#: shaped like the paper's Section 1.2 data lake — each row is a
+#: table's key-indicator vector x_1[K] (the vector every joinability
+#: query sketches), keys drawn from a shared 10k-value domain, table
+#: sizes from a handful of natural cardinalities (days in a year,
+#: census tracts, ...).  Shared structure is what batch sketching
+#: exploits: rows sharing a (block, occupancy) pair replay one record
+#: stream.
+NUM_ROWS = 1_000
+DIMENSION = 10_000
+TABLE_SIZES = (250, 365, 500, 730, 1000, 1461)
+STORAGE_WORDS = 300
+METHODS = ("WMH", "MH", "KMV", "JL", "CS")
+
+
+def make_matrix(
+    num_rows: int = NUM_ROWS,
+    dimension: int = DIMENSION,
+    seed: int = 0,
+) -> SparseMatrix:
+    """Synthetic lake: one key-indicator row per table."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(num_rows):
+        nnz = int(rng.choice(TABLE_SIZES))
+        indices = rng.choice(dimension, size=nnz, replace=False)
+        rows.append(SparseVector(indices, np.ones(nnz), n=dimension))
+    return SparseMatrix.from_rows(rows)
+
+
+def _time(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def run(num_rows: int = NUM_ROWS, seed: int = 0) -> dict:
+    matrix = make_matrix(num_rows=num_rows, seed=seed)
+    vectors = list(matrix)
+    registry = method_registry()
+    report: dict = {
+        "workload": {
+            "rows": num_rows,
+            "dimension": DIMENSION,
+            "table_sizes": list(TABLE_SIZES),
+            "storage_words": STORAGE_WORDS,
+        },
+        "sketching": {},
+        "estimation": {},
+    }
+    for name in METHODS:
+        sketcher = registry[name].build(STORAGE_WORDS, 0)
+        scalar_s, scalar_sketches = _time(
+            lambda: [sketcher.sketch(vector) for vector in vectors]
+        )
+        batch_s, bank = _time(lambda: sketcher.sketch_batch(matrix))
+        query = scalar_sketches[0]
+        est_scalar_s, loop_estimates = _time(
+            lambda: np.array(
+                [sketcher.estimate(query, sketch) for sketch in scalar_sketches]
+            )
+        )
+        est_batch_s, bank_estimates = _time(lambda: sketcher.estimate_many(query, bank))
+        if not np.array_equal(loop_estimates, bank_estimates):
+            raise AssertionError(f"{name}: batch estimates diverge from scalar loop")
+        report["sketching"][name] = {
+            "scalar_s": round(scalar_s, 4),
+            "batch_s": round(batch_s, 4),
+            "speedup": round(scalar_s / batch_s, 2),
+        }
+        report["estimation"][name] = {
+            "scalar_s": round(est_scalar_s, 4),
+            "batch_s": round(est_batch_s, 4),
+            "speedup": round(est_scalar_s / est_batch_s, 2),
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=NUM_ROWS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_batch.json",
+    )
+    args = parser.parse_args(argv)
+    report = run(num_rows=args.rows, seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    wmh = report["sketching"]["WMH"]
+    print(f"wrote {args.out}")
+    for name, row in report["sketching"].items():
+        print(
+            f"  sketch {name:>4}: scalar {row['scalar_s']:.3f}s  "
+            f"batch {row['batch_s']:.3f}s  ({row['speedup']:.1f}x)"
+        )
+    for name, row in report["estimation"].items():
+        print(
+            f"  estimate {name:>4}: scalar {row['scalar_s']:.3f}s  "
+            f"batch {row['batch_s']:.3f}s  ({row['speedup']:.1f}x)"
+        )
+    # The acceptance gate applies to the canonical 1k-row workload;
+    # reduced --rows runs are for quick exploration.
+    if args.rows >= NUM_ROWS and wmh["speedup"] < 5.0:
+        raise SystemExit(
+            f"WMH batch speedup {wmh['speedup']:.1f}x below the 5x target"
+        )
+
+
+if __name__ == "__main__":
+    main()

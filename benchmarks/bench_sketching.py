@@ -5,7 +5,10 @@ Measures what the paper claims about implementation cost:
 * the fast active-index WMH sketcher scales ~logarithmically in ``L``
   (doubling ``L`` many times barely moves sketch time), while the naive
   expanded-vector implementation scales linearly in ``L``;
-* per-method sketch times at equal storage, for the record.
+* per-method sketch times at equal storage, for the record;
+* the batch engine: ``sketch_batch``/``estimate_many`` against the
+  scalar loop on a small corpus (the full accept-gate comparison lives
+  in ``bench_batch.py``, which writes ``BENCH_batch.json``).
 """
 
 from __future__ import annotations
@@ -14,9 +17,23 @@ import pytest
 
 from repro.core.wmh import WeightedMinHash
 from repro.core.wmh_naive import NaiveWeightedMinHash
+from repro.data.synthetic import SyntheticConfig, generate_pair
 from repro.experiments.runner import method_registry
+from repro.vectors.sparse import SparseMatrix
 
 STORAGE = 300
+
+
+@pytest.fixture(scope="session")
+def synthetic_corpus():
+    """A small corpus matrix for batch-path benchmarks."""
+    config = SyntheticConfig(n=4_000, nnz=400, overlap=0.1)
+    vectors = []
+    for seed in range(32):
+        a, b = generate_pair(config, seed=seed)
+        vectors.append(a)
+        vectors.append(b)
+    return SparseMatrix.from_rows(vectors)
 
 
 @pytest.mark.parametrize(
@@ -55,3 +72,33 @@ def test_estimation_time(benchmark, synthetic_pair):
     sketch_a = sketcher.sketch(a)
     sketch_b = sketcher.sketch(b)
     benchmark(sketcher.estimate, sketch_a, sketch_b)
+
+
+@pytest.mark.parametrize(
+    "method", ["JL", "CS", "MH", "KMV", "WMH", "ICWS", "SimHash", "PS"]
+)
+def test_sketch_batch_per_method(benchmark, synthetic_corpus, method):
+    """One sketch_batch call over the whole corpus matrix."""
+    sketcher = method_registry()[method].build(STORAGE, 0)
+    bank = benchmark(sketcher.sketch_batch, synthetic_corpus)
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["rows"] = len(bank)
+
+
+@pytest.mark.parametrize("method", ["JL", "CS", "MH", "KMV", "WMH"])
+def test_estimate_many_per_method(benchmark, synthetic_corpus, method):
+    """One query scored against the whole bank."""
+    sketcher = method_registry()[method].build(STORAGE, 0)
+    bank = sketcher.sketch_batch(synthetic_corpus)
+    query = sketcher.bank_row(bank, 0)
+    benchmark(sketcher.estimate_many, query, bank)
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["bank_rows"] = len(bank)
+
+
+def test_scalar_loop_baseline_wmh(benchmark, synthetic_corpus):
+    """The pre-batch path: sketch every row with a Python loop."""
+    sketcher = WeightedMinHash.from_storage(STORAGE, seed=0)
+    rows = list(synthetic_corpus)
+    benchmark(lambda: [sketcher.sketch(row) for row in rows])
+    benchmark.extra_info["rows"] = len(rows)

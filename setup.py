@@ -1,9 +1,10 @@
 """Legacy setup shim.
 
-The primary build configuration lives in ``pyproject.toml``.  This file
-exists so that ``pip install -e .`` keeps working on environments whose
-setuptools predates bundled wheel support (no ``bdist_wheel``), by
-enabling the legacy ``setup.py develop`` code path.
+The primary build configuration lives in ``pyproject.toml`` (src
+layout, pytest and ruff settings included).  This file exists so that
+``pip install -e .`` keeps working on environments whose setuptools
+predates bundled wheel support (no ``bdist_wheel``), by enabling the
+legacy ``setup.py develop`` code path.
 """
 
 from setuptools import setup

@@ -9,6 +9,7 @@
 * :mod:`repro.core.theory` — Table 1's error bounds as formulas.
 """
 
+from repro.core.bank import SketchBank
 from repro.core.base import (
     WORDS_PER_SAMPLE_SAMPLING,
     SketchMismatchError,
@@ -42,6 +43,7 @@ __all__ = [
     "MedianSketch",
     "NaiveWeightedMinHash",
     "RoundedVector",
+    "SketchBank",
     "SketchMismatchError",
     "Sketcher",
     "WMHSketch",

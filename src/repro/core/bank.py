@@ -1,0 +1,145 @@
+"""Columnar storage for many sketches of one configuration.
+
+The paper's flagship workload (Section 1.2 dataset search) sketches an
+entire data lake once and scores a single query against thousands of
+stored sketches.  Holding those sketches as a Python list of per-vector
+objects forces every downstream consumer into a scalar loop;
+:class:`SketchBank` instead stacks the sketch fields into contiguous
+arrays (one row per sketched vector) so ``estimate_many`` can score a
+query against the whole bank with a handful of vectorized operations.
+
+A bank is produced by ``Sketcher.sketch_batch`` (or by packing existing
+scalar sketches with ``Sketcher.pack_bank``) and is deliberately dumb:
+it knows its column arrays, which sketcher *kind* produced it, and the
+configuration ``params`` two banks must share to be comparable.  All
+method-specific logic (how to turn a row back into a scalar sketch, how
+to estimate against a query) stays on the :class:`~repro.core.base.Sketcher`.
+
+Banks are sliceable (``bank[2:10]`` is a bank over those rows),
+concatenable (:meth:`SketchBank.concat`), and serializable
+(:func:`repro.io.serialize.pack_bank`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["SketchBank"]
+
+#: Column name used by the generic object-dtype fallback bank.
+OBJECT_COLUMN = "sketches"
+
+
+@dataclass(frozen=True)
+class SketchBank:
+    """A columnar stack of sketches sharing one configuration.
+
+    Attributes
+    ----------
+    kind:
+        ``Sketcher.name`` of the method that produced the bank.
+    params:
+        The configuration (seed, sample count, ...) every row shares;
+        two banks (or a query sketch and a bank) are comparable only
+        when these match exactly.
+    columns:
+        Named arrays whose first axis indexes the sketched vectors.
+        Vectorized sketchers store real field arrays (``hashes``,
+        ``values``, ``norms`` ...); the generic fallback stores one
+        object-dtype column of scalar sketch objects.
+    words_per_sketch:
+        Storage footprint of one row in 64-bit words, following the
+        paper's Section 5 accounting (1.5 words per sampling entry).
+    """
+
+    kind: str
+    params: Mapping[str, Any]
+    columns: Mapping[str, np.ndarray]
+    words_per_sketch: float = 0.0
+    _length: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("a SketchBank needs at least one column")
+        lengths = {name: arr.shape[0] for name, arr in self.columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(
+                f"column first-axis lengths disagree: {lengths}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "columns", dict(self.columns))
+        object.__setattr__(self, "_length", next(iter(lengths.values())))
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def __getitem__(self, selector: slice | np.ndarray | Sequence[int]) -> "SketchBank":
+        """Row-select into a new bank (slice, index array, or bool mask)."""
+        if isinstance(selector, (int, np.integer)):
+            selector = slice(int(selector), int(selector) + 1)
+        return SketchBank(
+            kind=self.kind,
+            params=self.params,
+            columns={name: arr[selector] for name, arr in self.columns.items()},
+            words_per_sketch=self.words_per_sketch,
+        )
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def concat(cls, banks: Sequence["SketchBank"]) -> "SketchBank":
+        """Stack compatible banks into one (same kind/params/columns)."""
+        if not banks:
+            raise ValueError("cannot concatenate zero banks")
+        first = banks[0]
+        for other in banks[1:]:
+            if other.kind != first.kind or dict(other.params) != dict(first.params):
+                raise ValueError(
+                    f"cannot concatenate banks of kind/params "
+                    f"({first.kind}, {first.params}) and "
+                    f"({other.kind}, {other.params})"
+                )
+            if set(other.columns) != set(first.columns):
+                raise ValueError("cannot concatenate banks with different columns")
+        return cls(
+            kind=first.kind,
+            params=first.params,
+            columns={
+                name: np.concatenate([bank.columns[name] for bank in banks])
+                for name in first.columns
+            },
+            words_per_sketch=first.words_per_sketch,
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def storage_words(self) -> float:
+        """Total footprint in 64-bit words (paper accounting)."""
+        return self.words_per_sketch * len(self)
+
+    def is_object_bank(self) -> bool:
+        """True for generic fallback banks of scalar sketch objects."""
+        return (
+            OBJECT_COLUMN in self.columns
+            and self.columns[OBJECT_COLUMN].dtype == object
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchBank(kind={self.kind!r}, sketches={len(self)}, "
+            f"columns={sorted(self.columns)}, words={self.storage_words():.1f})"
+        )

@@ -5,24 +5,43 @@ sampling-based (MinHash, KMV, Weighted MinHash) — fits one contract:
 
 * ``sketch(vector)``  — independently compress one vector;
 * ``estimate(sa, sb)`` — approximate ``<a, b>`` from two sketches built
-  with identical configuration (same seed / sample count).
+  with identical configuration (same seed / sample count);
+* ``sketch_batch(matrix)`` — compress every row of a matrix into a
+  columnar :class:`~repro.core.bank.SketchBank`;
+* ``estimate_many(query, bank)`` — approximate the inner product of one
+  query vector against every bank row, returning an array.
+
+The batch half of the contract has a correct-but-generic default that
+wraps the scalar path (an object-dtype bank plus a Python loop), so
+every sketcher is batch-capable out of the box; the methods on the
+paper's critical path (WMH, MinHash, KMV, JL, CountSketch) override it
+with truly vectorized implementations that produce bit-identical
+results.
 
 The contract also carries the paper's *storage accounting*
 (Section 5, "Storage Size"): experiments compare methods at equal
 storage measured in 64-bit words.  Linear sketches cost one word per
 row; sampling sketches cost 1.5 words per sample (64-bit value +
-32-bit hash).  ``samples_for_storage`` converts a word budget into the
+32-bit hash).  ``from_storage`` converts a word budget into the
 method's sample-count parameter so sweeps stay storage-equalized.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any
+from typing import Any, Sequence
 
-from repro.vectors.sparse import SparseVector
+import numpy as np
 
-__all__ = ["Sketcher", "SketchMismatchError", "WORDS_PER_SAMPLE_SAMPLING"]
+from repro.core.bank import OBJECT_COLUMN, SketchBank
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
+
+__all__ = [
+    "Sketcher",
+    "SketchBank",
+    "SketchMismatchError",
+    "WORDS_PER_SAMPLE_SAMPLING",
+]
 
 #: A sampling sketch entry = 64-bit value + 32-bit hash = 1.5 words.
 WORDS_PER_SAMPLE_SAMPLING = 1.5
@@ -58,6 +77,89 @@ class Sketcher(abc.ABC):
     def estimate_pair(self, a: SparseVector, b: SparseVector) -> float:
         """Convenience: sketch both vectors and estimate in one call."""
         return self.estimate(self.sketch(a), self.sketch(b))
+
+    # ------------------------------------------------------------------
+    # batch contract (generic fallbacks; hot methods override)
+    # ------------------------------------------------------------------
+
+    def sketch_batch(
+        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+    ) -> SketchBank:
+        """Sketch every row of ``matrix`` into one :class:`SketchBank`.
+
+        The default wraps the scalar path row by row; vectorized
+        sketchers override this with a single pass over the CSR arrays.
+        """
+        rows = as_sparse_matrix(matrix)
+        return self.pack_bank([self.sketch(row) for row in rows])
+
+    def estimate_many(self, query_sketch: Any, bank: SketchBank) -> np.ndarray:
+        """Estimate ``<query, row_i>`` for every bank row.
+
+        Returns a float64 array of length ``len(bank)``.  The default
+        loops the scalar estimator; vectorized sketchers score the
+        whole bank in a handful of array operations.
+        """
+        self._check_bank(bank)
+        return np.array(
+            [
+                self.estimate(query_sketch, self.bank_row(bank, i))
+                for i in range(len(bank))
+            ],
+            dtype=np.float64,
+        )
+
+    def pack_bank(self, sketches: Sequence[Any]) -> SketchBank:
+        """Stack scalar sketch objects into a bank.
+
+        The generic fallback keeps the objects in one object-dtype
+        column; columnar sketchers override this to stack real field
+        arrays.
+        """
+        column = np.empty(len(sketches), dtype=object)
+        for i, sketch in enumerate(sketches):
+            column[i] = sketch
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={OBJECT_COLUMN: column},
+            words_per_sketch=self.storage_words(),
+        )
+
+    def bank_row(self, bank: SketchBank, i: int) -> Any:
+        """Materialize bank row ``i`` as this method's scalar sketch."""
+        self._check_bank(bank)
+        if not bank.is_object_bank():
+            raise TypeError(
+                f"{type(self).__name__} stores banks as object columns; "
+                f"got columns {sorted(bank.columns)}"
+            )
+        return bank.columns[OBJECT_COLUMN][i]
+
+    def bank_to_sketches(self, bank: SketchBank) -> list[Any]:
+        """Materialize every bank row as a scalar sketch object."""
+        return [self.bank_row(bank, i) for i in range(len(bank))]
+
+    def _bank_params(self) -> dict[str, Any]:
+        """Configuration two banks must share to be comparable.
+
+        Subclasses return their identifying parameters (seed, sample
+        count, ...).  Used by :meth:`_check_bank` to reject cross-seed
+        / cross-size comparisons at the bank level.
+        """
+        return {}
+
+    def _check_bank(self, bank: SketchBank) -> None:
+        self._require(
+            bank.kind == self.name,
+            f"bank holds {bank.kind!r} sketches, sketcher is {self.name!r}",
+        )
+        expected = self._bank_params()
+        self._require(
+            dict(bank.params) == expected,
+            f"bank parameters {dict(bank.params)} do not match "
+            f"sketcher parameters {expected}",
+        )
 
     @staticmethod
     def _require(condition: bool, message: str) -> None:

@@ -1,0 +1,82 @@
+"""Segmented reductions for batch sketching.
+
+Batch sketchers lay the non-zeros of many vectors out as one
+concatenated axis (the CSR layout of
+:class:`~repro.vectors.sparse.SparseMatrix`) and run their per-entry
+work — hashing, record simulation — in a single vectorized pass.  The
+final per-vector reduction (the argmin over each row's blocks that
+Algorithms 1 and 3 take) then needs *segmented* min/argmin over that
+concatenated axis, which numpy expresses with ``ufunc.reduceat``.
+
+The helpers here are deliberately exact mirrors of the scalar
+reductions: ``segmented_min_argmin`` returns, per segment, the same
+minimum float and the same first-position argmin that ``np.min`` /
+``np.argmin`` return on the segment alone, so batch sketches are
+bit-identical to the scalar loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segmented_min_argmin", "chunk_boundaries"]
+
+
+def segmented_min_argmin(
+    matrix: np.ndarray, indptr: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment minimum and first-argmin along the last axis.
+
+    Parameters
+    ----------
+    matrix:
+        ``(m, total)`` array whose columns are grouped into segments.
+    indptr:
+        ``(num_segments + 1,)`` boundaries; every segment must be
+        non-empty (callers filter empty rows out beforehand).
+
+    Returns
+    -------
+    (mins, argpos):
+        Both ``(m, num_segments)``.  ``mins[r, s]`` equals
+        ``matrix[r, indptr[s]:indptr[s+1]].min()`` exactly and
+        ``argpos[r, s]`` is the **global** column index of the first
+        occurrence of that minimum — matching ``np.argmin`` tie-breaking.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    num_segments = indptr.size - 1
+    m, total = matrix.shape
+    if num_segments == 0:
+        empty = np.empty((m, 0))
+        return empty, np.empty((m, 0), dtype=np.int64)
+    if indptr[-1] != total or np.any(np.diff(indptr) <= 0):
+        raise ValueError("indptr must partition the columns into non-empty segments")
+    starts = indptr[:-1]
+    # One reduction pass: numpy orders complex numbers lexicographically
+    # (real part first, imaginary as tie-break), so min over
+    # ``value + column*i`` yields the minimum value *and* its first
+    # column — the same tie-breaking as np.argmin — in a single
+    # reduceat instead of a min / expand / compare / min sequence.
+    composite = matrix + 1j * np.arange(total, dtype=np.float64)
+    reduced = np.minimum.reduceat(composite, starts, axis=1)
+    return reduced.real, reduced.imag.astype(np.int64)
+
+
+def chunk_boundaries(indptr: np.ndarray, target_nnz: int) -> list[tuple[int, int]]:
+    """Split rows into chunks of roughly ``target_nnz`` total non-zeros.
+
+    Returns ``(row_lo, row_hi)`` pairs covering ``[0, num_rows)``; every
+    chunk holds at least one row, so a single huge row still processes.
+    Batch sketchers use this to bound the ``(m, chunk_nnz)`` working-set
+    size while keeping each numpy call large enough to amortize.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    num_rows = indptr.size - 1
+    chunks: list[tuple[int, int]] = []
+    lo = 0
+    while lo < num_rows:
+        hi = int(np.searchsorted(indptr, indptr[lo] + max(target_nnz, 1), side="right")) - 1
+        hi = min(max(hi, lo + 1), num_rows)
+        chunks.append((lo, hi))
+        lo = hi
+    return chunks

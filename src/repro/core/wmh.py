@@ -42,16 +42,35 @@ block's occupancy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
 from repro.core.rounding import RoundedVector, round_vector
+from repro.core.segments import chunk_boundaries, segmented_min_argmin
 from repro.hashing.splitmix import counter_uniform, derive_key_grid
-from repro.vectors.sparse import SparseVector
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
-__all__ = ["WMHSketch", "WeightedMinHash", "DEFAULT_L", "simulate_block_minima"]
+__all__ = [
+    "WMHSketch",
+    "WeightedMinHash",
+    "DEFAULT_L",
+    "simulate_block_minima",
+    "simulate_block_minima_grouped",
+]
+
+#: Working-set cap for batch sketching: the scatter phase materializes
+#: a few ``(m, chunk_nnz)`` float64 arrays, so keep m * chunk_nnz near
+#: this many elements (~64 MB per temporary at the default).
+_BATCH_CELL_TARGET = 500_000
+
+#: Cell cap per grouped-simulation call.  The record loop touches ~10
+#: state arrays per round; keeping m * blocks_per_chunk around this
+#: size keeps them cache-resident, which measures ~3x faster than one
+#: monolithic pass.
+_SIM_CELL_TARGET = 200_000
 
 #: Default discretization parameter.  The paper wants ``L`` at least
 #: ``n`` and ideally 100-1000x larger; 2**26 ≈ 6.7e7 comfortably covers
@@ -172,6 +191,152 @@ def simulate_block_minima(
     return minima.reshape(m, n_blocks)
 
 
+def simulate_block_minima_grouped(
+    seed: int,
+    m: int,
+    block_ids: np.ndarray,
+    query_indptr: np.ndarray,
+    query_counts: np.ndarray,
+    max_rounds: int = 512,
+) -> np.ndarray:
+    """Evaluate per-block prefix minima at many occupancy counts at once.
+
+    The record stream of a ``(repetition, block)`` pair is a pure
+    function of ``(seed, repetition, block)`` — every vector occupying
+    that block replays the *same* stream and merely stops at its own
+    occupancy ``k``.  When a matrix of vectors shares blocks, the
+    stream therefore only needs simulating **once per block**, to the
+    block's largest requested occupancy; each smaller occupancy's
+    minimum is the ``z`` of the last record at position ``<= k``, read
+    off as the records pass it.
+
+    Parameters
+    ----------
+    seed, m:
+        As in :func:`simulate_block_minima`.
+    block_ids:
+        Distinct block ids, shape ``(U,)``.
+    query_indptr:
+        ``(U + 1,)`` boundaries grouping ``query_counts`` by block;
+        every block must own at least one query.
+    query_counts:
+        Requested occupancies ``k >= 1``, shape ``(Q,)``.  Duplicates
+        are fine; keep each block's segment sorted (the batch sketcher
+        does) so the final lookup hits searchsorted's monotone fast
+        path.
+
+    Returns
+    -------
+    ``(m, Q)`` array: entry ``(r, q)`` equals
+    ``simulate_block_minima(seed, m, [block of q], [k_q])[r, 0]``
+    exactly — the batch and scalar paths are bit-identical.
+    """
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    query_indptr = np.asarray(query_indptr, dtype=np.int64)
+    query_counts = np.asarray(query_counts, dtype=np.int64)
+    num_blocks = block_ids.size
+    num_queries = query_counts.size
+    if query_indptr.size != num_blocks + 1 or (
+        num_blocks and np.any(np.diff(query_indptr) < 1)
+    ):
+        raise ValueError("every block needs at least one query count")
+    if np.any(query_counts < 1):
+        raise ValueError("all query counts must be >= 1")
+    if num_queries == 0:
+        return np.empty((m, 0))
+
+    # Composite keys ``cell * stride + position`` linearize the
+    # (cell, position) order so both the record log and the queries
+    # become one globally sorted axis.
+    stride = int(query_counts.max()) + 2
+    num_cells = m * num_blocks
+    if num_cells * stride >= 2**62:
+        raise ValueError("query counts too large to compose per-cell search keys")
+
+    keys = derive_key_grid(seed, np.arange(m, dtype=np.int64), block_ids).ravel()
+
+    # Phase 1 — simulate every cell's record stream once, to its
+    # block's largest requested occupancy, logging records as
+    # (cell, position, z) triplets.  Record 0 is (pos 1, u0).
+    limits = query_counts[query_indptr[1:] - 1].astype(np.float64)  # k_max per block
+    act_cell = np.arange(num_cells, dtype=np.int64)
+    act_keys = keys
+    act_z = counter_uniform(keys, 0)
+    act_pos = np.ones(num_cells, dtype=np.float64)
+    act_limit = np.broadcast_to(limits, (m, num_blocks)).ravel()
+    log_cell = [act_cell]
+    log_pos = [act_pos]
+    log_z = [act_z]
+
+    counter = 1
+    rounds = 0
+    golden = np.uint64(0x9E3779B97F4A7C15)
+    mul1 = np.uint64(0xBF58476D1CE4E5B9)
+    mul2 = np.uint64(0x94D049BB133111EB)
+    inv_2_52 = 2.0**-52
+
+    def _draw(state: np.ndarray) -> np.ndarray:
+        word = (state ^ (state >> np.uint64(30))) * mul1
+        word = (word ^ (word >> np.uint64(27))) * mul2
+        word = word ^ (word >> np.uint64(31))
+        return ((word >> np.uint64(12)).astype(np.float64) + 0.5) * inv_2_52
+
+    with np.errstate(over="ignore"):
+        while act_cell.size:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError(
+                    "record simulation did not converge; this indicates a "
+                    "corrupted occupancy count"
+                )
+            state = act_keys + np.uint64(counter) * golden
+            u_skip = _draw(state)
+            skip = np.ceil(np.log(u_skip) / np.log1p(-act_z))
+            next_pos = act_pos + skip
+            accepted = next_pos <= act_limit
+
+            act_cell = act_cell[accepted]
+            act_keys = act_keys[accepted]
+            # The value draw is consumed only by accepted cells (pure
+            # function of (key, counter), so skipping retiring cells
+            # changes nothing downstream).
+            u_value = _draw(act_keys + np.uint64(counter) * golden + golden)
+            act_z = act_z[accepted] * u_value
+            act_pos = next_pos[accepted]
+            act_limit = act_limit[accepted]
+            if act_cell.size:
+                log_cell.append(act_cell)
+                log_pos.append(act_pos)
+                log_z.append(act_z)
+            counter += 2
+
+    # Phase 2 — answer every query with one binary search over the
+    # sorted record log.  A stable sort by cell keeps each cell's
+    # records in round order, i.e. ascending position; the answer for
+    # occupancy k is the z of the last record at position <= k.
+    rec_cell = np.concatenate(log_cell)
+    rec_pos = np.concatenate(log_pos)
+    rec_z = np.concatenate(log_z)
+    order = np.argsort(rec_cell, kind="stable")
+    rec_keys = rec_cell[order] * stride + rec_pos[order].astype(np.int64)
+    rec_z = rec_z[order]
+
+    entry_keys = (
+        np.repeat(np.arange(num_blocks, dtype=np.int64), np.diff(query_indptr))
+        * stride
+        + query_counts
+    )
+    query_keys = (
+        np.arange(m, dtype=np.int64)[:, None] * (num_blocks * stride)
+        + entry_keys[None, :]
+    )
+    # query_keys.ravel() is globally sorted, which numpy's searchsorted
+    # exploits; every cell owns a record at position 1, so the index
+    # never underflows its cell's segment.
+    hits = np.searchsorted(rec_keys, query_keys.ravel(), side="right") - 1
+    return rec_z[hits].reshape(m, num_queries)
+
+
 class WeightedMinHash(Sketcher):
     """The paper's Weighted MinHash inner-product sketcher (Algorithm 3).
 
@@ -250,3 +415,162 @@ class WeightedMinHash(Sketcher):
         from repro.core.estimator import estimate_inner_product
 
         return estimate_inner_product(sketch_a, sketch_b)
+
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+
+    def _bank_params(self) -> dict[str, Any]:
+        return {"m": self.m, "seed": self.seed, "L": self.L}
+
+    def _check_query(self, sketch: WMHSketch) -> None:
+        self._require(
+            sketch.m == self.m and sketch.seed == self.seed and sketch.L == self.L,
+            f"query sketch (m={sketch.m}, seed={sketch.seed}, L={sketch.L}) does "
+            f"not match sketcher (m={self.m}, seed={self.seed}, L={self.L})",
+        )
+
+    def pack_bank(self, sketches: Sequence[WMHSketch]) -> SketchBank:
+        for sketch in sketches:
+            self._check_query(sketch)
+        count = len(sketches)
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={
+                "hashes": np.stack([s.hashes for s in sketches])
+                if count
+                else np.empty((0, self.m)),
+                "values": np.stack([s.values for s in sketches])
+                if count
+                else np.empty((0, self.m)),
+                "norms": np.array([s.norm for s in sketches], dtype=np.float64),
+            },
+            words_per_sketch=self.storage_words(),
+        )
+
+    def bank_row(self, bank: SketchBank, i: int) -> WMHSketch:
+        self._check_bank(bank)
+        return WMHSketch(
+            hashes=bank.columns["hashes"][i],
+            values=bank.columns["values"][i],
+            norm=float(bank.columns["norms"][i]),
+            m=self.m,
+            L=self.L,
+            seed=self.seed,
+        )
+
+    def sketch_batch(
+        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+    ) -> SketchBank:
+        """Sketch all rows in one record simulation (Section 5 batched).
+
+        Because every vector sketched under one seed replays the same
+        per-``(repetition, block)`` record stream, the per-block minima
+        depend only on the distinct ``(block, occupancy)`` pairs present
+        in the matrix: those are simulated **once** and scattered back
+        to the rows, so blocks shared across rows (common keys, common
+        tokens) cost one simulation instead of one per row.  Results are
+        bit-identical to the scalar loop.
+        """
+        rows = as_sparse_matrix(matrix)
+        total = rows.num_rows
+        hashes = np.full((total, self.m), np.inf)
+        values = np.zeros((total, self.m))
+        norms = np.zeros(total)
+
+        # Algorithm 4 per row; empty rows keep the empty-sketch sentinel.
+        active_rows: list[int] = []
+        rounded: list[RoundedVector] = []
+        for i in range(total):
+            vector = rows.row(i)
+            if vector.nnz == 0:
+                continue
+            rv = round_vector(vector, self.L)
+            norms[i] = rv.norm
+            active_rows.append(i)
+            rounded.append(rv)
+
+        if active_rows:
+            blocks = np.concatenate([rv.indices for rv in rounded])
+            counts = np.concatenate([rv.counts for rv in rounded])
+            row_values = np.concatenate([rv.values for rv in rounded])
+            sizes = np.array([rv.nnz for rv in rounded], dtype=np.int64)
+            indptr = np.concatenate([[0], np.cumsum(sizes)])
+
+            # Group the entries by (block, occupancy): each block's
+            # record stream is simulated once — to its largest
+            # occupancy — and each *distinct* (block, occupancy) pair
+            # is evaluated once, no matter how many rows share it (in a
+            # data lake, same-sized tables over a shared key domain
+            # collapse to a fraction of the raw entry count).
+            perm = np.lexsort((counts, blocks))
+            sorted_blocks = blocks[perm]
+            sorted_counts = counts[perm]
+            new_pair = np.concatenate(
+                [[True], (np.diff(sorted_blocks) != 0) | (np.diff(sorted_counts) != 0)]
+            )
+            query_of_entry = np.cumsum(new_pair) - 1
+            query_blocks = sorted_blocks[new_pair]
+            query_counts = sorted_counts[new_pair]
+            new_block = np.concatenate([[True], np.diff(query_blocks) != 0])
+            unique_blocks = query_blocks[new_block]
+            query_indptr = np.concatenate(
+                [np.flatnonzero(new_block), [query_blocks.size]]
+            )
+
+            minima = np.empty((self.m, query_blocks.size))
+            blocks_per_chunk = max(1, _SIM_CELL_TARGET // max(self.m, 1))
+            for ulo in range(0, unique_blocks.size, blocks_per_chunk):
+                uhi = min(ulo + blocks_per_chunk, unique_blocks.size)
+                q_lo, q_hi = int(query_indptr[ulo]), int(query_indptr[uhi])
+                minima[:, q_lo:q_hi] = simulate_block_minima_grouped(
+                    self.seed,
+                    self.m,
+                    unique_blocks[ulo:uhi],
+                    query_indptr[ulo : uhi + 1] - q_lo,
+                    query_counts[q_lo:q_hi],
+                )
+            inverse = np.empty(sorted_blocks.size, dtype=np.int64)
+            inverse[perm] = query_of_entry
+
+            # Scatter to rows and reduce, chunked to bound memory.
+            row_index = np.array(active_rows, dtype=np.int64)
+            for lo, hi in chunk_boundaries(indptr, _BATCH_CELL_TARGET // max(self.m, 1)):
+                lo_nnz, hi_nnz = int(indptr[lo]), int(indptr[hi])
+                cols = minima[:, inverse[lo_nnz:hi_nnz]]
+                mins, argpos = segmented_min_argmin(cols, indptr[lo : hi + 1] - lo_nnz)
+                chunk_rows = row_index[lo:hi]
+                hashes[chunk_rows] = mins.T
+                values[chunk_rows] = row_values[lo_nnz + argpos].T
+
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={"hashes": hashes, "values": values, "norms": norms},
+            words_per_sketch=self.storage_words(),
+        )
+
+    def estimate_many(self, query_sketch: WMHSketch, bank: SketchBank) -> np.ndarray:
+        """Algorithm 5 against every bank row in one vectorized pass."""
+        self._check_bank(bank)
+        self._check_query(query_sketch)
+        out = np.zeros(len(bank))
+        if len(bank) == 0 or query_sketch.norm == 0.0:
+            return out
+        norms = bank.columns["norms"]
+        active = norms > 0.0
+        if not active.any():
+            return out
+        bank_hashes = bank.columns["hashes"][active]
+        bank_values = bank.columns["values"][active]
+        mins = np.minimum(query_sketch.hashes[None, :], bank_hashes)
+        totals = mins.sum(axis=1)
+        m_tilde = (self.m / totals - 1.0) / self.L
+        matches = query_sketch.hashes[None, :] == bank_hashes
+        q = np.minimum(query_sketch.values[None, :] ** 2, bank_values**2)
+        products = query_sketch.values[None, :] * bank_values
+        terms = np.where(matches & (q > 0.0), products / np.where(q > 0.0, q, 1.0), 0.0)
+        scaled = (m_tilde / self.m) * terms.sum(axis=1)
+        out[active] = (query_sketch.norm * norms[active]) * scaled
+        return out

@@ -1,57 +1,215 @@
-"""A sketch index over a data lake.
+"""A columnar sketch index over a data lake.
 
 The dataset-search workflow of Section 1.2: pre-sketch every table in
 the search corpus once; at query time, sketch only the analyst's table
 and score it against the stored sketches — never materializing a join.
 
-:class:`SketchIndex` is that store.  It is deliberately simple (an
-in-memory dict keyed by table name); the interesting work happens in
-:mod:`repro.datasearch.search`, which ranks indexed tables by estimated
-joinability and estimated statistical relationship.
+:class:`SketchIndex` stores those sketches **columnar**, as three
+:class:`~repro.core.bank.SketchBank` views shared by all tables:
+
+* ``indicator_bank`` — one row per table (the key-indicator sketch);
+* ``value_bank`` / ``square_bank`` — one row per ``(table, column)``
+  pair, aligned with :meth:`SketchIndex.value_owners`.
+
+That layout is what lets :mod:`repro.datasearch.search` rank the whole
+lake with one ``estimate_many`` call per query statistic instead of a
+Python loop over per-table sketch objects.  The per-table
+:class:`~repro.datasearch.join_estimates.JoinSketch` view is still
+available (:meth:`get`, iteration) for pairwise estimation.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator
 
+from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.join_estimates import JoinSketch
 from repro.datasearch.table import Table
+from repro.datasearch.vectorize import (
+    indicator_vector,
+    squared_value_vector,
+    value_vector,
+)
 
 __all__ = ["SketchIndex"]
 
 
+@dataclass(frozen=True)
+class _TableEntry:
+    """One indexed table: metadata plus its slice of the sketch bank."""
+
+    name: str
+    num_rows: int
+    columns: tuple[str, ...]
+    indicator: SketchBank  # one row
+    values: SketchBank  # one row per column
+    squares: SketchBank  # one row per column
+
+
 class SketchIndex:
-    """Pre-computed :class:`JoinSketch` objects for a corpus of tables."""
+    """Pre-computed sketch banks for a corpus of tables."""
 
     def __init__(self, sketcher: Sketcher) -> None:
         self.sketcher = sketcher
-        self._sketches: dict[str, JoinSketch] = {}
+        self._entries: dict[str, _TableEntry] = {}
+        self._banks: tuple[SketchBank, SketchBank, SketchBank] | None = None
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+
+    def _entry_from_bank(
+        self, table: Table, columns: tuple[str, ...], bank: SketchBank
+    ) -> _TableEntry:
+        width = len(columns)
+        return _TableEntry(
+            name=table.name,
+            num_rows=table.num_rows,
+            columns=columns,
+            indicator=bank[0:1],
+            values=bank[1 : 1 + width],
+            squares=bank[1 + width : 1 + 2 * width],
+        )
+
+    @staticmethod
+    def _encode(table: Table) -> list:
+        columns = list(table.columns)
+        vectors = [indicator_vector(table)]
+        vectors += [value_vector(table, column) for column in columns]
+        vectors += [squared_value_vector(table, column) for column in columns]
+        return vectors
 
     def add(self, table: Table) -> JoinSketch:
         """Sketch and index a table; replaces any same-named entry."""
-        sketch = JoinSketch.build(table, self.sketcher)
-        self._sketches[table.name] = sketch
-        return sketch
+        bank = self.sketcher.sketch_batch(self._encode(table))
+        self._entries[table.name] = self._entry_from_bank(
+            table, tuple(table.columns), bank
+        )
+        self._banks = None
+        return self.get(table.name)
 
-    def add_all(self, tables: Iterator[Table] | list[Table]) -> None:
+    def add_all(self, tables: Iterable[Table]) -> None:
+        """Index many tables with **one** batch sketching pass.
+
+        Every encoded vector of every table goes through a single
+        ``sketch_batch`` call — the matrix-in, bank-out fast path —
+        then the resulting bank is sliced back into per-table entries.
+        """
+        tables = list(tables)
+        if not tables:
+            return
+        vectors: list = []
+        spans: list[tuple[Table, tuple[str, ...], int, int]] = []
         for table in tables:
-            self.add(table)
+            encoded = self._encode(table)
+            spans.append(
+                (
+                    table,
+                    tuple(table.columns),
+                    len(vectors),
+                    len(vectors) + len(encoded),
+                )
+            )
+            vectors.extend(encoded)
+        bank = self.sketcher.sketch_batch(vectors)
+        for table, columns, lo, hi in spans:
+            self._entries[table.name] = self._entry_from_bank(
+                table, columns, bank[lo:hi]
+            )
+        self._banks = None
+
+    # ------------------------------------------------------------------
+    # columnar views
+    # ------------------------------------------------------------------
+
+    def _compact(self) -> tuple[SketchBank, SketchBank, SketchBank]:
+        if self._banks is None:
+            if not self._entries:
+                raise ValueError("the index is empty")
+            entries = list(self._entries.values())
+            self._banks = (
+                SketchBank.concat([e.indicator for e in entries]),
+                SketchBank.concat([e.values for e in entries]),
+                SketchBank.concat([e.squares for e in entries]),
+            )
+        return self._banks
+
+    @property
+    def indicator_bank(self) -> SketchBank:
+        """One key-indicator sketch row per table, in :meth:`table_names` order."""
+        return self._compact()[0]
+
+    @property
+    def value_bank(self) -> SketchBank:
+        """One value-sketch row per ``(table, column)``; see :meth:`value_owners`."""
+        return self._compact()[1]
+
+    @property
+    def square_bank(self) -> SketchBank:
+        """Squared-value counterpart of :attr:`value_bank`, row-aligned."""
+        return self._compact()[2]
+
+    def table_names(self) -> list[str]:
+        """Indexed table names, aligned with :attr:`indicator_bank` rows."""
+        return list(self._entries)
+
+    def value_owners(self) -> list[tuple[str, str]]:
+        """``(table_name, column)`` per :attr:`value_bank` row, in order."""
+        return [
+            (entry.name, column)
+            for entry in self._entries.values()
+            for column in entry.columns
+        ]
+
+    def num_rows(self, name: str) -> int:
+        return self._entry(name).num_rows
+
+    # ------------------------------------------------------------------
+    # per-table access (scalar-sketch view)
+    # ------------------------------------------------------------------
+
+    def _entry(self, name: str) -> _TableEntry:
+        if name not in self._entries:
+            raise KeyError(f"table {name!r} is not indexed")
+        return self._entries[name]
 
     def get(self, name: str) -> JoinSketch:
-        if name not in self._sketches:
-            raise KeyError(f"table {name!r} is not indexed")
-        return self._sketches[name]
+        """Materialize one table's sketches as a :class:`JoinSketch`."""
+        entry = self._entry(name)
+        sketcher = self.sketcher
+        return JoinSketch(
+            table_name=entry.name,
+            sketcher=sketcher,
+            indicator=sketcher.bank_row(entry.indicator, 0),
+            values={
+                column: sketcher.bank_row(entry.values, i)
+                for i, column in enumerate(entry.columns)
+            },
+            squares={
+                column: sketcher.bank_row(entry.squares, i)
+                for i, column in enumerate(entry.columns)
+            },
+            num_rows=entry.num_rows,
+        )
 
     def __contains__(self, name: str) -> bool:
-        return name in self._sketches
+        return name in self._entries
 
     def __len__(self) -> int:
-        return len(self._sketches)
+        return len(self._entries)
 
     def __iter__(self) -> Iterator[JoinSketch]:
-        return iter(self._sketches.values())
+        return (self.get(name) for name in self._entries)
 
     def storage_words(self) -> float:
-        """Total index footprint in 64-bit words."""
-        return float(sum(sketch.storage_words() for sketch in self))
+        """Total index footprint in 64-bit words (bank accounting)."""
+        return float(
+            sum(
+                entry.indicator.storage_words()
+                + entry.values.storage_words()
+                + entry.squares.storage_words()
+                for entry in self._entries.values()
+            )
+        )

@@ -56,18 +56,27 @@ class JoinSketch:
 
     @classmethod
     def build(cls, table: Table, sketcher: Sketcher) -> "JoinSketch":
-        """Sketch the table's key column and every numeric column."""
+        """Sketch the table's key column and every numeric column.
+
+        All of the table's encoded vectors (indicator + per-column
+        value and squared-value vectors) go through one
+        ``sketch_batch`` call, so shared keys are hashed once.
+        """
+        columns = list(table.columns)
+        vectors = [indicator_vector(table)]
+        vectors += [value_vector(table, column) for column in columns]
+        vectors += [squared_value_vector(table, column) for column in columns]
+        bank = sketcher.sketch_batch(vectors)
+        sketches = sketcher.bank_to_sketches(bank)
         sketch = cls(
             table_name=table.name,
             sketcher=sketcher,
-            indicator=sketcher.sketch(indicator_vector(table)),
+            indicator=sketches[0],
             num_rows=table.num_rows,
         )
-        for column in table.columns:
-            sketch.values[column] = sketcher.sketch(value_vector(table, column))
-            sketch.squares[column] = sketcher.sketch(
-                squared_value_vector(table, column)
-            )
+        for position, column in enumerate(columns):
+            sketch.values[column] = sketches[1 + position]
+            sketch.squares[column] = sketches[1 + len(columns) + position]
         return sketch
 
     def storage_words(self) -> float:

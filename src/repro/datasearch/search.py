@@ -10,7 +10,12 @@ example (taxi ridership vs weather):
    relationship (post-join correlation or inner product) between the
    query column and every candidate column, and rank by magnitude.
 
-Everything runs on sketches; no join is ever materialized.
+Everything runs on sketches and the index's columnar banks: the
+joinability filter is **one** ``estimate_many`` call over the
+indicator bank, and relevance ranking is a fixed handful of
+``estimate_many`` calls per query column (the six primitive statistics
+of Figure 2), never a Python loop over stored sketches.  No join is
+ever materialized.
 """
 
 from __future__ import annotations
@@ -18,8 +23,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.datasearch.index import SketchIndex
-from repro.datasearch.join_estimates import JoinSketch, JoinStatisticsEstimator
+from repro.datasearch.join_estimates import JoinSketch
 from repro.datasearch.table import Table
 
 __all__ = ["SearchHit", "DatasetSearch"]
@@ -61,6 +68,28 @@ class DatasetSearch:
         """Sketch the analyst's query table with the index's method."""
         return JoinSketch.build(table, self.index.sketcher)
 
+    def _join_sizes(self, query: JoinSketch) -> tuple[list[str], np.ndarray]:
+        """Estimated join size per indexed table, one batched call."""
+        names = self.index.table_names()
+        if not names:
+            return [], np.zeros(0)
+        sizes = self.index.sketcher.estimate_many(
+            query.indicator, self.index.indicator_bank
+        )
+        return names, np.maximum(sizes, 0.0)
+
+    def _filter_joinable(
+        self, names: list[str], sizes: np.ndarray, num_rows: int
+    ) -> list[tuple[str, float, float]]:
+        containments = sizes / max(num_rows, 1)
+        results = [
+            (name, float(size), float(containment))
+            for name, size, containment in zip(names, sizes, containments)
+            if containment >= self.min_containment
+        ]
+        results.sort(key=lambda item: item[2], reverse=True)
+        return results
+
     def joinable(self, query: JoinSketch) -> list[tuple[str, float, float]]:
         """Tables passing the joinability filter.
 
@@ -68,15 +97,8 @@ class DatasetSearch:
         sorted by containment, where containment is the estimated join
         size divided by the query's row count.
         """
-        results = []
-        for candidate in self.index:
-            estimator = JoinStatisticsEstimator(query, candidate)
-            join_size = estimator.join_size()
-            containment = join_size / max(query.num_rows, 1)
-            if containment >= self.min_containment:
-                results.append((candidate.table_name, join_size, containment))
-        results.sort(key=lambda item: item[2], reverse=True)
-        return results
+        names, sizes = self._join_sizes(query)
+        return self._filter_joinable(names, sizes, query.num_rows)
 
     def search(
         self,
@@ -91,28 +113,110 @@ class DatasetSearch:
         estimated post-join Pearson correlation, the Santos et al.
         query) or ``"inner_product"`` (absolute estimated post-join
         inner product).
+
+        The six Figure 2 statistics every correlation needs — join
+        size, left/right sums, left/right second moments, and the
+        cross inner product — are each computed for the *whole lake*
+        with one ``estimate_many`` call against the index's banks.
         """
         if by not in ("correlation", "inner_product"):
             raise ValueError(f"unknown ranking criterion {by!r}")
+        # Per-table statistics (against the indicator bank); the same
+        # join-size pass feeds both the joinability filter and the
+        # correlation formula.
+        names, sizes = self._join_sizes(query)
+        joinable = self._filter_joinable(names, sizes, query.num_rows)
+        if not joinable:
+            return []
+        sketcher = self.index.sketcher
+        table_stats = dict(zip(names, sizes))
+        sum_left = dict(
+            zip(
+                names,
+                sketcher.estimate_many(
+                    query.values[query_column], self.index.indicator_bank
+                ),
+            )
+        )
+        sum_squares_left = dict(
+            zip(
+                names,
+                sketcher.estimate_many(
+                    query.squares[query_column], self.index.indicator_bank
+                ),
+            )
+        )
+
+        # Per-column statistics (against the value/square banks).
+        owners = self.index.value_owners()
+        sum_right = sketcher.estimate_many(query.indicator, self.index.value_bank)
+        sum_squares_right = sketcher.estimate_many(
+            query.indicator, self.index.square_bank
+        )
+        inner_products = sketcher.estimate_many(
+            query.values[query_column], self.index.value_bank
+        )
+
+        joinable_rank = {name: rank for rank, (name, _, _) in enumerate(joinable)}
+        join_info = {name: (size, cont) for name, size, cont in joinable}
+
         hits: list[SearchHit] = []
-        for name, join_size, containment in self.joinable(query):
-            candidate = self.index.get(name)
-            estimator = JoinStatisticsEstimator(query, candidate)
-            for column in candidate.values:
-                correlation = estimator.correlation(query_column, column)
-                if by == "correlation":
-                    score = abs(correlation) if not math.isnan(correlation) else 0.0
-                else:
-                    score = abs(estimator.inner_product(query_column, column))
-                hits.append(
-                    SearchHit(
-                        table_name=name,
-                        column=column,
-                        join_size=join_size,
-                        containment=containment,
-                        score=score,
-                        correlation=correlation,
-                    )
+        for row, (table_name, column) in enumerate(owners):
+            if table_name not in joinable_rank:
+                continue
+            size = float(table_stats[table_name])
+            correlation = self._correlation(
+                size,
+                float(sum_left[table_name]),
+                float(sum_squares_left[table_name]),
+                float(sum_right[row]),
+                float(sum_squares_right[row]),
+                float(inner_products[row]),
+            )
+            if by == "correlation":
+                score = abs(correlation) if not math.isnan(correlation) else 0.0
+            else:
+                score = abs(float(inner_products[row]))
+            join_size, containment = join_info[table_name]
+            hits.append(
+                SearchHit(
+                    table_name=table_name,
+                    column=column,
+                    join_size=join_size,
+                    containment=containment,
+                    score=score,
+                    correlation=correlation,
                 )
+            )
+        # Stable sorts: by joinability rank first, then by score, so
+        # equal-score hits keep the joinable ordering.
+        hits.sort(key=lambda hit: joinable_rank[hit.table_name])
         hits.sort(key=lambda hit: hit.score, reverse=True)
         return hits[:top_k]
+
+    @staticmethod
+    def _correlation(
+        size: float,
+        sum_left: float,
+        sum_squares_left: float,
+        sum_right: float,
+        sum_squares_right: float,
+        inner_product: float,
+    ) -> float:
+        """Pearson correlation from the six primitive estimates.
+
+        Mirrors :class:`~repro.datasearch.join_estimates.JoinStatisticsEstimator`
+        exactly: NaN when the join-size estimate is below 0.5 or a
+        variance degenerates, clamped to ``[-1, 1]`` otherwise.
+        """
+        if size < 0.5:
+            return math.nan
+        mean_left = sum_left / size
+        mean_right = sum_right / size
+        variance_left = max(sum_squares_left / size - mean_left * mean_left, 0.0)
+        variance_right = max(sum_squares_right / size - mean_right * mean_right, 0.0)
+        if not (variance_left > 0.0 and variance_right > 0.0):
+            return math.nan
+        covariance = inner_product / size - mean_left * mean_right
+        raw = covariance / math.sqrt(variance_left * variance_right)
+        return max(-1.0, min(1.0, raw))

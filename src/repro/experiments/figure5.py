@@ -83,34 +83,39 @@ def run(config: Figure5Config = Figure5Config()) -> Figure5Result:
     }
     counts = np.zeros((num_kurtosis_bins, num_overlap_bins))
 
-    pairs = generate_corpus(
-        config.num_pairs, seed=config.seed, config=config.worldbank
+    pairs = list(
+        generate_corpus(config.num_pairs, seed=config.seed, config=config.worldbank)
     )
-    for pair in pairs:
-        truth = pair.left.dot(pair.right)
+    truths = [pair.left.dot(pair.right) for pair in pairs]
+    vectors = [vector for pair in pairs for vector in (pair.left, pair.right)]
+
+    # One sketch_batch per (method, trial) over the whole corpus — the
+    # batch engine replaces the per-pair sketching loop.
+    method_names = ("WMH",) + tuple(config.comparisons)
+    errors = {
+        name: np.zeros((len(pairs), config.trials)) for name in method_names
+    }
+    for trial in range(config.trials):
+        seed = config.seed * 7919 + trial
+        for name in method_names:
+            sketcher = registry[name].build(config.storage, seed)
+            sketches = sketcher.bank_to_sketches(sketcher.sketch_batch(vectors))
+            for pair_id, pair in enumerate(pairs):
+                estimate = sketcher.estimate(
+                    sketches[2 * pair_id], sketches[2 * pair_id + 1]
+                )
+                errors[name][pair_id, trial] = normalized_error(
+                    estimate, truths[pair_id], pair.left, pair.right
+                )
+
+    for pair_id, pair in enumerate(pairs):
         row = _bin_index(pair.kurtosis, config.kurtosis_bins)
         column = _bin_index(pair.overlap, config.overlap_bins)
-        wmh_errors = []
-        other_errors = {name: [] for name in config.comparisons}
-        for trial in range(config.trials):
-            seed = config.seed * 7919 + trial
-            wmh = registry["WMH"].build(config.storage, seed)
-            estimate = wmh.estimate(wmh.sketch(pair.left), wmh.sketch(pair.right))
-            wmh_errors.append(
-                normalized_error(estimate, truth, pair.left, pair.right)
-            )
-            for name in config.comparisons:
-                other = registry[name].build(config.storage, seed)
-                estimate = other.estimate(
-                    other.sketch(pair.left), other.sketch(pair.right)
-                )
-                other_errors[name].append(
-                    normalized_error(estimate, truth, pair.left, pair.right)
-                )
         counts[row, column] += 1
+        wmh_mean = float(np.mean(errors["WMH"][pair_id]))
         for name in config.comparisons:
-            sums[name][row, column] += float(
-                np.mean(wmh_errors) - np.mean(other_errors[name])
+            sums[name][row, column] += wmh_mean - float(
+                np.mean(errors[name][pair_id])
             )
 
     matrices = {

@@ -105,24 +105,30 @@ def run_sweep(
     if unknown:
         raise ValueError(f"unknown methods: {sorted(unknown)}")
     truths = [a.dot(b) for a, b in pairs]
+
+    # Vectors shared across pairs (e.g. documents compared against many
+    # others) appear once in the batch; every (method, storage, trial)
+    # cell then sketches the whole workload with one sketch_batch call.
+    unique_vectors: list[SparseVector] = []
+    position: dict[int, int] = {}
+    for a, b in pairs:
+        for vector in (a, b):
+            if id(vector) not in position:
+                position[id(vector)] = len(unique_vectors)
+                unique_vectors.append(vector)
+
     records: list[ErrorRecord] = []
     for method_name in methods:
         spec = registry[method_name]
         for storage in storages:
             for trial in range(trials):
                 sketcher = spec.build(storage, seed * 7919 + trial)
-                # Vectors shared across pairs (e.g. documents compared
-                # against many others) are sketched once per sketcher.
-                cache: dict[int, object] = {}
-
-                def sketch_once(vector: SparseVector) -> object:
-                    key = id(vector)
-                    if key not in cache:
-                        cache[key] = sketcher.sketch(vector)
-                    return cache[key]
-
+                bank = sketcher.sketch_batch(unique_vectors)
+                sketches = sketcher.bank_to_sketches(bank)
                 for pair_id, (a, b) in enumerate(pairs):
-                    estimate = sketcher.estimate(sketch_once(a), sketch_once(b))
+                    estimate = sketcher.estimate(
+                        sketches[position[id(a)]], sketches[position[id(b)]]
+                    )
                     records.append(
                         ErrorRecord(
                             method=method_name,

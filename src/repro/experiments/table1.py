@@ -139,7 +139,10 @@ def run(
             errors = []
             for trial in range(trials):
                 sketcher = registry[method].build(storage, seed + 7919 * trial)
-                estimate = sketcher.estimate(sketcher.sketch(a), sketcher.sketch(b))
+                bank = sketcher.sketch_batch([a, b])
+                estimate = sketcher.estimate(
+                    sketcher.bank_row(bank, 0), sketcher.bank_row(bank, 1)
+                )
                 errors.append(abs(estimate - truth))
             measured[method] = float(np.mean(errors))
         rows.append(

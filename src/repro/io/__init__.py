@@ -2,14 +2,18 @@
 
 from repro.io.serialize import (
     SerializationError,
+    pack_bank,
     pack_sketch,
     packed_size_words,
+    unpack_bank,
     unpack_sketch,
 )
 
 __all__ = [
     "SerializationError",
+    "pack_bank",
     "pack_sketch",
     "packed_size_words",
+    "unpack_bank",
     "unpack_sketch",
 ]

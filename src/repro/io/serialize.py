@@ -30,11 +30,13 @@ byte, and one sketch-kind byte, followed by fixed-size parameter fields
 
 from __future__ import annotations
 
+import json
 import struct
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.wmh import WMHSketch
 from repro.sketches.bbit import BbitSketch
 from repro.sketches.countsketch import CountSketchData
@@ -48,6 +50,8 @@ __all__ = [
     "SerializationError",
     "pack_sketch",
     "unpack_sketch",
+    "pack_bank",
+    "unpack_bank",
     "packed_size_words",
 ]
 
@@ -62,6 +66,7 @@ _KIND_COUNTSKETCH = 5
 _KIND_ICWS = 6
 _KIND_PRIORITY = 7
 _KIND_BBIT = 8
+_KIND_BANK = 9
 
 #: 2**32, the fixed-point scale of quantized hashes.
 _HASH_SCALE = float(1 << 32)
@@ -324,6 +329,94 @@ def unpack_sketch(payload: bytes) -> Any:
         return unpacker(body)
     except (struct.error, ValueError) as exc:
         raise SerializationError(f"truncated or corrupt payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# sketch banks
+# ----------------------------------------------------------------------
+
+
+def pack_bank(bank: SketchBank) -> bytes:
+    """Serialize a :class:`~repro.core.bank.SketchBank` losslessly.
+
+    Unlike the per-sketch wire format, bank columns are written as raw
+    arrays without hash quantization: a bank is the *index-side* store,
+    and a round trip must reproduce bit-identical ``estimate_many``
+    results.  A JSON header records kind, comparability params, and the
+    column layout; object-dtype columns (generic fallback banks) nest
+    the per-sketch format with length prefixes.
+    """
+    header: dict[str, Any] = {
+        "kind": bank.kind,
+        "params": dict(bank.params),
+        "words_per_sketch": bank.words_per_sketch,
+        "columns": [],
+    }
+    blobs: list[bytes] = []
+    for name in sorted(bank.columns):
+        array = bank.columns[name]
+        if array.dtype == object:
+            packed = [pack_sketch(obj) for obj in array]
+            header["columns"].append(
+                {"name": name, "dtype": "object", "shape": [len(packed)]}
+            )
+            blobs.append(struct.pack("<I", len(packed)))
+            for payload in packed:
+                blobs.append(struct.pack("<I", len(payload)))
+                blobs.append(payload)
+        else:
+            contiguous = np.ascontiguousarray(array)
+            header["columns"].append(
+                {
+                    "name": name,
+                    "dtype": contiguous.dtype.str,
+                    "shape": list(contiguous.shape),
+                }
+            )
+            blobs.append(contiguous.tobytes())
+    meta = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join([_header(_KIND_BANK), struct.pack("<I", len(meta)), meta, *blobs])
+
+
+def unpack_bank(payload: bytes) -> SketchBank:
+    """Deserialize a payload produced by :func:`pack_bank`."""
+    kind, body = _check_header(payload)
+    if kind != _KIND_BANK:
+        raise SerializationError(f"payload is not a sketch bank (kind {kind})")
+    try:
+        (meta_len,) = struct.unpack_from("<I", body, 0)
+        meta = json.loads(bytes(body[4 : 4 + meta_len]).decode("utf-8"))
+        offset = 4 + meta_len
+        columns: dict[str, np.ndarray] = {}
+        for spec in meta["columns"]:
+            name, dtype, shape = spec["name"], spec["dtype"], tuple(spec["shape"])
+            if dtype == "object":
+                (count,) = struct.unpack_from("<I", body, offset)
+                offset += 4
+                column = np.empty(count, dtype=object)
+                for i in range(count):
+                    (size,) = struct.unpack_from("<I", body, offset)
+                    offset += 4
+                    column[i] = unpack_sketch(bytes(body[offset : offset + size]))
+                    offset += size
+            else:
+                dt = np.dtype(dtype)
+                count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                column = (
+                    np.frombuffer(body, dtype=dt, count=count, offset=offset)
+                    .reshape(shape)
+                    .copy()
+                )
+                offset += count * dt.itemsize
+            columns[name] = column
+        return SketchBank(
+            kind=meta["kind"],
+            params=meta["params"],
+            columns=columns,
+            words_per_sketch=float(meta["words_per_sketch"]),
+        )
+    except (struct.error, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"truncated or corrupt bank payload: {exc}") from exc
 
 
 def packed_size_words(sketch: Any) -> float:

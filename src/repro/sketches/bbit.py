@@ -103,6 +103,9 @@ class BbitMinHash(Sketcher):
             seed=self.seed,
         )
 
+    def _bank_params(self) -> dict[str, Any]:
+        return {"m": self.m, "b": self.b, "seed": self.seed}
+
     def estimate_jaccard(self, sketch_a: BbitSketch, sketch_b: BbitSketch) -> float:
         """Collision-corrected Jaccard estimate, clamped to [0, 1]."""
         self._require(

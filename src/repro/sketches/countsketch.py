@@ -15,13 +15,14 @@ requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
-from repro.vectors.sparse import SparseVector
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
 __all__ = ["CountSketchData", "CountSketch", "DEFAULT_REPETITIONS"]
 
@@ -114,3 +115,89 @@ class CountSketch(Sketcher):
         )
         per_repetition = np.einsum("rw,rw->r", sketch_a.table, sketch_b.table)
         return float(np.median(per_repetition))
+
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+
+    def _bank_params(self) -> dict[str, Any]:
+        return {"repetitions": self.repetitions, "width": self.width, "seed": self.seed}
+
+    def _check_query(self, sketch: CountSketchData) -> None:
+        self._require(
+            sketch.repetitions == self.repetitions
+            and sketch.width == self.width
+            and sketch.seed == self.seed,
+            f"query table (r={sketch.repetitions}, w={sketch.width}, "
+            f"seed={sketch.seed}) does not match sketcher "
+            f"(r={self.repetitions}, w={self.width}, seed={self.seed})",
+        )
+
+    def pack_bank(self, sketches: Sequence[CountSketchData]) -> SketchBank:
+        for sketch in sketches:
+            self._check_query(sketch)
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={
+                "tables": np.stack([s.table for s in sketches])
+                if sketches
+                else np.empty((0, self.repetitions, self.width))
+            },
+            words_per_sketch=self.storage_words(),
+        )
+
+    def bank_row(self, bank: SketchBank, i: int) -> CountSketchData:
+        self._check_bank(bank)
+        return CountSketchData(
+            table=bank.columns["tables"][i],
+            repetitions=self.repetitions,
+            width=self.width,
+            seed=self.seed,
+        )
+
+    def sketch_batch(
+        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+    ) -> SketchBank:
+        """Accumulate all rows' tables from one hash pass.
+
+        Bucket and sign hashes are evaluated once per distinct folded
+        index in the matrix, then scattered into the per-row tables with
+        one ``np.add.at`` per repetition.  The scatter visits entries in
+        row order, matching the scalar accumulation order exactly.
+        """
+        rows = as_sparse_matrix(matrix)
+        tables = np.zeros((rows.num_rows, self.repetitions, self.width))
+        if rows.nnz:
+            folded = fold_to_domain(rows.indices)
+            unique_folded, inverse = np.unique(folded, return_inverse=True)
+            buckets = (
+                self._buckets.hash_ints(unique_folded) % np.uint64(self.width)
+            ).astype(np.int64)
+            signs = np.where(self._signs.hash_ints(unique_folded) & np.uint64(1), 1.0, -1.0)
+            row_ids = np.repeat(np.arange(rows.num_rows), rows.row_sizes())
+            for rep in range(self.repetitions):
+                np.add.at(
+                    tables[:, rep, :],
+                    (row_ids, buckets[rep][inverse]),
+                    signs[rep][inverse] * rows.values,
+                )
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={"tables": tables},
+            words_per_sketch=self.storage_words(),
+        )
+
+    def estimate_many(
+        self, query_sketch: CountSketchData, bank: SketchBank
+    ) -> np.ndarray:
+        """Median-of-repetitions estimates against every bank row."""
+        self._check_bank(bank)
+        self._check_query(query_sketch)
+        per_repetition = np.einsum(
+            "nrw,rw->nr", bank.columns["tables"], query_sketch.table
+        )
+        if per_repetition.shape[0] == 0:
+            return np.zeros(0)
+        return np.median(per_repetition, axis=1)

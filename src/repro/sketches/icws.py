@@ -131,7 +131,14 @@ class ICWS(Sketcher):
         )
         return float(np.mean(sketch_a.keys == sketch_b.keys))
 
+    def _bank_params(self) -> dict[str, Any]:
+        return {"m": self.m, "seed": self.seed}
+
     def estimate(self, sketch_a: ICWSSketch, sketch_b: ICWSSketch) -> float:
+        self._require(
+            sketch_a.m == sketch_b.m and sketch_a.seed == sketch_b.seed,
+            "ICWS sketches built with different (m, seed)",
+        )
         if sketch_a.norm == 0.0 or sketch_b.norm == 0.0:
             return 0.0
         matches = sketch_a.keys == sketch_b.keys

@@ -21,13 +21,14 @@ sketching different vectors still agree on ``Π``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.hashing.splitmix import counter_uniform, derive_key_grid
-from repro.vectors.sparse import SparseVector
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
 __all__ = ["JLSketch", "JohnsonLindenstrauss"]
 
@@ -77,7 +78,9 @@ class JohnsonLindenstrauss(Sketcher):
         if vector.nnz == 0:
             return JLSketch(projection=np.zeros(self.m), m=self.m, seed=self.seed)
         signs = self._signs(vector.indices)
-        projection = (signs @ vector.values) / np.sqrt(self.m)
+        # einsum (not BLAS matvec) so the contraction order is
+        # deterministic and identical to the batch path.
+        projection = np.einsum("mn,n->m", signs, vector.values) / np.sqrt(self.m)
         return JLSketch(projection=projection, m=self.m, seed=self.seed)
 
     def estimate(self, sketch_a: JLSketch, sketch_b: JLSketch) -> float:
@@ -85,4 +88,82 @@ class JohnsonLindenstrauss(Sketcher):
             sketch_a.m == sketch_b.m and sketch_a.seed == sketch_b.seed,
             "JL sketches built with different (m, seed) are not comparable",
         )
-        return float(np.dot(sketch_a.projection, sketch_b.projection))
+        # einsum (not BLAS dot) so the scalar path reduces in exactly
+        # the same order as estimate_many's row-wise contraction.
+        return float(np.einsum("m,m->", sketch_a.projection, sketch_b.projection))
+
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+
+    def _bank_params(self) -> dict[str, Any]:
+        return {"m": self.m, "seed": self.seed}
+
+    def _check_query(self, sketch: JLSketch) -> None:
+        self._require(
+            sketch.m == self.m and sketch.seed == self.seed,
+            f"query sketch (m={sketch.m}, seed={sketch.seed}) does not match "
+            f"sketcher (m={self.m}, seed={self.seed})",
+        )
+
+    def pack_bank(self, sketches: Sequence[JLSketch]) -> SketchBank:
+        for sketch in sketches:
+            self._check_query(sketch)
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={
+                "projections": np.stack([s.projection for s in sketches])
+                if sketches
+                else np.empty((0, self.m))
+            },
+            words_per_sketch=self.storage_words(),
+        )
+
+    def bank_row(self, bank: SketchBank, i: int) -> JLSketch:
+        self._check_bank(bank)
+        return JLSketch(
+            projection=bank.columns["projections"][i], m=self.m, seed=self.seed
+        )
+
+    def sketch_batch(
+        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+    ) -> SketchBank:
+        """Project all rows, deriving each distinct column of ``Π`` once.
+
+        The expensive part of JL sketching is deriving the sign columns
+        (five mixing passes per ``(row, index)`` cell); indices shared
+        across matrix rows are derived once here.  Each row's projection
+        is then the same ``signs @ values`` contraction the scalar path
+        runs, so results are bit-identical.
+        """
+        rows = as_sparse_matrix(matrix)
+        projections = np.zeros((rows.num_rows, self.m))
+        if rows.nnz:
+            unique_indices, inverse = np.unique(rows.indices, return_inverse=True)
+            unique_signs = self._signs(unique_indices)  # (m, U)
+            scale = np.sqrt(self.m)
+            indptr = rows.indptr
+            for i in range(rows.num_rows):
+                lo, hi = int(indptr[i]), int(indptr[i + 1])
+                if lo == hi:
+                    continue
+                # ascontiguousarray: column gathers come out F-ordered,
+                # which would change the reduction order vs. the scalar
+                # path's C-ordered sign matrix.
+                signs = np.ascontiguousarray(unique_signs[:, inverse[lo:hi]])
+                projections[i] = np.einsum("mn,n->m", signs, rows.values[lo:hi]) / scale
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={"projections": projections},
+            words_per_sketch=self.storage_words(),
+        )
+
+    def estimate_many(self, query_sketch: JLSketch, bank: SketchBank) -> np.ndarray:
+        """Inner products of the query projection with every bank row."""
+        self._check_bank(bank)
+        self._check_query(query_sketch)
+        return np.einsum(
+            "nm,m->n", bank.columns["projections"], query_sketch.projection
+        )

@@ -21,20 +21,30 @@ operations) augmented with values as in Santos et al. 2021
 When a vector has fewer than ``k`` non-zeros the sketch is exact
 (stores the whole support) and the union estimator switches to the
 exact count of merged distinct hashes.
+
+The batch path stores sketches in inf-padded ``(count, k)`` arrays and
+scores a query against every row with one vectorized merge; the scalar
+``estimate`` delegates to the same kernel, so scalar and batch results
+are bit-identical by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
+from repro.core.segments import chunk_boundaries
 from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
-from repro.vectors.sparse import SparseVector
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
 __all__ = ["KMVSketch", "KMinimumValues"]
+
+#: Batch working-set cap (elements of the per-chunk padded matrices).
+_BATCH_CELL_TARGET = 8_000_000
 
 
 @dataclass(frozen=True)
@@ -86,11 +96,19 @@ class KMinimumValues(Sketcher):
             )
         folded = fold_to_domain(vector.indices)
         hashes = self._family.single_unit(0, folded)
+        # Bottom-k with deterministic first-position tie-breaking,
+        # identical to the batch path's padded stable argsort, in
+        # O(nnz + k log k): partition, then resolve ties at the k-th
+        # boundary by ascending position.
         if hashes.size <= self.k:
-            order = np.argsort(hashes)
+            order = np.argsort(hashes, kind="stable")
         else:
-            smallest = np.argpartition(hashes, self.k)[: self.k]
-            order = smallest[np.argsort(hashes[smallest])]
+            candidates = np.argpartition(hashes, self.k - 1)[: self.k]
+            tau = hashes[candidates].max()
+            below = np.flatnonzero(hashes < tau)
+            at_tau = np.flatnonzero(hashes == tau)
+            chosen = np.concatenate([below, at_tau[: self.k - below.size]])
+            order = chosen[np.argsort(hashes[chosen], kind="stable")]
         return KMVSketch(
             hashes=hashes[order],
             values=vector.values[order],
@@ -115,21 +133,198 @@ class KMinimumValues(Sketcher):
             sketch_a.k == sketch_b.k and sketch_a.seed == sketch_b.seed,
             "KMV sketches built with different (k, seed)",
         )
-        if sketch_a.hashes.size == 0 or sketch_b.hashes.size == 0:
-            return 0.0
-        merged = np.union1d(sketch_a.hashes, sketch_b.hashes)
-        k_used = min(self.k, merged.size)
-        tau = float(merged[k_used - 1])
-        union_estimate = self.estimate_union_size(sketch_a, sketch_b)
+        # Single source of truth: the scalar estimate is the one-row
+        # case of the vectorized merge kernel.
+        return float(self.estimate_many(sketch_a, self.pack_bank([sketch_b]))[0])
 
-        # Samples of A ∩ B: hashes <= τ present in both sketches.
-        common, pos_a, pos_b = np.intersect1d(
-            sketch_a.hashes, sketch_b.hashes, assume_unique=True, return_indices=True
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+
+    def _bank_params(self) -> dict[str, Any]:
+        return {"k": self.k, "seed": self.seed}
+
+    def _check_query(self, sketch: KMVSketch) -> None:
+        self._require(
+            sketch.k == self.k and sketch.seed == self.seed,
+            f"query sketch (k={sketch.k}, seed={sketch.seed}) does not match "
+            f"sketcher (k={self.k}, seed={self.seed})",
         )
-        within = common <= tau
-        matched_products = float(
-            np.dot(sketch_a.values[pos_a[within]], sketch_b.values[pos_b[within]])
+
+    def pack_bank(self, sketches: Sequence[KMVSketch]) -> SketchBank:
+        for sketch in sketches:
+            self._check_query(sketch)
+        count = len(sketches)
+        hashes = np.full((count, self.k), np.inf)
+        values = np.zeros((count, self.k))
+        sizes = np.zeros(count, dtype=np.int64)
+        exact = np.zeros(count, dtype=bool)
+        for i, sketch in enumerate(sketches):
+            stored = sketch.hashes.size
+            hashes[i, :stored] = sketch.hashes
+            values[i, :stored] = sketch.values
+            sizes[i] = stored
+            exact[i] = sketch.exact
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={"hashes": hashes, "values": values, "sizes": sizes, "exact": exact},
+            words_per_sketch=self.storage_words(),
         )
-        if sketch_a.exact and sketch_b.exact:
-            return matched_products  # both supports fully known
-        return (union_estimate / k_used) * matched_products
+
+    def bank_row(self, bank: SketchBank, i: int) -> KMVSketch:
+        self._check_bank(bank)
+        stored = int(bank.columns["sizes"][i])
+        return KMVSketch(
+            hashes=bank.columns["hashes"][i, :stored],
+            values=bank.columns["values"][i, :stored],
+            k=self.k,
+            seed=self.seed,
+            exact=bool(bank.columns["exact"][i]),
+        )
+
+    def sketch_batch(
+        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+    ) -> SketchBank:
+        """Sketch all rows with one hash pass over the distinct indices.
+
+        The single KMV hash function is evaluated once per distinct
+        folded index in the matrix; the per-row bottom-``k`` selection
+        then runs as a padded stable argsort over row chunks.  Results
+        are bit-identical to the scalar loop.
+        """
+        rows = as_sparse_matrix(matrix)
+        total = rows.num_rows
+        hashes = np.full((total, self.k), np.inf)
+        values = np.zeros((total, self.k))
+        sizes = np.zeros(total, dtype=np.int64)
+        exact = np.zeros(total, dtype=bool)
+
+        row_sizes = rows.row_sizes()
+        sizes[:] = np.minimum(row_sizes, self.k)
+        exact[:] = row_sizes <= self.k
+
+        active = row_sizes > 0
+        if active.any():
+            row_index = np.flatnonzero(active)
+            indptr = np.concatenate([[0], np.cumsum(row_sizes[active])])
+            folded = fold_to_domain(rows.indices)
+            unique_folded, inverse = np.unique(folded, return_inverse=True)
+            unique_hashes = self._family.single_unit(0, unique_folded)
+
+            for lo, hi in chunk_boundaries(indptr, _BATCH_CELL_TARGET):
+                lo_nnz, hi_nnz = int(indptr[lo]), int(indptr[hi])
+                chunk_sizes = np.diff(indptr[lo : hi + 1])
+                width = int(chunk_sizes.max())
+                count = hi - lo
+                padded = np.full((count, width), np.inf)
+                padded_values = np.zeros((count, width))
+                local_rows = np.repeat(np.arange(count), chunk_sizes)
+                local_cols = (
+                    np.arange(hi_nnz - lo_nnz)
+                    - np.repeat(indptr[lo:hi] - lo_nnz, chunk_sizes)
+                )
+                padded[local_rows, local_cols] = unique_hashes[
+                    inverse[lo_nnz:hi_nnz]
+                ]
+                padded_values[local_rows, local_cols] = rows.values[lo_nnz:hi_nnz]
+                keep = min(self.k, width)
+                order = np.argsort(padded, axis=1, kind="stable")[:, :keep]
+                chunk_rows = row_index[lo:hi]
+                selected = np.take_along_axis(padded, order, axis=1)
+                hashes[chunk_rows, :keep] = selected
+                values[chunk_rows, :keep] = np.take_along_axis(
+                    padded_values, order, axis=1
+                )
+            # Padding positions sorted in carry inf hashes; restore the
+            # sentinel layout (inf hash, zero value) beyond each row's
+            # stored size.
+            pad_mask = np.arange(self.k)[None, :] >= sizes[:, None]
+            hashes[pad_mask] = np.inf
+            values[pad_mask] = 0.0
+
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={"hashes": hashes, "values": values, "sizes": sizes, "exact": exact},
+            words_per_sketch=self.storage_words(),
+        )
+
+    def estimate_many(self, query_sketch: KMVSketch, bank: SketchBank) -> np.ndarray:
+        """Beyer-et-al. estimation against every bank row, vectorized.
+
+        Per row the kernel stable-merges the query's and the row's
+        sorted hash arrays (ties place the row's copy first, marking a
+        shared coordinate), recovers the ``k``-th smallest distinct
+        hash ``τ``, and Horvitz–Thompson-weights the matched products —
+        the same quantities the classic ``union1d``/``intersect1d``
+        formulation produces, computed for all rows at once.
+        """
+        self._check_bank(bank)
+        self._check_query(query_sketch)
+        count = len(bank)
+        out = np.zeros(count)
+        if count == 0 or query_sketch.hashes.size == 0:
+            return out
+        bank_hashes = bank.columns["hashes"]
+        bank_values = bank.columns["values"]
+        bank_sizes = bank.columns["sizes"]
+        bank_exact = bank.columns["exact"]
+
+        query_hashes = query_sketch.hashes
+        query_values = query_sketch.values
+        sq = query_hashes.size
+        width = bank_hashes.shape[1]
+
+        # Merged view: row hashes first, query hashes appended; stable
+        # argsort keeps the row copy of a shared hash before the query
+        # copy, so "equal to predecessor" identifies common coordinates.
+        combined = np.concatenate(
+            [bank_hashes, np.broadcast_to(query_hashes, (count, sq))], axis=1
+        )
+        order = np.argsort(combined, axis=1, kind="stable")
+        merged = np.take_along_axis(combined, order, axis=1)
+        from_query = order >= width
+
+        previous = np.empty_like(merged)
+        previous[:, 0] = -np.inf
+        previous[:, 1:] = merged[:, :-1]
+        prev_from_query = np.zeros_like(from_query)
+        prev_from_query[:, 1:] = from_query[:, :-1]
+        prev_order = np.zeros_like(order)
+        prev_order[:, 1:] = order[:, :-1]
+
+        finite = np.isfinite(merged)
+        duplicate = (merged == previous) & (from_query != prev_from_query) & finite
+
+        # Distinct union: merged size and the k_used-th smallest value.
+        distinct = (~duplicate) & finite
+        union_sizes = distinct.sum(axis=1)
+        empty_rows = union_sizes == 0
+        k_used = np.minimum(self.k, np.maximum(union_sizes, 1))
+        distinct_rank = np.cumsum(distinct, axis=1)  # 1-based among distinct
+        tau_mask = distinct & (distinct_rank == k_used[:, None])
+        tau = np.max(np.where(tau_mask, merged, -np.inf), axis=1)
+
+        # Matched products: at a duplicate position the pair
+        # (predecessor, current) holds one row copy and one query copy.
+        row_pos = np.where(from_query, prev_order, order)
+        query_pos = np.where(from_query, order, prev_order) - width
+        query_pos = np.clip(query_pos, 0, sq - 1)
+        row_ids = np.arange(count)[:, None]
+        products = bank_values[row_ids, np.clip(row_pos, 0, width - 1)] * query_values[
+            query_pos
+        ]
+        within = duplicate & (merged <= tau[:, None])
+        matched = np.where(within, products, 0.0).sum(axis=1)
+
+        both_exact = bank_exact & bool(query_sketch.exact)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            union_estimate = np.where(
+                both_exact, union_sizes.astype(np.float64), (k_used - 1) / tau
+            )
+            scaled = (union_estimate / k_used) * matched
+        out = np.where(both_exact, matched, scaled)
+        out[empty_rows] = 0.0
+        out[bank_sizes == 0] = 0.0
+        return out

@@ -22,15 +22,20 @@ modulo the 31-bit Mersenne prime, stored as 32-bit values (hence the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
+from repro.core.segments import chunk_boundaries, segmented_min_argmin
 from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
-from repro.vectors.sparse import SparseVector
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
 __all__ = ["MinHashSketch", "MinHash"]
+
+#: Batch working-set cap (elements of the per-chunk (m, nnz) matrices).
+_BATCH_CELL_TARGET = 500_000
 
 
 @dataclass(frozen=True)
@@ -99,3 +104,113 @@ class MinHash(Sketcher):
             np.sum(np.where(matches, sketch_a.values * sketch_b.values, 0.0))
         )
         return (union_estimate / sketch_a.m) * matched_products
+
+    # ------------------------------------------------------------------
+    # batch path
+    # ------------------------------------------------------------------
+
+    def _bank_params(self) -> dict[str, Any]:
+        return {"m": self.m, "seed": self.seed}
+
+    def _check_query(self, sketch: MinHashSketch) -> None:
+        self._require(
+            sketch.m == self.m and sketch.seed == self.seed,
+            f"query sketch (m={sketch.m}, seed={sketch.seed}) does not match "
+            f"sketcher (m={self.m}, seed={self.seed})",
+        )
+
+    def pack_bank(self, sketches: Sequence[MinHashSketch]) -> SketchBank:
+        for sketch in sketches:
+            self._check_query(sketch)
+        count = len(sketches)
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={
+                "hashes": np.stack([s.hashes for s in sketches])
+                if count
+                else np.empty((0, self.m)),
+                "values": np.stack([s.values for s in sketches])
+                if count
+                else np.empty((0, self.m)),
+            },
+            words_per_sketch=self.storage_words(),
+        )
+
+    def bank_row(self, bank: SketchBank, i: int) -> MinHashSketch:
+        self._check_bank(bank)
+        return MinHashSketch(
+            hashes=bank.columns["hashes"][i],
+            values=bank.columns["values"][i],
+            m=self.m,
+            seed=self.seed,
+        )
+
+    def sketch_batch(
+        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+    ) -> SketchBank:
+        """Sketch all rows with one hash pass over the distinct indices.
+
+        The ``m`` Carter–Wegman functions are evaluated once per
+        distinct folded index in the matrix (indices shared across rows
+        — common vocabulary, common keys — are hashed once), then
+        scattered back to the rows for a segmented argmin.  Results are
+        bit-identical to the scalar loop.
+        """
+        rows = as_sparse_matrix(matrix)
+        total = rows.num_rows
+        hashes = np.full((total, self.m), np.inf)
+        values = np.zeros((total, self.m))
+
+        sizes = rows.row_sizes()
+        active = sizes > 0
+        if active.any():
+            # Empty rows contribute no entries, so the concatenated
+            # index/value arrays are exactly the active rows' entries.
+            row_index = np.flatnonzero(active)
+            row_values = rows.values
+            indptr = np.concatenate([[0], np.cumsum(sizes[active])])
+
+            folded = fold_to_domain(rows.indices)
+            unique_folded, inverse = np.unique(folded, return_inverse=True)
+            unique_hashes = self._family.hash_unit(unique_folded)  # (m, U)
+
+            for lo, hi in chunk_boundaries(
+                indptr, _BATCH_CELL_TARGET // max(self.m, 1)
+            ):
+                lo_nnz, hi_nnz = int(indptr[lo]), int(indptr[hi])
+                cols = unique_hashes[:, inverse[lo_nnz:hi_nnz]]
+                mins, argpos = segmented_min_argmin(cols, indptr[lo : hi + 1] - lo_nnz)
+                chunk_rows = row_index[lo:hi]
+                hashes[chunk_rows] = mins.T
+                values[chunk_rows] = row_values[lo_nnz + argpos].T
+
+        return SketchBank(
+            kind=self.name,
+            params=self._bank_params(),
+            columns={"hashes": hashes, "values": values},
+            words_per_sketch=self.storage_words(),
+        )
+
+    def estimate_many(self, query_sketch: MinHashSketch, bank: SketchBank) -> np.ndarray:
+        """Algorithm 2 against every bank row in one vectorized pass."""
+        self._check_bank(bank)
+        self._check_query(query_sketch)
+        out = np.zeros(len(bank))
+        if len(bank) == 0 or not np.isfinite(query_sketch.hashes).any():
+            return out
+        bank_hashes = bank.columns["hashes"]
+        active = np.isfinite(bank_hashes).any(axis=1)
+        if not active.any():
+            return out
+        bank_hashes = bank_hashes[active]
+        bank_values = bank.columns["values"][active]
+        minima = np.minimum(query_sketch.hashes[None, :], bank_hashes)
+        union_estimate = self.m / minima.sum(axis=1) - 1.0
+        matches = query_sketch.hashes[None, :] == bank_hashes
+        matched_products = np.sum(
+            np.where(matches, query_sketch.values[None, :] * bank_values, 0.0),
+            axis=1,
+        )
+        out[active] = (union_estimate / self.m) * matched_products
+        return out

@@ -122,6 +122,9 @@ class PrioritySampling(Sketcher):
             seed=self.seed,
         )
 
+    def _bank_params(self) -> dict[str, Any]:
+        return {"k": self.k, "seed": self.seed}
+
     def estimate(self, sketch_a: PrioritySketch, sketch_b: PrioritySketch) -> float:
         self._require(
             sketch_a.k == sketch_b.k and sketch_a.seed == sketch_b.seed,

@@ -103,7 +103,14 @@ class SimHash(Sketcher):
         agreement = float(np.mean(sketch_a.bits == sketch_b.bits))
         return math.cos(math.pi * (1.0 - agreement))
 
+    def _bank_params(self) -> dict[str, Any]:
+        return {"m": self.m, "seed": self.seed}
+
     def estimate(self, sketch_a: SimHashSketch, sketch_b: SimHashSketch) -> float:
+        self._require(
+            sketch_a.m == sketch_b.m and sketch_a.seed == sketch_b.seed,
+            "SimHash sketches built with different (m, seed)",
+        )
         if sketch_a.norm == 0.0 or sketch_b.norm == 0.0:
             return 0.0
         return sketch_a.norm * sketch_b.norm * self.estimate_cosine(sketch_a, sketch_b)

@@ -11,10 +11,12 @@ from repro.vectors.ops import (
     support_union_size,
     weighted_jaccard_similarity,
 )
-from repro.vectors.sparse import SparseVector
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
 __all__ = [
+    "SparseMatrix",
     "SparseVector",
+    "as_sparse_matrix",
     "cosine_similarity",
     "inner_product",
     "intersection_norms",

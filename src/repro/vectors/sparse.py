@@ -1,4 +1,4 @@
-"""Sparse vector data model.
+"""Sparse vector and matrix data model.
 
 Every sketch in this package consumes a :class:`SparseVector`: a set of
 ``(index, value)`` pairs with sorted, unique ``int64`` indices and
@@ -7,15 +7,20 @@ nonzero ``float64`` values.  The dimension ``n`` is deliberately *open*
 the non-zero entries, so ``n`` can be "large enough to cover the whole
 domain of the keys being sketched (e.g. n = 2**32 or n = 2**64)" without
 ever being materialized.
+
+:class:`SparseMatrix` is the batch counterpart: a CSR collection of
+rows, each an independent :class:`SparseVector`, feeding the
+``Sketcher.sketch_batch`` path (one simulation / hash pass over all
+rows instead of a Python loop).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["SparseVector"]
+__all__ = ["SparseVector", "SparseMatrix", "as_sparse_matrix"]
 
 
 class SparseVector:
@@ -216,3 +221,130 @@ class SparseVector:
             f"SparseVector(nnz={self.nnz}, n={self.n}, "
             f"norm={self.norm():.6g})"
         )
+
+
+class SparseMatrix:
+    """An immutable CSR stack of :class:`SparseVector` rows.
+
+    Row ``i`` occupies ``indices[indptr[i]:indptr[i+1]]`` /
+    ``values[indptr[i]:indptr[i+1]]``; within each row the indices are
+    sorted and unique (the :class:`SparseVector` invariant).  Like the
+    vector type, the column dimension ``n`` is optional/open.
+
+    This is the input type of ``Sketcher.sketch_batch``: the
+    concatenated layout lets batch sketchers run one vectorized pass
+    (hashing, record simulation) over the non-zeros of *all* rows.
+    """
+
+    __slots__ = ("indptr", "indices", "values", "n")
+
+    def __init__(
+        self,
+        indptr: np.ndarray | Iterable[int],
+        indices: np.ndarray | Iterable[int],
+        values: np.ndarray | Iterable[float],
+        n: int | None = None,
+    ) -> None:
+        # Copy when the conversion aliased the caller's array: the
+        # freeze below must not make the caller's own buffer read-only.
+        def _own(data: object, dtype: type) -> np.ndarray:
+            arr = np.asarray(data, dtype=dtype)
+            return arr.copy() if arr is data else arr
+
+        ptr = _own(indptr, np.int64)
+        idx = _own(indices, np.int64)
+        val = _own(values, np.float64)
+        if ptr.ndim != 1 or ptr.size < 1 or ptr[0] != 0:
+            raise ValueError("indptr must be 1-D and start at 0")
+        if np.any(np.diff(ptr) < 0) or ptr[-1] != idx.size:
+            raise ValueError("indptr must be non-decreasing and end at nnz")
+        if idx.shape != val.shape or idx.ndim != 1:
+            raise ValueError("indices and values must be aligned 1-D arrays")
+        ptr.setflags(write=False)
+        idx.setflags(write=False)
+        val.setflags(write=False)
+        object.__setattr__(self, "indptr", ptr)
+        object.__setattr__(self, "indices", idx)
+        object.__setattr__(self, "values", val)
+        object.__setattr__(self, "n", int(n) if n is not None else None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SparseMatrix is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[SparseVector] | Iterable[SparseVector]
+    ) -> "SparseMatrix":
+        """Stack vectors as matrix rows (the common construction)."""
+        rows = list(rows)
+        sizes = np.array([row.nnz for row in rows], dtype=np.int64)
+        indptr = np.concatenate([[0], np.cumsum(sizes)])
+        if rows:
+            indices = np.concatenate([row.indices for row in rows])
+            values = np.concatenate([row.values for row in rows])
+        else:
+            indices = np.empty(0, np.int64)
+            values = np.empty(0, np.float64)
+        dims = {row.n for row in rows if row.n is not None}
+        n = max(dims) if dims else None
+        return cls(indptr, indices, values, n=n)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseMatrix":
+        """Build from a dense 2-D array, dropping exact zeros."""
+        arr = np.asarray(dense, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError("dense input must be two-dimensional")
+        return cls.from_rows([SparseVector.from_dense(row) for row in arr])
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def nnz(self) -> int:
+        """Total non-zeros across all rows."""
+        return int(self.indices.size)
+
+    def row_sizes(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> SparseVector:
+        """Materialize row ``i`` as a :class:`SparseVector`."""
+        start, stop = int(self.indptr[i]), int(self.indptr[i + 1])
+        return SparseVector(self.indices[start:stop], self.values[start:stop], n=self.n)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self) -> Iterator[SparseVector]:
+        return (self.row(i) for i in range(self.num_rows))
+
+    def __repr__(self) -> str:
+        return f"SparseMatrix(rows={self.num_rows}, nnz={self.nnz}, n={self.n})"
+
+
+def as_sparse_matrix(matrix: object) -> SparseMatrix:
+    """Coerce batch-sketching input into a :class:`SparseMatrix`.
+
+    Accepts a :class:`SparseMatrix` (returned as-is), a dense 2-D
+    ``numpy`` array, or any iterable of :class:`SparseVector`.
+    """
+    if isinstance(matrix, SparseMatrix):
+        return matrix
+    if isinstance(matrix, np.ndarray):
+        return SparseMatrix.from_dense(matrix)
+    if isinstance(matrix, SparseVector):
+        raise TypeError(
+            "sketch_batch expects a matrix or sequence of vectors; "
+            "use sketch() for a single SparseVector"
+        )
+    return SparseMatrix.from_rows(matrix)

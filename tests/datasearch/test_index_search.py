@@ -72,9 +72,73 @@ class TestSketchIndex:
 
     def test_storage_accounting(self):
         _, tables = make_lake()
+        sketcher = WeightedMinHash(m=64, seed=0)
+        index = SketchIndex(sketcher)
+        index.add_all(tables)
+        # Exact bank accounting: every table stores one indicator
+        # sketch plus a (value, square) pair per numeric column, each
+        # costing sketcher.storage_words().
+        expected = sum(
+            sketcher.storage_words() * (1 + 2 * len(table.columns))
+            for table in tables
+        )
+        assert index.storage_words() == pytest.approx(expected)
+
+
+class TestColumnarIndex:
+    def test_banks_align_with_tables(self):
+        _, tables = make_lake()
         index = SketchIndex(WeightedMinHash(m=64, seed=0))
         index.add_all(tables)
-        assert index.storage_words() > 0
+        assert index.table_names() == ["weather", "census", "noise"]
+        assert len(index.indicator_bank) == 3
+        assert index.value_owners() == [
+            ("weather", "precipitation"),
+            ("census", "population"),
+            ("noise", "random"),
+        ]
+        assert len(index.value_bank) == len(index.value_owners())
+        assert len(index.square_bank) == len(index.value_bank)
+
+    def test_add_all_matches_incremental_add(self):
+        _, tables = make_lake()
+        sketcher = WeightedMinHash(m=64, seed=0)
+        bulk = SketchIndex(sketcher)
+        bulk.add_all(tables)
+        incremental = SketchIndex(sketcher)
+        for table in tables:
+            incremental.add(table)
+        np.testing.assert_array_equal(
+            bulk.indicator_bank.columns["hashes"],
+            incremental.indicator_bank.columns["hashes"],
+        )
+        np.testing.assert_array_equal(
+            bulk.value_bank.columns["values"],
+            incremental.value_bank.columns["values"],
+        )
+
+    def test_get_reconstructs_join_sketch_from_banks(self):
+        _, tables = make_lake()
+        sketcher = WeightedMinHash(m=64, seed=0)
+        index = SketchIndex(sketcher)
+        index.add_all(tables)
+        from repro.datasearch.join_estimates import JoinSketch
+
+        direct = JoinSketch.build(tables[0], sketcher)
+        via_index = index.get("weather")
+        np.testing.assert_array_equal(
+            via_index.indicator.hashes, direct.indicator.hashes
+        )
+        np.testing.assert_array_equal(
+            via_index.values["precipitation"].values,
+            direct.values["precipitation"].values,
+        )
+        assert via_index.num_rows == direct.num_rows
+
+    def test_empty_index_banks_raise(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0))
+        with pytest.raises(ValueError, match="empty"):
+            _ = index.indicator_bank
 
 
 class TestDatasetSearch:
