@@ -1,0 +1,187 @@
+"""Persistent-store benchmarks, recorded to ``BENCH_store.json``.
+
+Two measurements justify the lake store's existence:
+
+* **cold-open query latency** — time from ``LakeStore.open`` on a cold
+  process to the first ranked search result, versus re-sketching the
+  whole lake into a fresh in-memory ``SketchIndex`` and searching it.
+  This is the "millions of users" serving path: a worker that boots
+  from shards answers in milliseconds instead of re-paying the sketch
+  pass.
+* **append-vs-rebuild ingest** — time to ``append`` one new batch of
+  tables to an existing store, versus rebuilding the in-memory index
+  over the full (old + new) lake.  Incremental ingest cost scales with
+  the batch, not the lake.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_store.py [--quick] [--out BENCH_store.json]
+
+``--quick`` shrinks the workload for CI smoke jobs; the JSON shape is
+identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.search import DatasetSearch
+from repro.datasearch.table import Table
+from repro.store import LakeStore, QuerySession
+
+#: Full workload: a lake of tables over a shared key domain, one
+#: append batch, one query table.
+NUM_TABLES = 200
+APPEND_TABLES = 10
+ROWS_PER_TABLE = 300
+KEY_DOMAIN = 5_000
+SKETCH_M = 200
+
+
+def make_tables(count: int, rows: int, seed: int, prefix: str = "table") -> list[Table]:
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = rng.choice(KEY_DOMAIN, size=rows, replace=False)
+        tables.append(
+            Table(
+                f"{prefix}{i}",
+                [f"k{k}" for k in keys],
+                {"value": rng.normal(size=rows)},
+            )
+        )
+    return tables
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def run(quick: bool = False, seed: int = 0) -> dict:
+    num_tables = 30 if quick else NUM_TABLES
+    append_count = 3 if quick else APPEND_TABLES
+    rows = 120 if quick else ROWS_PER_TABLE
+    sketch_m = 64 if quick else SKETCH_M
+
+    lake = make_tables(num_tables, rows, seed)
+    new_batch = make_tables(append_count, rows, seed + 1, prefix="new")
+    query = make_tables(1, rows, seed + 2, prefix="query")[0]
+
+    def sketcher():
+        return WeightedMinHash(m=sketch_m, seed=7, L=1 << 20)
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
+    report: dict = {
+        "workload": {
+            "tables": num_tables,
+            "append_tables": append_count,
+            "rows_per_table": rows,
+            "sketch_m": sketch_m,
+            "quick": quick,
+        }
+    }
+    try:
+        # Ingest the lake once (the amortized cost every other number
+        # avoids paying again).
+        store = LakeStore.create(workdir / "lake", sketcher())
+        ingest_s, _ = _time(lambda: store.append(lake))
+        file_bytes = store.stats()["file_bytes"]
+        store.close()
+
+        # Cold open + first query, straight from shards.
+        def cold_query():
+            with LakeStore.open(workdir / "lake") as reopened:
+                return QuerySession(reopened, min_containment=0.0).search(
+                    query, "value", top_k=10
+                )
+
+        cold_open_s, disk_hits = _time(cold_query)
+
+        # The alternative a storeless deployment pays on every boot:
+        # re-sketch the whole lake, then search.
+        def rebuild_query():
+            index = SketchIndex(sketcher())
+            index.add_all(lake)
+            engine = DatasetSearch(index, min_containment=0.0)
+            return engine.search(engine.sketch_query(query), "value", top_k=10)
+
+        rebuild_s, memory_hits = _time(rebuild_query)
+        if [(h.table_name, h.column, h.score) for h in disk_hits] != [
+            (h.table_name, h.column, h.score) for h in memory_hits
+        ]:
+            raise AssertionError("stored lake diverges from in-memory index")
+
+        # Incremental append vs full rebuild over old + new.
+        store = LakeStore.open(workdir / "lake")
+        append_s, _ = _time(lambda: store.append(new_batch))
+        store.close()
+
+        def rebuild_all():
+            index = SketchIndex(sketcher())
+            index.add_all(lake + new_batch)
+            return index
+
+        rebuild_all_s, _ = _time(rebuild_all)
+
+        report["cold_open_query"] = {
+            "store_open_plus_query_s": round(cold_open_s, 4),
+            "rebuild_plus_query_s": round(rebuild_s, 4),
+            "speedup": round(rebuild_s / cold_open_s, 2),
+        }
+        report["ingest"] = {
+            "initial_ingest_s": round(ingest_s, 4),
+            "append_batch_s": round(append_s, 4),
+            "rebuild_full_s": round(rebuild_all_s, 4),
+            "append_vs_rebuild_speedup": round(rebuild_all_s / append_s, 2),
+        }
+        report["storage"] = {"file_bytes": file_bytes}
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_store.json",
+    )
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick, seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    cold = report["cold_open_query"]
+    ingest = report["ingest"]
+    print(
+        f"  cold open+query {cold['store_open_plus_query_s']:.3f}s vs "
+        f"rebuild {cold['rebuild_plus_query_s']:.3f}s "
+        f"({cold['speedup']:.1f}x)"
+    )
+    print(
+        f"  append batch {ingest['append_batch_s']:.3f}s vs full rebuild "
+        f"{ingest['rebuild_full_s']:.3f}s "
+        f"({ingest['append_vs_rebuild_speedup']:.1f}x)"
+    )
+    if cold["speedup"] < 1.0:
+        raise SystemExit(
+            f"cold-open query slower than a full rebuild "
+            f"({cold['speedup']:.2f}x) — the store lost its reason to exist"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -103,6 +103,12 @@ class SketchBank:
         """Stack compatible banks into one (same kind/params/columns)."""
         if not banks:
             raise ValueError("cannot concatenate zero banks")
+        if len(banks) == 1:
+            # Zero-copy fast path: a single bank is already the answer.
+            # This is what keeps stored banks (memory-mapped shard
+            # views) un-copied through SketchIndex._compact when the
+            # index holds exactly one cached prefix.
+            return banks[0]
         first = banks[0]
         for other in banks[1:]:
             if other.kind != first.kind or dict(other.params) != dict(first.params):
@@ -130,6 +136,16 @@ class SketchBank:
     def storage_words(self) -> float:
         """Total footprint in 64-bit words (paper accounting)."""
         return self.words_per_sketch * len(self)
+
+    def nbytes(self) -> int:
+        """In-memory footprint of the column arrays, in bytes.
+
+        Object-dtype columns count pointer size only (their sketches
+        live on the heap); numeric columns count raw array bytes.  A
+        zero-copy bank over a memory-mapped shard reports the mapped
+        size, not resident memory.
+        """
+        return int(sum(arr.nbytes for arr in self.columns.values()))
 
     def is_object_bank(self) -> bool:
         """True for generic fallback banks of scalar sketch objects."""

@@ -21,7 +21,7 @@ available (:meth:`get`, iteration) for pairwise estimation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
@@ -54,7 +54,13 @@ class SketchIndex:
     def __init__(self, sketcher: Sketcher) -> None:
         self.sketcher = sketcher
         self._entries: dict[str, _TableEntry] = {}
+        # Concatenated-bank cache: ``_banks`` covers the first
+        # ``_banks_count`` entries in insertion order.  Appending a new
+        # table leaves the cached prefix valid (only the tail is
+        # dirty); replacing an existing table rewrites a row *inside*
+        # the prefix, which is the only event that invalidates it.
         self._banks: tuple[SketchBank, SketchBank, SketchBank] | None = None
+        self._banks_count = 0
 
     # ------------------------------------------------------------------
     # building
@@ -74,21 +80,89 @@ class SketchIndex:
         )
 
     @staticmethod
-    def _encode(table: Table) -> list:
+    def encode_table(table: Table) -> list:
+        """The canonical vector encoding of one table, in bank-row order.
+
+        Row 0 is the key-indicator vector; rows ``1..w`` the per-column
+        value vectors; rows ``w+1..2w`` the squared-value vectors.  The
+        persistent store (:mod:`repro.store`) encodes with this exact
+        layout so stored bank slices re-attach via :meth:`attach`.
+        """
         columns = list(table.columns)
         vectors = [indicator_vector(table)]
         vectors += [value_vector(table, column) for column in columns]
         vectors += [squared_value_vector(table, column) for column in columns]
         return vectors
 
+    def _set_entry(self, entry: _TableEntry) -> None:
+        if entry.name in self._entries:
+            # Same-name replacement rewrites a row inside the cached
+            # prefix (dict order keeps the old position) — drop it.
+            self._banks = None
+            self._banks_count = 0
+        self._entries[entry.name] = entry
+
     def add(self, table: Table) -> JoinSketch:
         """Sketch and index a table; replaces any same-named entry."""
-        bank = self.sketcher.sketch_batch(self._encode(table))
-        self._entries[table.name] = self._entry_from_bank(
-            table, tuple(table.columns), bank
+        bank = self.sketcher.sketch_batch(self.encode_table(table))
+        self._set_entry(
+            self._entry_from_bank(table, tuple(table.columns), bank)
         )
-        self._banks = None
         return self.get(table.name)
+
+    def attach(
+        self,
+        name: str,
+        num_rows: int,
+        columns: Sequence[str],
+        bank: SketchBank,
+    ) -> None:
+        """Index a table from its *already-sketched* bank.
+
+        ``bank`` must hold the table's encoded rows in :meth:`encode_table`
+        order — indicator, then one value row per column, then one
+        squared-value row per column.  This is the re-materialization
+        path persistent stores use: no :class:`Table` (and no
+        re-sketching) required.
+        """
+        columns = tuple(columns)
+        expected = 1 + 2 * len(columns)
+        if len(bank) != expected:
+            raise ValueError(
+                f"table {name!r} with {len(columns)} columns needs "
+                f"{expected} bank rows, got {len(bank)}"
+            )
+        self.sketcher._check_bank(bank)
+        width = len(columns)
+        self._set_entry(
+            _TableEntry(
+                name=name,
+                num_rows=int(num_rows),
+                columns=columns,
+                indicator=bank[0:1],
+                values=bank[1 : 1 + width],
+                squares=bank[1 + width : 1 + 2 * width],
+            )
+        )
+
+    @classmethod
+    def from_banks(
+        cls,
+        sketcher: Sketcher,
+        entries: Iterable[tuple[str, int, Sequence[str], SketchBank]],
+    ) -> "SketchIndex":
+        """Reconstruct an index from stored banks, without any tables.
+
+        ``entries`` yields ``(name, num_rows, columns, bank)`` per
+        table, where ``bank`` is that table's slice of a stored shard
+        (see :meth:`attach` for the required row layout).  Estimates
+        from the result are bit-identical to an index built by
+        sketching the same tables, because banks persist losslessly.
+        """
+        index = cls(sketcher)
+        for name, num_rows, columns, bank in entries:
+            index.attach(name, num_rows, columns, bank)
+        return index
 
     def add_all(self, tables: Iterable[Table]) -> None:
         """Index many tables with **one** batch sketching pass.
@@ -103,7 +177,7 @@ class SketchIndex:
         vectors: list = []
         spans: list[tuple[Table, tuple[str, ...], int, int]] = []
         for table in tables:
-            encoded = self._encode(table)
+            encoded = self.encode_table(table)
             spans.append(
                 (
                     table,
@@ -115,25 +189,38 @@ class SketchIndex:
             vectors.extend(encoded)
         bank = self.sketcher.sketch_batch(vectors)
         for table, columns, lo, hi in spans:
-            self._entries[table.name] = self._entry_from_bank(
-                table, columns, bank[lo:hi]
-            )
-        self._banks = None
+            self._set_entry(self._entry_from_bank(table, columns, bank[lo:hi]))
 
     # ------------------------------------------------------------------
     # columnar views
     # ------------------------------------------------------------------
 
     def _compact(self) -> tuple[SketchBank, SketchBank, SketchBank]:
-        if self._banks is None:
-            if not self._entries:
-                raise ValueError("the index is empty")
-            entries = list(self._entries.values())
-            self._banks = (
-                SketchBank.concat([e.indicator for e in entries]),
-                SketchBank.concat([e.values for e in entries]),
-                SketchBank.concat([e.squares for e in entries]),
-            )
+        if not self._entries:
+            raise ValueError("the index is empty")
+        if self._banks is not None and self._banks_count == len(self._entries):
+            return self._banks
+        # Concat the cached prefix (one big bank) with only the dirty
+        # tail of newly appended entries, instead of re-concatenating
+        # every per-entry slice on each interleaved add/query.
+        entries = list(self._entries.values())
+        tail = entries[self._banks_count :]
+        prefix = list(self._banks) if self._banks is not None else [None, None, None]
+        self._banks = (
+            SketchBank.concat(
+                ([prefix[0]] if prefix[0] is not None else [])
+                + [e.indicator for e in tail]
+            ),
+            SketchBank.concat(
+                ([prefix[1]] if prefix[1] is not None else [])
+                + [e.values for e in tail]
+            ),
+            SketchBank.concat(
+                ([prefix[2]] if prefix[2] is not None else [])
+                + [e.squares for e in tail]
+            ),
+        )
+        self._banks_count = len(entries)
         return self._banks
 
     @property

@@ -90,6 +90,21 @@ class DatasetSearch:
         results.sort(key=lambda item: item[2], reverse=True)
         return results
 
+    def search_table(
+        self,
+        table: Table,
+        query_column: str,
+        top_k: int = 10,
+        by: str = "correlation",
+    ) -> list[SearchHit]:
+        """:meth:`search` for a raw table: sketch, then rank.
+
+        One-shot convenience for serving layers (``repro.store``'s
+        :class:`~repro.store.session.QuerySession`, the CLI) that hold
+        tables rather than pre-built :class:`JoinSketch` objects.
+        """
+        return self.search(self.sketch_query(table), query_column, top_k=top_k, by=by)
+
     def joinable(self, query: JoinSketch) -> list[tuple[str, float, float]]:
         """Tables passing the joinability filter.
 
@@ -121,6 +136,11 @@ class DatasetSearch:
         """
         if by not in ("correlation", "inner_product"):
             raise ValueError(f"unknown ranking criterion {by!r}")
+        if query_column not in query.values:
+            raise KeyError(
+                f"query table {query.table_name!r} has no column "
+                f"{query_column!r}; available: {sorted(query.values)}"
+            )
         # Per-table statistics (against the indicator bank); the same
         # join-size pass feeds both the joinability filter and the
         # correlation formula.

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import Any, Callable
 
 import numpy as np
@@ -52,6 +53,8 @@ __all__ = [
     "unpack_sketch",
     "pack_bank",
     "unpack_bank",
+    "pack_shard",
+    "unpack_shard",
     "packed_size_words",
 ]
 
@@ -67,6 +70,7 @@ _KIND_ICWS = 6
 _KIND_PRIORITY = 7
 _KIND_BBIT = 8
 _KIND_BANK = 9
+_KIND_SHARD = 10
 
 #: 2**32, the fixed-point scale of quantized hashes.
 _HASH_SCALE = float(1 << 32)
@@ -103,13 +107,14 @@ def _header(kind: int) -> bytes:
     return _MAGIC + struct.pack("<BB", _VERSION, kind)
 
 
-def _check_header(payload: bytes) -> tuple[int, memoryview]:
-    if len(payload) < 6 or payload[:4] != _MAGIC:
+def _check_header(payload: bytes | memoryview) -> tuple[int, memoryview]:
+    view = memoryview(payload)
+    if len(view) < 6 or bytes(view[:4]) != _MAGIC:
         raise SerializationError("not a repro sketch payload (bad magic)")
-    version, kind = struct.unpack_from("<BB", payload, 4)
+    version, kind = struct.unpack_from("<BB", view, 4)
     if version != _VERSION:
         raise SerializationError(f"unsupported format version {version}")
-    return kind, memoryview(payload)[6:]
+    return kind, view[6:]
 
 
 # ----------------------------------------------------------------------
@@ -378,8 +383,15 @@ def pack_bank(bank: SketchBank) -> bytes:
     return b"".join([_header(_KIND_BANK), struct.pack("<I", len(meta)), meta, *blobs])
 
 
-def unpack_bank(payload: bytes) -> SketchBank:
-    """Deserialize a payload produced by :func:`pack_bank`."""
+def unpack_bank(payload: bytes | memoryview, copy: bool = True) -> SketchBank:
+    """Deserialize a payload produced by :func:`pack_bank`.
+
+    With ``copy=False`` the numeric columns are read-only views into
+    ``payload`` (zero-copy) — the load path :class:`repro.store.LakeStore`
+    uses to open shard files without materializing the arrays twice.
+    The caller must keep the backing buffer alive for the bank's
+    lifetime; object-dtype columns are always materialized.
+    """
     kind, body = _check_header(payload)
     if kind != _KIND_BANK:
         raise SerializationError(f"payload is not a sketch bank (kind {kind})")
@@ -402,11 +414,11 @@ def unpack_bank(payload: bytes) -> SketchBank:
             else:
                 dt = np.dtype(dtype)
                 count = int(np.prod(shape, dtype=np.int64)) if shape else 1
-                column = (
-                    np.frombuffer(body, dtype=dt, count=count, offset=offset)
-                    .reshape(shape)
-                    .copy()
-                )
+                column = np.frombuffer(
+                    body, dtype=dt, count=count, offset=offset
+                ).reshape(shape)
+                if copy:
+                    column = column.copy()
                 offset += count * dt.itemsize
             columns[name] = column
         return SketchBank(
@@ -417,6 +429,54 @@ def unpack_bank(payload: bytes) -> SketchBank:
         )
     except (struct.error, ValueError, KeyError, json.JSONDecodeError) as exc:
         raise SerializationError(f"truncated or corrupt bank payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# shards (the on-disk unit of repro.store)
+# ----------------------------------------------------------------------
+
+
+def pack_shard(bank: SketchBank) -> bytes:
+    """Wrap a packed bank in the shard container format.
+
+    A shard is what :class:`repro.store.LakeStore` writes as one file:
+    the standard ``RPRO`` header with the shard kind, the payload
+    length, a CRC-32 of the payload, then the :func:`pack_bank` bytes.
+    Length + checksum let :func:`unpack_shard` reject truncated or
+    bit-rotted files before any array is interpreted.
+    """
+    payload = pack_bank(bank)
+    return b"".join(
+        [
+            _header(_KIND_SHARD),
+            struct.pack("<QI", len(payload), zlib.crc32(payload)),
+            payload,
+        ]
+    )
+
+
+def unpack_shard(buffer: bytes | memoryview, copy: bool = True) -> SketchBank:
+    """Validate and deserialize a shard produced by :func:`pack_shard`.
+
+    ``copy=False`` propagates to :func:`unpack_bank`: the returned
+    bank's columns are views into ``buffer`` (which must then outlive
+    the bank — e.g. an ``mmap`` kept open by the store).
+    """
+    kind, body = _check_header(buffer)
+    if kind != _KIND_SHARD:
+        raise SerializationError(f"payload is not a shard (kind {kind})")
+    prefix = struct.calcsize("<QI")
+    if len(body) < prefix:
+        raise SerializationError("truncated shard: missing length/checksum")
+    length, checksum = struct.unpack_from("<QI", body, 0)
+    payload = body[prefix : prefix + length]
+    if len(payload) < length:
+        raise SerializationError(
+            f"truncated shard: payload has {len(payload)} of {length} bytes"
+        )
+    if zlib.crc32(payload) != checksum:
+        raise SerializationError("shard checksum mismatch (corrupt payload)")
+    return unpack_bank(payload, copy=copy)
 
 
 def packed_size_words(sketch: Any) -> float:

@@ -25,6 +25,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.wmh import WeightedMinHash, WMHSketch
 from repro.vectors.sparse import SparseVector
 
@@ -83,6 +84,47 @@ class SignatureLSH:
             self._buckets[band][digest].append(item_id)
         self._size += 1
 
+    def insert_bank(
+        self,
+        ids: Sequence[Hashable],
+        bank: "SketchBank",
+        column: str = "hashes",
+    ) -> None:
+        """Batch-index signatures straight from a :class:`SketchBank`.
+
+        ``bank.column(column)`` must be a 2-D array with one signature
+        per row, aligned with ``ids`` — e.g. the ``hashes`` column a
+        vectorized ``sketch_batch`` produces.  Buckets are identical to
+        ``insert``-ing each row: band digests are the raw bytes of the
+        row's band slice, extracted here with one ``tobytes`` per band
+        instead of per (row, band).
+        """
+        signatures = np.ascontiguousarray(bank.column(column))
+        if signatures.ndim != 2:
+            raise ValueError(
+                f"bank column {column!r} must be 2-D (rows x signature), "
+                f"got shape {signatures.shape}"
+            )
+        if len(ids) != signatures.shape[0]:
+            raise ValueError(
+                f"{len(ids)} ids for {signatures.shape[0]} bank rows"
+            )
+        if signatures.shape[1] < self.signature_length:
+            raise ValueError(
+                f"signatures have {signatures.shape[1]} entries; banding "
+                f"needs {self.signature_length}"
+            )
+        band_bytes = self.rows_per_band * signatures.dtype.itemsize
+        for band in range(self.bands):
+            block = np.ascontiguousarray(
+                signatures[:, band * self.rows_per_band : (band + 1) * self.rows_per_band]
+            )
+            raw = block.tobytes()
+            buckets = self._buckets[band]
+            for i, item_id in enumerate(ids):
+                buckets[raw[i * band_bytes : (i + 1) * band_bytes]].append(item_id)
+        self._size += len(ids)
+
     def candidates(self, signature: np.ndarray) -> set[Hashable]:
         """All items sharing at least one band bucket with the query."""
         found: set[Hashable] = set()
@@ -134,6 +176,24 @@ class MIPSIndex:
         sketch = self.sketcher.sketch(vector)
         self._sketches[item_id] = sketch
         self._lsh.insert(item_id, sketch.hashes)
+
+    def add_batch(
+        self, ids: Sequence[Hashable], vectors: Sequence[SparseVector]
+    ) -> None:
+        """Sketch and index many vectors with one batch pass.
+
+        Uses the vectorized ``sketch_batch`` fast path and
+        :meth:`SignatureLSH.insert_bank`, producing exactly the same
+        index state as ``add``-ing each vector in order.
+        """
+        if len(ids) != len(vectors):
+            raise ValueError(f"{len(ids)} ids for {len(vectors)} vectors")
+        if not ids:
+            return
+        bank = self.sketcher.sketch_batch(vectors)
+        for item_id, sketch in zip(ids, self.sketcher.bank_to_sketches(bank)):
+            self._sketches[item_id] = sketch
+        self._lsh.insert_bank(ids, bank)
 
     def __len__(self) -> int:
         return len(self._sketches)

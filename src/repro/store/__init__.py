@@ -1,0 +1,30 @@
+"""Persistent sketch lake store (the durable layer under dataset search).
+
+``repro.store`` turns the in-memory sketch lake into an on-disk
+subsystem: :class:`LakeStore` persists sketched tables as immutable
+binary shard files plus a JSON manifest, supports batched incremental
+:meth:`~LakeStore.append` (new tables only are sketched), same-name
+replacement via tombstones with an explicit
+:meth:`~LakeStore.compact`, and zero-copy reopening that rebuilds the
+:class:`~repro.datasearch.index.SketchIndex` straight from stored
+banks.  :class:`QuerySession` is the serving front end;
+``python -m repro.store`` the CLI.
+"""
+
+from repro.store.config import build_sketcher, check_sketcher_config, sketcher_config
+from repro.store.lake import LakeStore, StoreError, is_lake_store
+from repro.store.manifest import MANIFEST_VERSION, Manifest, ManifestError
+from repro.store.session import QuerySession
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "LakeStore",
+    "Manifest",
+    "ManifestError",
+    "QuerySession",
+    "StoreError",
+    "build_sketcher",
+    "check_sketcher_config",
+    "is_lake_store",
+    "sketcher_config",
+]

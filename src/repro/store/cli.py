@@ -1,0 +1,241 @@
+"""Command-line front end: ``python -m repro.store <command>``.
+
+Commands
+--------
+``ingest STORE CSV...``
+    Create the store if needed (``--method``/``--storage``/``--seed``
+    pick the sketcher for a *new* store; an existing store keeps its
+    stored configuration) and append the CSV tables as one shard.
+``query STORE CSV --column COL``
+    Sketch the CSV as the analyst's query table and print the ranked
+    joinable-and-correlated columns of the lake.
+``stats STORE``
+    Print the catalog/footprint summary as JSON.
+``compact STORE``
+    Merge shards and reclaim tombstoned rows.
+
+CSV convention: the key column (``--key-column``, default: the first
+header field) holds join keys; every other column must be numeric.
+Duplicate keys are aggregated with ``--aggregate`` (default ``sum``),
+the paper's many-to-many -> one-to-one reduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+
+from repro.datasearch.table import AGGREGATORS, Table
+from repro.experiments.runner import method_registry
+from repro.store.lake import LakeStore, StoreError, is_lake_store
+from repro.store.session import QuerySession
+
+__all__ = ["main", "load_csv_table"]
+
+
+def load_csv_table(
+    path: str | Path,
+    key_column: str | None = None,
+    aggregate: str = "sum",
+    name: str | None = None,
+) -> Table:
+    """Read one CSV file into a :class:`Table`.
+
+    The table name defaults to the file stem; the key column to the
+    first header field.  All non-key columns are parsed as floats.
+    """
+    path = Path(path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if not reader.fieldnames:
+            raise ValueError(f"{path}: empty CSV (no header row)")
+        fields = list(reader.fieldnames)
+        key = key_column if key_column is not None else fields[0]
+        if key not in fields:
+            raise ValueError(
+                f"{path}: key column {key!r} not in header {fields}"
+            )
+        value_fields = [field for field in fields if field != key]
+        keys: list[str] = []
+        columns: dict[str, list[float]] = {field: [] for field in value_fields}
+        for line, row in enumerate(reader, start=2):
+            keys.append(row[key])
+            for field in value_fields:
+                raw = (row[field] or "").strip()
+                try:
+                    columns[field].append(float(raw) if raw else 0.0)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}:{line}: column {field!r} is not numeric "
+                        f"(got {row[field]!r})"
+                    ) from exc
+    return Table.aggregated(
+        name=name if name is not None else path.stem,
+        keys=keys,
+        columns=columns,
+        how=aggregate,
+    )
+
+
+def _open_or_create(args: argparse.Namespace) -> LakeStore:
+    if is_lake_store(args.store):
+        return LakeStore.open(args.store)
+    registry = method_registry()
+    if args.method not in registry:
+        raise SystemExit(
+            f"unknown method {args.method!r}; choose from {sorted(registry)}"
+        )
+    sketcher = registry[args.method].build(args.storage, args.seed)
+    return LakeStore.create(args.store, sketcher)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    tables = [
+        load_csv_table(path, key_column=args.key_column, aggregate=args.aggregate)
+        for path in args.csv
+    ]
+    with _open_or_create(args) as store:
+        shard_id = store.append(tables)
+        stats = store.stats()
+    print(
+        f"ingested {len(tables)} table(s) into shard {shard_id} of {args.store} "
+        f"({stats['tables']} live tables, {stats['file_bytes']} bytes on disk)"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    table = load_csv_table(
+        args.csv, key_column=args.key_column, aggregate=args.aggregate
+    )
+    with LakeStore.open(args.store) as store:
+        session = QuerySession(store, min_containment=args.min_containment)
+        hits = session.search(table, args.column, top_k=args.top_k, by=args.by)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "table": hit.table_name,
+                        "column": hit.column,
+                        "score": hit.score,
+                        "correlation": hit.correlation,
+                        "join_size": hit.join_size,
+                        "containment": hit.containment,
+                    }
+                    for hit in hits
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    if not hits:
+        print("no joinable tables cleared the containment threshold")
+        return 0
+    print(f"top {len(hits)} of {args.store} for {table.name}.{args.column}:")
+    for rank, hit in enumerate(hits, start=1):
+        print(
+            f"  {rank:2d}. {hit.table_name}.{hit.column}  "
+            f"score={hit.score:.4f}  corr={hit.correlation:+.4f}  "
+            f"join~{hit.join_size:.0f}  containment={hit.containment:.2f}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with LakeStore.open(args.store) as store:
+        print(json.dumps(store.stats(), indent=2))
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    with LakeStore.open(args.store) as store:
+        result = store.compact()
+        file_bytes = store.stats()["file_bytes"]
+    print(
+        f"compacted {result['shards_before']} shard(s) -> "
+        f"{result['shards_after']}, reclaimed {result['rows_reclaimed']} "
+        f"rows ({file_bytes} bytes on disk)"
+    )
+    return 0
+
+
+def _add_csv_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--key-column",
+        default=None,
+        help="join-key column (default: first CSV header field)",
+    )
+    parser.add_argument(
+        "--aggregate",
+        default="sum",
+        choices=sorted(AGGREGATORS),
+        help="duplicate-key reduction (default: sum)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Persistent sketch lake store: ingest once, query forever.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ingest = commands.add_parser("ingest", help="sketch CSV tables into the lake")
+    ingest.add_argument("store", help="lake directory (created if absent)")
+    ingest.add_argument("csv", nargs="+", help="CSV tables to ingest")
+    ingest.add_argument(
+        "--method",
+        default="WMH",
+        help="sketching method for a NEW store (default: WMH)",
+    )
+    ingest.add_argument(
+        "--storage",
+        type=int,
+        default=300,
+        help="per-sketch storage budget in 64-bit words (default: 300)",
+    )
+    ingest.add_argument("--seed", type=int, default=0, help="sketching seed")
+    _add_csv_options(ingest)
+    ingest.set_defaults(handler=_cmd_ingest)
+
+    query = commands.add_parser("query", help="rank the lake against a query CSV")
+    query.add_argument("store", help="lake directory")
+    query.add_argument("csv", help="query table CSV")
+    query.add_argument("--column", required=True, help="query value column")
+    query.add_argument("--top-k", type=int, default=10)
+    query.add_argument(
+        "--by", default="correlation", choices=("correlation", "inner_product")
+    )
+    query.add_argument("--min-containment", type=float, default=0.05)
+    query.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_csv_options(query)
+    query.set_defaults(handler=_cmd_query)
+
+    stats = commands.add_parser("stats", help="print catalog + footprint JSON")
+    stats.add_argument("store", help="lake directory")
+    stats.set_defaults(handler=_cmd_stats)
+
+    compact = commands.add_parser("compact", help="merge shards, drop tombstones")
+    compact.add_argument("store", help="lake directory")
+    compact.set_defaults(handler=_cmd_compact)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+    except (StoreError, ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Sketcher configuration as data: serialize, rebuild, compare.
+
+A persistent sketch lake is only usable if the *exact* sketching
+configuration that produced it can be recovered: every sketch in the
+store was drawn with one (method, seed, size) triple, and mixing
+configurations silently produces garbage estimates (the paper's
+estimators all require identically-configured sketches).  The manifest
+therefore records ``{"kind": <Sketcher.name>, "params": {...}}`` —
+precisely the comparability key the in-memory layer already uses for
+bank checks (``Sketcher._bank_params``) — and this module converts
+between that record and a live :class:`~repro.core.base.Sketcher`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.base import Sketcher, SketchMismatchError
+from repro.core.wmh import WeightedMinHash
+from repro.sketches.bbit import BbitMinHash
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.icws import ICWS
+from repro.sketches.jl import JohnsonLindenstrauss
+from repro.sketches.kmv import KMinimumValues
+from repro.sketches.minhash import MinHash
+from repro.sketches.priority import PrioritySampling
+from repro.sketches.simhash import SimHash
+
+__all__ = [
+    "SKETCHER_CLASSES",
+    "sketcher_config",
+    "build_sketcher",
+    "check_sketcher_config",
+]
+
+#: Every constructible sketching method, keyed by ``Sketcher.name``.
+#: Constructor keyword arguments match ``_bank_params()`` keys for each
+#: class, which is what makes ``build_sketcher(sketcher_config(s))`` an
+#: exact round trip.
+SKETCHER_CLASSES: dict[str, type[Sketcher]] = {
+    cls.name: cls
+    for cls in (
+        WeightedMinHash,
+        MinHash,
+        KMinimumValues,
+        JohnsonLindenstrauss,
+        CountSketch,
+        ICWS,
+        SimHash,
+        PrioritySampling,
+        BbitMinHash,
+    )
+}
+
+
+def sketcher_config(sketcher: Sketcher) -> dict[str, Any]:
+    """The JSON-safe configuration record identifying ``sketcher``."""
+    if sketcher.name not in SKETCHER_CLASSES:
+        raise SketchMismatchError(
+            f"sketcher kind {sketcher.name!r} is not registered for "
+            f"persistence; known kinds: {sorted(SKETCHER_CLASSES)}"
+        )
+    return {"kind": sketcher.name, "params": dict(sketcher._bank_params())}
+
+
+def build_sketcher(config: Mapping[str, Any]) -> Sketcher:
+    """Reconstruct the sketcher a stored configuration describes."""
+    kind = config.get("kind")
+    if kind not in SKETCHER_CLASSES:
+        raise SketchMismatchError(
+            f"unknown sketcher kind {kind!r}; known kinds: "
+            f"{sorted(SKETCHER_CLASSES)}"
+        )
+    params = dict(config.get("params", {}))
+    sketcher = SKETCHER_CLASSES[kind](**params)
+    rebuilt = sketcher._bank_params()
+    if rebuilt != dict(config.get("params", {})):
+        raise SketchMismatchError(
+            f"stored params {dict(config.get('params', {}))} did not survive "
+            f"reconstruction (got {rebuilt}); the store predates a config change"
+        )
+    return sketcher
+
+
+def check_sketcher_config(config: Mapping[str, Any], sketcher: Sketcher) -> None:
+    """Refuse a sketcher that does not match the stored configuration."""
+    expected = {"kind": config.get("kind"), "params": dict(config.get("params", {}))}
+    actual = sketcher_config(sketcher)
+    if actual != expected:
+        raise SketchMismatchError(
+            f"store was sketched with {expected}, but the provided sketcher "
+            f"is {actual}; open the store without a sketcher to use the "
+            f"stored configuration"
+        )

@@ -1,0 +1,426 @@
+"""``LakeStore`` — a durable, incrementally-ingested sketch lake.
+
+The paper's economics only work if the lake is sketched **once**: the
+expensive pass over raw tables happens at ingest, and every later
+process serves queries from the compact sketches.  ``LakeStore`` is
+that durable substrate:
+
+* a lake is a directory of binary **shard files** (one packed
+  :class:`~repro.core.bank.SketchBank` per ingest batch) plus a JSON
+  **manifest** recording the sketcher configuration, the table catalog
+  with per-shard row spans, and tombstones;
+* :meth:`append` sketches *only* the new tables — one
+  ``sketch_batch`` call per batch, never re-sketching existing data —
+  and commits shard-first / manifest-last so a crash can at worst leave
+  an orphaned file the next open ignores;
+* re-ingesting a table name tombstones the old span (shards are
+  immutable); :meth:`compact` merges all live spans into one fresh
+  shard and reclaims the dead rows;
+* :meth:`open` reconstructs the in-memory
+  :class:`~repro.datasearch.index.SketchIndex` straight from the
+  stored banks — zero-copy over memory-mapped shards, no ``Table``
+  objects, no re-sketching — and refuses a caller-provided sketcher
+  whose configuration does not match the stored one
+  (:class:`~repro.core.base.SketchMismatchError`).
+
+Because banks persist losslessly (raw float64 columns, no hash
+quantization), a reopened lake returns search rankings and estimates
+bit-identical to the in-memory index built from the same tables.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import mmap
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+try:  # advisory inter-process write locking (POSIX only)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.core.bank import SketchBank
+from repro.core.base import Sketcher
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.table import Table
+from repro.store.config import build_sketcher, check_sketcher_config, sketcher_config
+from repro.store.manifest import Manifest, ManifestError, ShardRecord, TableSpan
+from repro.store.shard import SHARD_SUFFIX, read_shard, shard_filename, write_shard
+
+__all__ = ["StoreError", "LakeStore", "is_lake_store"]
+
+_MANIFEST_NAME = "manifest.json"
+_LOCK_NAME = ".lock"
+
+
+class StoreError(RuntimeError):
+    """Raised on invalid lake-store operations or corrupted stores."""
+
+
+class LakeStore:
+    """A sketched data lake persisted as shards + manifest.
+
+    Construct via :meth:`create` (new lake) or :meth:`open` (existing
+    directory); the constructor itself is internal.  Instances are
+    usable as context managers::
+
+        with LakeStore.open("lake.d") as store:
+            hits = QuerySession(store).search(my_table, "price")
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        sketcher: Sketcher,
+        manifest: Manifest,
+        banks: dict[int, SketchBank],
+        buffers: dict[int, mmap.mmap | None],
+        zero_copy: bool,
+    ) -> None:
+        self.path = path
+        self.sketcher = sketcher
+        self._manifest = manifest
+        self._banks = banks
+        self._buffers = buffers
+        self._zero_copy = zero_copy
+        self._closed = False
+        self._index = self._build_index()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, sketcher: Sketcher) -> "LakeStore":
+        """Initialize an empty lake at ``path`` (directory must be new
+        or an empty/non-store directory without a manifest)."""
+        path = Path(path)
+        manifest_path = path / _MANIFEST_NAME
+        if manifest_path.exists():
+            raise StoreError(
+                f"{path} already holds a lake store; use LakeStore.open"
+            )
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = Manifest(sketcher=sketcher_config(sketcher))
+        manifest.save(manifest_path)
+        return cls(path, sketcher, manifest, {}, {}, zero_copy=True)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        sketcher: Sketcher | None = None,
+        zero_copy: bool = True,
+    ) -> "LakeStore":
+        """Open an existing lake and rebuild its index from the shards.
+
+        ``sketcher`` is optional: by default the stored configuration
+        is rebuilt exactly.  Passing one asserts it matches the stored
+        configuration (``SketchMismatchError`` otherwise) — use this to
+        share a sketcher instance across stores.  ``zero_copy=False``
+        materializes the banks in memory instead of memory-mapping the
+        shard files.
+        """
+        path = Path(path)
+        manifest = Manifest.load(path / _MANIFEST_NAME)
+        if sketcher is None:
+            sketcher = build_sketcher(manifest.sketcher)
+        else:
+            check_sketcher_config(manifest.sketcher, sketcher)
+        banks: dict[int, SketchBank] = {}
+        buffers: dict[int, mmap.mmap | None] = {}
+        for shard in manifest.shards:
+            shard_path = path / shard.filename
+            if not shard_path.is_file():
+                raise StoreError(
+                    f"manifest references missing shard {shard.filename}"
+                )
+            bank, buffer = read_shard(shard_path, zero_copy=zero_copy)
+            sketcher._check_bank(bank)
+            banks[shard.shard_id] = bank
+            buffers[shard.shard_id] = buffer
+        return cls(path, sketcher, manifest, banks, buffers, zero_copy=zero_copy)
+
+    def _build_index(self) -> SketchIndex:
+        return SketchIndex.from_banks(
+            self.sketcher,
+            (
+                (
+                    span.name,
+                    span.num_rows,
+                    span.columns,
+                    self._banks[shard.shard_id][span.lo : span.hi],
+                )
+                for shard, span in self._manifest.live_spans()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # the served view
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> SketchIndex:
+        """The live :class:`SketchIndex` over all non-tombstoned tables."""
+        self._check_open()
+        return self._index
+
+    def table_names(self) -> list[str]:
+        self._check_open()
+        return self._index.table_names()
+
+    def __contains__(self, name: str) -> bool:
+        self._check_open()
+        return name in self._index
+
+    def __len__(self) -> int:
+        self._check_open()
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _writer_lock(self) -> Iterator[None]:
+        """Serialize writers and fail cleanly on cross-process races.
+
+        An exclusive (non-blocking) flock guards append/compact; a
+        second concurrent writer gets a ``StoreError`` instead of
+        silently overwriting the first writer's shard and manifest.
+        Once locked, the on-disk manifest is compared against this
+        process's view — a mismatch means another process committed
+        since we opened, and continuing would lose its tables.
+        """
+        handle = open(self.path / _LOCK_NAME, "a+")
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError as exc:
+                    raise StoreError(
+                        f"another process is writing to {self.path}"
+                    ) from exc
+            on_disk = Manifest.load(self.path / _MANIFEST_NAME)
+            if on_disk != self._manifest:
+                raise StoreError(
+                    f"{self.path} was modified by another process since this "
+                    f"store was opened; reopen it before writing"
+                )
+            yield
+        finally:
+            handle.close()  # closing the fd releases the flock
+
+    def append(self, tables: Iterable[Table]) -> int | None:
+        """Sketch and persist a batch of new tables as one shard.
+
+        Only the given tables are sketched (one ``sketch_batch`` call);
+        nothing already stored is touched.  A table whose name is
+        already live replaces the old version: the new span wins and
+        the old one is tombstoned (space is reclaimed by
+        :meth:`compact`).  Returns the new shard id, or ``None`` for an
+        empty batch.
+        """
+        self._check_open()
+        tables = list(tables)
+        if not tables:
+            return None
+        names = [table.name for table in tables]
+        if len(set(names)) != len(names):
+            raise StoreError(f"duplicate table names in one batch: {names}")
+
+        vectors: list = []
+        spans: list[TableSpan] = []
+        for table in tables:
+            encoded = SketchIndex.encode_table(table)
+            spans.append(
+                TableSpan(
+                    name=table.name,
+                    num_rows=table.num_rows,
+                    columns=tuple(table.columns),
+                    lo=len(vectors),
+                    hi=len(vectors) + len(encoded),
+                )
+            )
+            vectors.extend(encoded)
+        bank = self.sketcher.sketch_batch(vectors)
+
+        with self._writer_lock():
+            shard_id = self._manifest.next_shard_id
+            filename = shard_filename(shard_id)
+            write_shard(self.path / filename, bank)
+
+            # Commit point: shard bytes are durable, now the manifest.
+            live = self._manifest.live_table_shard()
+            for name in names:
+                if name in live:
+                    self._manifest.tombstones.add((live[name], name))
+            self._manifest.shards.append(
+                ShardRecord(shard_id=shard_id, filename=filename, tables=tuple(spans))
+            )
+            self._manifest.next_shard_id = shard_id + 1
+            self._manifest.save(self.path / _MANIFEST_NAME)
+
+        self._banks[shard_id] = bank
+        self._buffers[shard_id] = None
+        for span in spans:
+            self._index.attach(
+                span.name, span.num_rows, span.columns, bank[span.lo : span.hi]
+            )
+        return shard_id
+
+    def compact(self) -> dict[str, Any]:
+        """Merge all live spans into one shard; reclaim tombstoned rows.
+
+        Rewrites the lake as a single shard holding the live tables in
+        shard (ingest) order, clears the tombstone list, deletes the
+        old shard files, and rebuilds the in-memory index over the
+        merged bank.  Returns ``{"shards_before", "shards_after",
+        "rows_reclaimed"}``.
+        """
+        self._check_open()
+        shards_before = len(self._manifest.shards)
+        rows_dead = self._manifest.dead_rows()
+        if shards_before <= 1 and rows_dead == 0:
+            return {
+                "shards_before": shards_before,
+                "shards_after": shards_before,
+                "rows_reclaimed": 0,
+            }
+
+        pieces: list[SketchBank] = []
+        merged_spans: list[TableSpan] = []
+        offset = 0
+        for shard, span in self._manifest.live_spans():
+            pieces.append(self._banks[shard.shard_id][span.lo : span.hi])
+            width = span.hi - span.lo
+            merged_spans.append(
+                TableSpan(
+                    name=span.name,
+                    num_rows=span.num_rows,
+                    columns=span.columns,
+                    lo=offset,
+                    hi=offset + width,
+                )
+            )
+            offset += width
+        if not pieces:
+            raise StoreError("cannot compact an empty store")
+        merged = SketchBank.concat(pieces)
+
+        with self._writer_lock():
+            shard_id = self._manifest.next_shard_id
+            filename = shard_filename(shard_id)
+            old_files = [shard.filename for shard in self._manifest.shards]
+            write_shard(self.path / filename, merged)
+            self._manifest.shards = [
+                ShardRecord(
+                    shard_id=shard_id, filename=filename, tables=tuple(merged_spans)
+                )
+            ]
+            self._manifest.tombstones = set()
+            self._manifest.next_shard_id = shard_id + 1
+            self._manifest.save(self.path / _MANIFEST_NAME)
+
+        self._release_buffers()
+        self._banks = {shard_id: merged}
+        self._buffers = {shard_id: None}
+        self._index = self._build_index()
+        for old in old_files:
+            if old != filename:
+                with contextlib.suppress(OSError):
+                    (self.path / old).unlink()
+        return {
+            "shards_before": shards_before,
+            "shards_after": 1,
+            "rows_reclaimed": rows_dead,
+        }
+
+    # ------------------------------------------------------------------
+    # accounting / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Catalog and footprint summary (CLI ``stats`` output)."""
+        self._check_open()
+        live_rows = sum(
+            span.hi - span.lo for _, span in self._manifest.live_spans()
+        )
+        file_bytes = sum(
+            (self.path / shard.filename).stat().st_size
+            for shard in self._manifest.shards
+            if (self.path / shard.filename).is_file()
+        )
+        return {
+            "path": str(self.path),
+            "sketcher": dict(self._manifest.sketcher),
+            "tables": len(self._index),
+            "value_columns": len(self._index.value_owners()) if len(self._index) else 0,
+            "shards": len(self._manifest.shards),
+            "live_rows": live_rows,
+            "dead_rows": self._manifest.dead_rows(),
+            "tombstones": len(self._manifest.tombstones),
+            "storage_words": self._index.storage_words() if len(self._index) else 0.0,
+            "file_bytes": file_bytes,
+            # Mapped/loaded bank footprint; with zero-copy open this is
+            # the mmapped size, not resident memory.
+            "bank_bytes": sum(bank.nbytes() for bank in self._banks.values()),
+        }
+
+    def orphaned_files(self) -> list[str]:
+        """Shard-like files in the directory the manifest does not own.
+
+        Leftovers of interrupted appends (``*.tmp``) or of shards whose
+        manifest commit never happened; safe to delete.
+        """
+        owned = {shard.filename for shard in self._manifest.shards}
+        found = []
+        for entry in sorted(self.path.iterdir()):
+            if entry.name == _MANIFEST_NAME or entry.name in owned:
+                continue
+            if entry.suffix == SHARD_SUFFIX or entry.name.endswith(".tmp"):
+                found.append(entry.name)
+        return found
+
+    def close(self) -> None:
+        """Release the store (memory maps are dropped; banks derived
+        from this store must not be used afterwards)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._index = None  # type: ignore[assignment]
+        self._banks = {}
+        self._release_buffers()
+
+    def _release_buffers(self) -> None:
+        for buffer in self._buffers.values():
+            if buffer is not None:
+                # The map survives until the last referencing array is
+                # collected; closing eagerly fails while views exist.
+                with contextlib.suppress(BufferError):
+                    buffer.close()
+        self._buffers = {}
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError("the store is closed")
+
+    def __enter__(self) -> "LakeStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        status = "closed" if self._closed else f"tables={len(self._index)}"
+        return f"LakeStore({str(self.path)!r}, {status})"
+
+
+def is_lake_store(path: str | Path) -> bool:
+    """True if ``path`` looks like an initialized lake directory."""
+    try:
+        Manifest.load(Path(path) / _MANIFEST_NAME)
+    except ManifestError:
+        return False
+    return True

@@ -1,0 +1,205 @@
+"""The lake manifest: the store's single source of truth.
+
+A :class:`~repro.store.lake.LakeStore` directory holds binary shard
+files plus one ``manifest.json``.  The manifest is the *commit record*:
+a shard exists, logically, only once the manifest lists it.  Writes go
+shard-file-first, manifest-last (both atomically), so a crash mid-append
+leaves at worst an orphaned shard file that the next open ignores —
+never a manifest pointing at missing or partial data.
+
+The manifest records:
+
+* ``version`` — manifest schema version, checked on open;
+* ``sketcher`` — the configuration record of
+  :func:`repro.store.config.sketcher_config`;
+* ``shards`` — ordered shard descriptors, each with the per-table spans
+  (``[lo, hi)`` row ranges) inside the shard's packed bank;
+* ``tombstones`` — ``(shard_id, table_name)`` pairs whose spans are
+  dead (superseded by a later append of the same table name).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["MANIFEST_VERSION", "ManifestError", "TableSpan", "ShardRecord", "Manifest"]
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+#: Marker distinguishing a lake manifest from arbitrary JSON.
+_FORMAT = "repro-lake"
+
+
+class ManifestError(ValueError):
+    """Raised on a missing, malformed, or incompatible manifest."""
+
+
+@dataclass(frozen=True)
+class TableSpan:
+    """One table's row range inside a shard's bank."""
+
+    name: str
+    num_rows: int
+    columns: tuple[str, ...]
+    lo: int
+    hi: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "num_rows": self.num_rows,
+            "columns": list(self.columns),
+            "lo": self.lo,
+            "hi": self.hi,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "TableSpan":
+        return cls(
+            name=data["name"],
+            num_rows=int(data["num_rows"]),
+            columns=tuple(data["columns"]),
+            lo=int(data["lo"]),
+            hi=int(data["hi"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One shard file: its id, filename, and table spans."""
+
+    shard_id: int
+    filename: str
+    tables: tuple[TableSpan, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "id": self.shard_id,
+            "file": self.filename,
+            "tables": [span.to_json() for span in self.tables],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ShardRecord":
+        return cls(
+            shard_id=int(data["id"]),
+            filename=data["file"],
+            tables=tuple(TableSpan.from_json(t) for t in data["tables"]),
+        )
+
+
+@dataclass
+class Manifest:
+    """In-memory form of ``manifest.json``."""
+
+    sketcher: dict[str, Any]
+    shards: list[ShardRecord] = field(default_factory=list)
+    tombstones: set[tuple[int, str]] = field(default_factory=set)
+    next_shard_id: int = 1
+    version: int = MANIFEST_VERSION
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def is_live(self, shard_id: int, table_name: str) -> bool:
+        return (shard_id, table_name) not in self.tombstones
+
+    def live_spans(self) -> Iterator[tuple[ShardRecord, TableSpan]]:
+        """All non-tombstoned table spans, in shard (= ingest) order."""
+        for shard in self.shards:
+            for span in shard.tables:
+                if self.is_live(shard.shard_id, span.name):
+                    yield shard, span
+
+    def live_table_shard(self) -> dict[str, int]:
+        """Live table name -> id of the shard currently holding it."""
+        return {span.name: shard.shard_id for shard, span in self.live_spans()}
+
+    def dead_rows(self) -> int:
+        """Bank rows occupied by tombstoned spans (reclaimed by compact)."""
+        return sum(
+            span.hi - span.lo
+            for shard in self.shards
+            for span in shard.tables
+            if not self.is_live(shard.shard_id, span.name)
+        )
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "format": _FORMAT,
+            "version": self.version,
+            "sketcher": self.sketcher,
+            "next_shard_id": self.next_shard_id,
+            "shards": [shard.to_json() for shard in self.shards],
+            "tombstones": sorted([sid, name] for sid, name in self.tombstones),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Manifest":
+        if data.get("format") != _FORMAT:
+            raise ManifestError(
+                f"not a lake manifest (format {data.get('format')!r})"
+            )
+        version = int(data.get("version", -1))
+        if version != MANIFEST_VERSION:
+            raise ManifestError(
+                f"unsupported manifest version {version} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        return cls(
+            sketcher=dict(data["sketcher"]),
+            shards=[ShardRecord.from_json(s) for s in data.get("shards", [])],
+            tombstones={
+                (int(sid), str(name)) for sid, name in data.get("tombstones", [])
+            },
+            next_shard_id=int(data.get("next_shard_id", 1)),
+            version=version,
+        )
+
+    def save(self, path: Path) -> None:
+        """Atomically and durably write the manifest.
+
+        tmp file + fsync + rename + directory fsync: the last step is
+        what makes the rename itself survive a power cut, so the
+        shard-first / manifest-last commit order holds on disk, not
+        just in the page cache.
+        """
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n"
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    @classmethod
+    def load(cls, path: Path) -> "Manifest":
+        if not path.is_file():
+            raise ManifestError(f"no manifest at {path}")
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"malformed manifest {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ManifestError(f"malformed manifest {path}: not an object")
+        try:
+            return cls.from_json(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ManifestError):
+                raise
+            raise ManifestError(f"malformed manifest {path}: {exc}") from exc

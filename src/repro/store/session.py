@@ -1,0 +1,86 @@
+"""``QuerySession`` — the serving front end over an opened lake.
+
+A session is what a request handler holds: it wraps
+:class:`~repro.datasearch.search.DatasetSearch` over a
+:class:`~repro.store.lake.LakeStore` and adds the serving-side
+conveniences the raw engine deliberately lacks:
+
+* query tables are sketched **once per session** — repeated searches
+  from the same analyst table (different columns, different ``top_k``)
+  reuse the cached :class:`~repro.datasearch.join_estimates.JoinSketch`;
+* the engine is re-derived from ``store.index`` on every call, so a
+  session transparently sees tables appended or compacted after it was
+  created;
+* results are plain :class:`~repro.datasearch.search.SearchHit` lists,
+  identical to what the in-memory engine returns for the same lake —
+  the store changes *where sketches live*, never *what they answer*.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasearch.join_estimates import JoinSketch
+from repro.datasearch.search import DatasetSearch, SearchHit
+from repro.datasearch.table import Table
+from repro.store.lake import LakeStore
+
+__all__ = ["QuerySession"]
+
+
+class QuerySession:
+    """Stateful query front end over a :class:`LakeStore`."""
+
+    def __init__(self, store: LakeStore, min_containment: float = 0.05) -> None:
+        self.store = store
+        self.min_containment = min_containment
+        self._query_cache: dict[str, JoinSketch] = {}
+
+    @property
+    def engine(self) -> DatasetSearch:
+        """A search engine over the store's *current* index."""
+        return DatasetSearch(self.store.index, self.min_containment)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def sketch(self, table: Table) -> JoinSketch:
+        """Sketch a query table, cached by table name for the session.
+
+        The cache assumes a name identifies one table for the session's
+        lifetime; call :meth:`clear_cache` if a query table's contents
+        change.
+        """
+        cached = self._query_cache.get(table.name)
+        if cached is None:
+            cached = self.engine.sketch_query(table)
+            self._query_cache[table.name] = cached
+        return cached
+
+    def joinable(self, table: Table) -> list[tuple[str, float, float]]:
+        """Stored tables joinable with ``table`` (name, size, containment)."""
+        return self.engine.joinable(self.sketch(table))
+
+    def search(
+        self,
+        table: Table,
+        query_column: str,
+        top_k: int = 10,
+        by: str = "correlation",
+    ) -> list[SearchHit]:
+        """Rank stored columns against ``table.query_column``."""
+        return self.engine.search(self.sketch(table), query_column, top_k=top_k, by=by)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        self._query_cache.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Store stats plus session-side cache occupancy."""
+        stats = self.store.stats()
+        stats["cached_query_sketches"] = len(self._query_cache)
+        return stats

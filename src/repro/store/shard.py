@@ -1,0 +1,78 @@
+"""Shard files: atomic writes, zero-copy reads.
+
+One shard file holds one packed :class:`~repro.core.bank.SketchBank`
+(all encoded rows of one ingest batch, tables back to back) in the
+``RPRO`` shard container of :func:`repro.io.serialize.pack_shard` —
+length- and checksum-guarded so truncated or corrupted files are
+rejected before any array is interpreted.
+
+Writes are crash-safe: bytes go to a ``*.tmp`` sibling, are fsynced,
+and the file is renamed into place.  A crash mid-write leaves only the
+temp file, which opens ignore (the manifest never references it).
+
+Reads default to **zero-copy**: the file is memory-mapped and the
+returned bank's columns are read-only views into the map, so opening a
+multi-gigabyte lake costs page-table setup, not a byte-for-byte copy;
+pages fault in lazily as queries touch them.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from pathlib import Path
+
+from repro.core.bank import SketchBank
+from repro.io.serialize import pack_shard, unpack_shard
+
+__all__ = ["SHARD_SUFFIX", "shard_filename", "write_shard", "read_shard"]
+
+#: Extension of shard files inside a lake directory.
+SHARD_SUFFIX = ".rpro"
+
+
+def shard_filename(shard_id: int) -> str:
+    return f"shard-{shard_id:06d}{SHARD_SUFFIX}"
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush a directory's entry table (rename durability on ext4/xfs)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_shard(path: Path, bank: SketchBank) -> int:
+    """Atomically write ``bank`` as a shard file; returns bytes written."""
+    payload = pack_shard(bank)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    # Without this, a power cut can forget the rename itself even
+    # though the file's bytes are durable — and a later manifest commit
+    # could then point at a shard that no longer exists.
+    fsync_directory(path.parent)
+    return len(payload)
+
+
+def read_shard(
+    path: Path, zero_copy: bool = True
+) -> tuple[SketchBank, mmap.mmap | None]:
+    """Read one shard file back into a bank.
+
+    With ``zero_copy=True`` (the default) the bank's numeric columns
+    are views into a read-only memory map of the file; the map is
+    returned alongside the bank and must be kept referenced for the
+    bank's lifetime (the arrays hold a reference chain through their
+    ``base``, so dropping it is safe once the bank itself is dropped).
+    """
+    if zero_copy:
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        return unpack_shard(memoryview(mapped), copy=False), mapped
+    return unpack_shard(path.read_bytes(), copy=True), None

@@ -189,3 +189,116 @@ class TestDatasetSearch:
     def test_top_k_limits_results(self, search_setup):
         search, query_sketch = search_setup
         assert len(search.search(query_sketch, query_column="rides", top_k=1)) == 1
+
+
+class TestFromBanks:
+    """Reconstruction from stored banks (the repro.store load path)."""
+
+    def entries_for(self, index, tables):
+        for table in tables:
+            entry = index._entries[table.name]
+            from repro.core.bank import SketchBank
+
+            bank = SketchBank.concat([entry.indicator, entry.values, entry.squares])
+            yield table.name, table.num_rows, entry.columns, bank
+
+    def test_from_banks_matches_original(self):
+        query, tables = make_lake()
+        sketcher = WeightedMinHash(m=64, seed=0, L=1 << 16)
+        original = SketchIndex(sketcher)
+        original.add_all(tables)
+
+        rebuilt = SketchIndex.from_banks(
+            sketcher, self.entries_for(original, tables)
+        )
+        assert rebuilt.table_names() == original.table_names()
+        assert rebuilt.value_owners() == original.value_owners()
+
+        engine_a = DatasetSearch(original)
+        engine_b = DatasetSearch(rebuilt)
+        query_sketch = engine_a.sketch_query(query)
+        hits_a = engine_a.search(query_sketch, "rides", top_k=5)
+        hits_b = engine_b.search(query_sketch, "rides", top_k=5)
+        assert [(h.table_name, h.column, h.score) for h in hits_a] == [
+            (h.table_name, h.column, h.score) for h in hits_b
+        ]
+
+    def test_attach_rejects_wrong_row_count(self):
+        _, tables = make_lake()
+        sketcher = WeightedMinHash(m=32, seed=0, L=1 << 16)
+        index = SketchIndex(sketcher)
+        bank = sketcher.sketch_batch(SketchIndex.encode_table(tables[0]))
+        with pytest.raises(ValueError, match="bank rows"):
+            index.attach("bad", 10, ("only", "two", "cols"), bank)
+
+    def test_attach_rejects_mismatched_bank(self):
+        from repro.core.base import SketchMismatchError
+
+        _, tables = make_lake()
+        index = SketchIndex(WeightedMinHash(m=32, seed=0, L=1 << 16))
+        other = WeightedMinHash(m=32, seed=9, L=1 << 16)
+        bank = other.sketch_batch(SketchIndex.encode_table(tables[0]))
+        with pytest.raises(SketchMismatchError):
+            index.attach(tables[0].name, tables[0].num_rows, tables[0].columns, bank)
+
+
+class TestCompactCache:
+    """Interleaved add/query must not re-concatenate the whole lake."""
+
+    def make_table(self, name, seed):
+        rng = np.random.default_rng(seed)
+        keys = [f"k{i}" for i in rng.choice(500, size=50, replace=False)]
+        return Table(name, keys, {"v": rng.normal(size=50)})
+
+    def test_appends_reuse_cached_prefix(self, monkeypatch):
+        from repro.core.bank import SketchBank
+
+        index = SketchIndex(WeightedMinHash(m=16, seed=0, L=1 << 16))
+        index.add(self.make_table("t0", 0))
+        index.add(self.make_table("t1", 1))
+        _ = index.indicator_bank  # warm the cache
+
+        concat_sizes: list[int] = []
+        original = SketchBank.concat.__func__
+
+        def counting(cls, banks):
+            concat_sizes.append(len(banks))
+            return original(cls, banks)
+
+        monkeypatch.setattr(SketchBank, "concat", classmethod(counting))
+        index.add(self.make_table("t2", 2))
+        _ = index.indicator_bank
+        # Each of the three banks concats [cached_prefix, new_tail] —
+        # never one piece per indexed table.
+        assert concat_sizes == [2, 2, 2]
+
+    def test_query_after_each_add_stays_correct(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0, L=1 << 16))
+        for i in range(5):
+            index.add(self.make_table(f"t{i}", i))
+            bank = index.indicator_bank
+            assert len(bank) == i + 1
+            assert index.table_names() == [f"t{j}" for j in range(i + 1)]
+
+    def test_replacement_invalidates_cache(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0, L=1 << 16))
+        index.add(self.make_table("t0", 0))
+        index.add(self.make_table("t1", 1))
+        before = index.indicator_bank
+        replacement = self.make_table("t0", 99)
+        index.add(replacement)
+        after = index.indicator_bank
+        assert len(after) == 2
+        assert after is not before
+        # The replaced row must reflect the new table's sketches.
+        fresh = SketchIndex(WeightedMinHash(m=16, seed=0, L=1 << 16))
+        fresh.add(replacement)
+        np.testing.assert_array_equal(
+            after.column("hashes")[0], fresh.indicator_bank.column("hashes")[0]
+        )
+
+    def test_cached_banks_returned_unchanged_when_clean(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0, L=1 << 16))
+        index.add(self.make_table("t0", 0))
+        first = index.indicator_bank
+        assert index.indicator_bank is first

@@ -9,9 +9,11 @@ from repro.core.wmh import WeightedMinHash
 from repro.io.serialize import (
     SerializationError,
     pack_bank,
+    pack_shard,
     pack_sketch,
     packed_size_words,
     unpack_bank,
+    unpack_shard,
     unpack_sketch,
 )
 from repro.sketches.countsketch import CountSketch
@@ -196,3 +198,98 @@ class TestErrors:
     def test_empty_payload(self):
         with pytest.raises(SerializationError):
             unpack_sketch(b"")
+
+
+class TestBankEdgeCases:
+    """Edge cases the persistent store depends on."""
+
+    def test_empty_bank_round_trip(self):
+        sketcher = SKETCHERS["WMH"]()
+        bank = sketcher.sketch_batch([])
+        assert len(bank) == 0
+        restored = unpack_bank(pack_bank(bank))
+        assert len(restored) == 0
+        assert restored.kind == bank.kind
+        assert dict(restored.params) == dict(bank.params)
+
+    def test_zero_row_slice_round_trip(self, small_pair):
+        a, b = small_pair
+        sketcher = SKETCHERS["MH"]()
+        bank = sketcher.sketch_batch([a, b])[0:0]
+        assert len(bank) == 0
+        restored = unpack_bank(pack_bank(bank))
+        assert len(restored) == 0
+        assert set(restored.columns) == set(bank.columns)
+
+    def test_zero_row_object_bank_round_trip(self):
+        sketcher = SKETCHERS["PS"]()
+        bank = sketcher.sketch_batch([])
+        restored = unpack_bank(pack_bank(bank))
+        assert len(restored) == 0
+
+    @pytest.mark.parametrize("cut", [1, 7, 64])
+    def test_truncation_anywhere_raises_cleanly(self, cut, small_pair):
+        a, b = small_pair
+        payload = pack_bank(SKETCHERS["WMH"]().sketch_batch([a, b]))
+        with pytest.raises(SerializationError):
+            unpack_bank(payload[:cut])
+
+    def test_wrong_version_header(self, small_pair):
+        a, _ = small_pair
+        payload = bytearray(pack_bank(SKETCHERS["WMH"]().sketch_batch([a])))
+        payload[4] = 99  # version byte follows the 4-byte magic
+        with pytest.raises(SerializationError, match="version"):
+            unpack_bank(bytes(payload))
+
+    def test_zero_copy_views_reference_payload(self, small_pair):
+        a, b = small_pair
+        sketcher = SKETCHERS["WMH"]()
+        bank = sketcher.sketch_batch([a, b])
+        payload = pack_bank(bank)
+        zero_copy = unpack_bank(payload, copy=False)
+        for name, array in zero_copy.columns.items():
+            assert array.base is not None, f"column {name} was copied"
+            assert not array.flags.writeable
+        query = sketcher.sketch(a)
+        np.testing.assert_array_equal(
+            sketcher.estimate_many(query, zero_copy),
+            sketcher.estimate_many(query, bank),
+        )
+
+
+class TestShardContainer:
+    def test_round_trip(self, small_pair):
+        a, b = small_pair
+        sketcher = SKETCHERS["WMH"]()
+        bank = sketcher.sketch_batch([a, b])
+        restored = unpack_shard(pack_shard(bank))
+        query = sketcher.sketch(a)
+        np.testing.assert_array_equal(
+            sketcher.estimate_many(query, restored),
+            sketcher.estimate_many(query, bank),
+        )
+
+    def test_truncated_shard_rejected(self, small_pair):
+        a, _ = small_pair
+        payload = pack_shard(SKETCHERS["WMH"]().sketch_batch([a]))
+        with pytest.raises(SerializationError, match="truncated shard"):
+            unpack_shard(payload[: len(payload) - 5])
+
+    def test_bit_flip_detected_by_checksum(self, small_pair):
+        a, _ = small_pair
+        payload = bytearray(pack_shard(SKETCHERS["WMH"]().sketch_batch([a])))
+        payload[-3] ^= 0x40
+        with pytest.raises(SerializationError, match="checksum"):
+            unpack_shard(bytes(payload))
+
+    def test_bank_payload_rejected_by_unpack_shard(self, small_pair):
+        a, _ = small_pair
+        payload = pack_bank(SKETCHERS["WMH"]().sketch_batch([a]))
+        with pytest.raises(SerializationError, match="not a shard"):
+            unpack_shard(payload)
+
+    def test_shard_payload_rejected_by_unpack_bank(self, small_pair):
+        a, _ = small_pair
+        payload = pack_shard(SKETCHERS["WMH"]().sketch_batch([a]))
+        with pytest.raises(SerializationError, match="not a sketch bank"):
+            unpack_bank(payload)

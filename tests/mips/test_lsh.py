@@ -136,3 +136,72 @@ class TestMIPSIndex:
         report = index.tune_report([0.1, 0.9])
         assert "8 bands" in report
         assert "0.90" in report
+
+
+class TestInsertBank:
+    """Batch signature insertion straight from a SketchBank."""
+
+    def build_bank(self, sketcher, vectors):
+        return sketcher.sketch_batch(vectors)
+
+    def test_insert_bank_matches_scalar_inserts(self):
+        _, vectors = corpus_vectors(seed=7, count=12)
+        sketcher = WeightedMinHash(m=32, seed=4, L=1 << 16)
+        ids = list(vectors)
+        bank = sketcher.sketch_batch(list(vectors.values()))
+
+        scalar = SignatureLSH(bands=8, rows_per_band=4)
+        for item_id, sketch in zip(ids, sketcher.bank_to_sketches(bank)):
+            scalar.insert(item_id, sketch.hashes)
+        batch = SignatureLSH(bands=8, rows_per_band=4)
+        batch.insert_bank(ids, bank)
+
+        assert len(batch) == len(scalar) == len(ids)
+        probe = sketcher.bank_to_sketches(bank)
+        for sketch in probe:
+            assert batch.candidates(sketch.hashes) == scalar.candidates(sketch.hashes)
+
+    def test_insert_bank_rejects_misaligned_ids(self):
+        _, vectors = corpus_vectors(seed=8, count=5)
+        sketcher = WeightedMinHash(m=16, seed=0, L=1 << 16)
+        bank = sketcher.sketch_batch(list(vectors.values()))
+        lsh = SignatureLSH(bands=4, rows_per_band=4)
+        with pytest.raises(ValueError, match="ids for"):
+            lsh.insert_bank(["only-one"], bank)
+
+    def test_insert_bank_rejects_short_signatures(self):
+        _, vectors = corpus_vectors(seed=9, count=4)
+        sketcher = WeightedMinHash(m=8, seed=0, L=1 << 16)
+        bank = sketcher.sketch_batch(list(vectors.values()))
+        lsh = SignatureLSH(bands=4, rows_per_band=4)
+        with pytest.raises(ValueError, match="banding needs"):
+            lsh.insert_bank(list(vectors), bank)
+
+    def test_add_batch_matches_scalar_adds(self):
+        query, vectors = corpus_vectors(seed=10, count=20)
+        scalar_index = MIPSIndex(
+            WeightedMinHash(m=64, seed=5, L=1 << 16), bands=16, rows_per_band=4
+        )
+        for item_id, vector in vectors.items():
+            scalar_index.add(item_id, vector)
+        batch_index = MIPSIndex(
+            WeightedMinHash(m=64, seed=5, L=1 << 16), bands=16, rows_per_band=4
+        )
+        batch_index.add_batch(list(vectors), list(vectors.values()))
+
+        assert len(batch_index) == len(scalar_index)
+        scalar_hits = scalar_index.query(query, top_k=5)
+        batch_hits = batch_index.query(query, top_k=5)
+        assert [(h.item_id, h.score) for h in scalar_hits] == [
+            (h.item_id, h.score) for h in batch_hits
+        ]
+
+    def test_add_batch_rejects_misaligned(self):
+        index = MIPSIndex(WeightedMinHash(m=64, seed=0, L=1 << 16))
+        with pytest.raises(ValueError, match="ids for"):
+            index.add_batch(["a"], [])
+
+    def test_add_batch_empty_is_noop(self):
+        index = MIPSIndex(WeightedMinHash(m=64, seed=0, L=1 << 16))
+        index.add_batch([], [])
+        assert len(index) == 0

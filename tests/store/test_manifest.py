@@ -1,0 +1,94 @@
+"""Tests for the lake manifest record."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store.manifest import (
+    MANIFEST_VERSION,
+    Manifest,
+    ManifestError,
+    ShardRecord,
+    TableSpan,
+)
+
+
+def sample_manifest() -> Manifest:
+    spans = (
+        TableSpan(name="a", num_rows=10, columns=("x", "y"), lo=0, hi=5),
+        TableSpan(name="b", num_rows=7, columns=(), lo=5, hi=6),
+    )
+    return Manifest(
+        sketcher={"kind": "WMH", "params": {"m": 8, "seed": 0, "L": 64}},
+        shards=[ShardRecord(shard_id=1, filename="shard-000001.rpro", tables=spans)],
+        tombstones={(1, "b")},
+        next_shard_id=2,
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        manifest = sample_manifest()
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        restored = Manifest.load(path)
+        assert restored == manifest
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        sample_manifest().save(path)
+        assert not (tmp_path / "manifest.json.tmp").exists()
+
+    def test_version_recorded(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        sample_manifest().save(path)
+        data = json.loads(path.read_text())
+        assert data["version"] == MANIFEST_VERSION
+        assert data["format"] == "repro-lake"
+
+
+class TestLiveness:
+    def test_live_spans_skip_tombstones(self):
+        manifest = sample_manifest()
+        live = [span.name for _, span in manifest.live_spans()]
+        assert live == ["a"]
+
+    def test_dead_rows(self):
+        assert sample_manifest().dead_rows() == 1
+
+    def test_live_table_shard(self):
+        assert sample_manifest().live_table_shard() == {"a": 1}
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="no manifest"):
+            Manifest.load(tmp_path / "manifest.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{not json")
+        with pytest.raises(ManifestError, match="malformed"):
+            Manifest.load(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"format": "other", "version": 1}))
+        with pytest.raises(ManifestError, match="not a lake manifest"):
+            Manifest.load(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        data = sample_manifest().to_json()
+        data["version"] = MANIFEST_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="unsupported manifest version"):
+            Manifest.load(path)
+
+    def test_missing_fields(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"format": "repro-lake", "version": 1}))
+        with pytest.raises(ManifestError, match="malformed"):
+            Manifest.load(path)

@@ -1,0 +1,211 @@
+"""Tests for the query-session front end and the ``repro.store`` CLI."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.table import Table
+from repro.store import LakeStore, QuerySession
+from repro.store.cli import load_csv_table, main
+
+
+def make_tables(count: int = 3, seed: int = 0, rows: int = 100) -> list[Table]:
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = [f"k{j}" for j in rng.choice(400, size=rows, replace=False)]
+        tables.append(
+            Table(f"table{i}", keys, {"value": rng.normal(size=rows)})
+        )
+    return tables
+
+
+def make_query(seed: int = 42, rows: int = 150) -> Table:
+    rng = np.random.default_rng(seed)
+    keys = [f"k{j}" for j in rng.choice(400, size=rows, replace=False)]
+    return Table("query", keys, {"signal": rng.normal(size=rows)})
+
+
+def fresh_store(tmp_path, tables=None):
+    store = LakeStore.create(tmp_path / "lake", WeightedMinHash(m=32, seed=3, L=1 << 16))
+    if tables:
+        store.append(tables)
+    return store
+
+
+class TestQuerySession:
+    def test_search_matches_engine(self, tmp_path):
+        tables = make_tables()
+        store = fresh_store(tmp_path, tables)
+        session = QuerySession(store)
+        query = make_query()
+        direct = session.engine.search_table(query, "signal", top_k=5)
+        via_session = session.search(query, "signal", top_k=5)
+        assert [(h.table_name, h.column, h.score) for h in via_session] == [
+            (h.table_name, h.column, h.score) for h in direct
+        ]
+        store.close()
+
+    def test_query_sketch_cached_per_name(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables())
+        session = QuerySession(store)
+        query = make_query()
+        first = session.sketch(query)
+        assert session.sketch(query) is first
+        session.clear_cache()
+        assert session.sketch(query) is not first
+        store.close()
+
+    def test_session_sees_appends(self, tmp_path):
+        tables = make_tables(3)
+        store = fresh_store(tmp_path, tables[:2])
+        session = QuerySession(store, min_containment=0.0)
+        assert len(session.engine.index) == 2
+        store.append([tables[2]])
+        assert len(session.engine.index) == 3
+        store.close()
+
+    def test_unknown_query_column(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables())
+        with pytest.raises(KeyError, match="no column"):
+            QuerySession(store).search(make_query(), "nope")
+        store.close()
+
+    def test_stats_include_cache(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables())
+        session = QuerySession(store)
+        session.sketch(make_query())
+        assert session.stats()["cached_query_sketches"] == 1
+        store.close()
+
+
+def write_csv(path, keys, columns):
+    names = list(columns)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["key", *names])
+        for i, key in enumerate(keys):
+            writer.writerow([key, *[columns[name][i] for name in names]])
+
+
+@pytest.fixture
+def csv_lake(tmp_path):
+    """Three ingestible CSVs + one query CSV over shared keys."""
+    rng = np.random.default_rng(11)
+    paths = []
+    for t in range(3):
+        keys = [f"k{j}" for j in rng.choice(300, size=90, replace=False)]
+        path = tmp_path / f"table{t}.csv"
+        write_csv(
+            path,
+            keys,
+            {"price": rng.normal(size=90), "volume": rng.uniform(1, 9, size=90)},
+        )
+        paths.append(path)
+    qkeys = [f"k{j}" for j in rng.choice(300, size=120, replace=False)]
+    qpath = tmp_path / "query.csv"
+    write_csv(qpath, qkeys, {"demand": rng.normal(size=120)})
+    return tmp_path / "lake.d", paths, qpath
+
+
+class TestLoadCsvTable:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(path, ["a", "b"], {"x": [1.0, 2.0]})
+        table = load_csv_table(path)
+        assert table.name == "t"
+        assert table.keys == ["a", "b"]
+        np.testing.assert_array_equal(table.columns["x"], [1.0, 2.0])
+
+    def test_duplicate_keys_aggregate(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(path, ["a", "a", "b"], {"x": [1.0, 2.0, 5.0]})
+        table = load_csv_table(path, aggregate="sum")
+        assert table.keys == ["a", "b"]
+        np.testing.assert_array_equal(table.columns["x"], [3.0, 5.0])
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("key,x\na,hello\n")
+        with pytest.raises(ValueError, match="not numeric"):
+            load_csv_table(path)
+
+    def test_missing_key_column(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(path, ["a"], {"x": [1.0]})
+        with pytest.raises(ValueError, match="key column"):
+            load_csv_table(path, key_column="nope")
+
+
+class TestCli:
+    def test_ingest_query_stats_compact(self, csv_lake, capsys):
+        lake, tables, query = csv_lake
+        assert main(["ingest", str(lake), str(tables[0]), str(tables[1])]) == 0
+        assert "2 table(s)" in capsys.readouterr().out
+
+        # Second ingest opens the existing store (keeps its config).
+        assert main(["ingest", str(lake), str(tables[2])]) == 0
+        capsys.readouterr()
+
+        assert main(["stats", str(lake)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["tables"] == 3
+        assert stats["shards"] == 2
+
+        assert (
+            main(
+                [
+                    "query",
+                    str(lake),
+                    str(query),
+                    "--column",
+                    "demand",
+                    "--top-k",
+                    "3",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        hits = json.loads(capsys.readouterr().out)
+        assert 0 < len(hits) <= 3
+        assert {"table", "column", "score", "correlation"} <= set(hits[0])
+
+        assert main(["compact", str(lake)]) == 0
+        assert "compacted 2 shard(s) -> 1" in capsys.readouterr().out
+
+    def test_query_human_output(self, csv_lake, capsys):
+        lake, tables, query = csv_lake
+        main(["ingest", str(lake), *map(str, tables)])
+        capsys.readouterr()
+        assert main(["query", str(lake), str(query), "--column", "demand"]) == 0
+        out = capsys.readouterr().out
+        assert "score=" in out and "containment=" in out
+
+    def test_query_missing_store_errors(self, tmp_path, capsys):
+        code = main(
+            ["query", str(tmp_path / "absent"), str(tmp_path / "q.csv"), "--column", "x"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_results_match_library(self, csv_lake, capsys):
+        lake, tables, query = csv_lake
+        main(["ingest", str(lake), *map(str, tables)])
+        capsys.readouterr()
+        main(["query", str(lake), str(query), "--column", "demand", "--json"])
+        cli_hits = json.loads(capsys.readouterr().out)
+
+        store = LakeStore.open(lake)
+        lib_hits = QuerySession(store).search(
+            load_csv_table(query), "demand", top_k=10
+        )
+        store.close()
+        assert [(h["table"], h["column"], h["score"]) for h in cli_hits] == [
+            (h.table_name, h.column, h.score) for h in lib_hits
+        ]
