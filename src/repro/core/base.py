@@ -83,9 +83,28 @@ class Sketcher(abc.ABC):
     # ------------------------------------------------------------------
 
     def sketch_batch(
-        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+        self,
+        matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray,
+        workers: int | None = None,
     ) -> SketchBank:
         """Sketch every row of ``matrix`` into one :class:`SketchBank`.
+
+        ``workers`` opts into the chunked process-pool executor of
+        :mod:`repro.parallel`: ``None`` or ``1`` sketches in-process,
+        ``> 1`` fans row chunks out to that many worker processes.
+        Because every sketcher is a pure function of ``(config, row)``,
+        the resulting bank is bit-identical for any worker count.
+        """
+        if workers is not None and workers > 1:
+            from repro.parallel import parallel_sketch_batch
+
+            return parallel_sketch_batch(self, matrix, workers=workers)
+        return self._sketch_batch(matrix)
+
+    def _sketch_batch(
+        self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
+    ) -> SketchBank:
+        """Serial batch implementation behind :meth:`sketch_batch`.
 
         The default wraps the scalar path row by row; vectorized
         sketchers override this with a single pass over the CSR arrays.

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["segmented_min_argmin", "chunk_boundaries"]
+__all__ = ["segmented_min_argmin", "segmented_min_argmin_rows", "chunk_boundaries"]
 
 
 def segmented_min_argmin(
@@ -59,6 +59,53 @@ def segmented_min_argmin(
     # reduceat instead of a min / expand / compare / min sequence.
     composite = matrix + 1j * np.arange(total, dtype=np.float64)
     reduced = np.minimum.reduceat(composite, starts, axis=1)
+    return reduced.real, reduced.imag.astype(np.int64)
+
+
+def segmented_min_argmin_rows(
+    matrix: np.ndarray, indptr: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment minimum and first-argmin along the *first* axis.
+
+    Row-major counterpart of :func:`segmented_min_argmin` for batch
+    kernels that lay their per-entry data out as ``(total, m)`` — one
+    contiguous row of ``m`` repetitions per non-zero.  That layout turns
+    the per-row gather of a ``(queries, m)`` table into contiguous
+    row copies instead of strided column picks, which is what makes the
+    reduction memory-bound rather than cache-miss-bound.
+
+    Parameters
+    ----------
+    matrix:
+        ``(total, m)`` array whose rows are grouped into segments.
+    indptr:
+        ``(num_segments + 1,)`` boundaries; every segment must be
+        non-empty.
+
+    Returns
+    -------
+    (mins, argpos):
+        Both ``(num_segments, m)``.  ``mins[s, r]`` equals
+        ``matrix[indptr[s]:indptr[s+1], r].min()`` exactly and
+        ``argpos[s, r]`` is the **global** row index of the first
+        occurrence of that minimum — matching ``np.argmin`` tie-breaking.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    num_segments = indptr.size - 1
+    total, m = matrix.shape
+    if num_segments == 0:
+        empty = np.empty((0, m))
+        return empty, np.empty((0, m), dtype=np.int64)
+    if indptr[-1] != total or np.any(np.diff(indptr) <= 0):
+        raise ValueError("indptr must partition the rows into non-empty segments")
+    # Same complex-lexicographic trick as the column-major variant: one
+    # reduceat yields the minimum value and its first row index.
+    composite = np.empty((total, m), dtype=np.complex128)
+    composite.real = matrix
+    composite.imag = np.broadcast_to(
+        np.arange(total, dtype=np.float64)[:, None], (total, m)
+    )
+    reduced = np.minimum.reduceat(composite, indptr[:-1], axis=0)
     return reduced.real, reduced.imag.astype(np.int64)
 
 

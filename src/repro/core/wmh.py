@@ -37,10 +37,23 @@ The simulation is vectorized over the full ``(m, nnz)`` grid: each
 round advances every still-active (repetition, block) cell by one
 record, and cells retire once their next record would overshoot their
 block's occupancy.
+
+**Memoization.**  A block's minima at occupancy ``k`` is a pure
+function of ``(seed, m, block, k)`` — independent of which vector, which
+batch, or which lake append asked for it.  Real lakes repeat column
+occupancies constantly (same-sized tables over a shared key domain), so
+both the scalar and the batch path consult a bounded, process-wide LRU
+(:class:`MinimaCache`) before simulating, and only the missing
+``(block, occupancy)`` pairs ever reach the record simulation.  Cache
+hits return the exact array the simulation would produce, so results
+are bit-identical with the cache on, off, cold, or warm.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -48,15 +61,18 @@ import numpy as np
 
 from repro.core.bank import SketchBank
 from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
-from repro.core.rounding import RoundedVector, round_vector
-from repro.core.segments import chunk_boundaries, segmented_min_argmin
+from repro.core.rounding import RoundedVector, round_unit_vector, round_vector
+from repro.core.segments import chunk_boundaries, segmented_min_argmin_rows
 from repro.hashing.splitmix import counter_uniform, derive_key_grid
 from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
 __all__ = [
     "WMHSketch",
     "WeightedMinHash",
+    "MinimaCache",
     "DEFAULT_L",
+    "DEFAULT_CACHE_BYTES",
+    "shared_minima_cache",
     "simulate_block_minima",
     "simulate_block_minima_grouped",
 ]
@@ -77,6 +93,137 @@ _SIM_CELL_TARGET = 200_000
 #: the experiments here (n = 10**4, so L/n > 6000) and keeps the record
 #: process short (~ln L ≈ 18 records per block).
 DEFAULT_L = 1 << 26
+
+def _env_cache_bytes(default: int = 256 * 1024 * 1024) -> int:
+    """Parse ``REPRO_WMH_CACHE_BYTES``, surviving malformed values.
+
+    A typo'd deployment config must not take down every ``import
+    repro`` — an unparsable value warns and falls back to the default.
+    """
+    raw = os.environ.get("REPRO_WMH_CACHE_BYTES")
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid REPRO_WMH_CACHE_BYTES={raw!r} "
+            f"(expected an integer byte count); using {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+
+
+#: Budget of the process-wide minima cache; override with the
+#: ``REPRO_WMH_CACHE_BYTES`` environment variable (0 disables caching).
+#: One entry costs ``8 * m`` bytes, so the default holds ~160k columns
+#: at the experiments' m = 200.
+DEFAULT_CACHE_BYTES = _env_cache_bytes()
+
+
+class MinimaCache:
+    """Bounded LRU of per-``(block, occupancy)`` record-process minima.
+
+    Keys are ``(seed, m, block, occupancy)`` tuples (``L`` is deliberately
+    absent: the record stream and its truncation depend only on the
+    occupancy count, so sketchers differing *only* in ``L`` share
+    entries).  Values are the contiguous ``(m,)`` float64 columns that
+    :func:`simulate_block_minima` would produce — cache hits are
+    bit-identical to re-simulation, so the cache can never change a
+    sketch, only the time it takes to build one.
+
+    Eviction is least-recently-used, bounded by ``max_bytes`` of array
+    payload.  ``max_bytes <= 0`` disables the cache entirely.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._payload_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    @property
+    def nbytes(self) -> int:
+        """Current array payload held by the cache."""
+        return self._payload_bytes
+
+    def get(self, key: tuple) -> np.ndarray | None:
+        column = self._entries.get(key)
+        if column is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return column
+
+    def put(self, key: tuple, column: np.ndarray) -> None:
+        if self.max_bytes <= 0:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._payload_bytes -= old.nbytes
+        self._entries[key] = column
+        self._payload_bytes += column.nbytes
+        while self._payload_bytes > self.max_bytes and self._entries:
+            _, dropped = self._entries.popitem(last=False)
+            self._payload_bytes -= dropped.nbytes
+            self.evictions += 1
+
+    def put_many(self, keys: Sequence[tuple], columns: np.ndarray) -> None:
+        """Insert ``columns[i]`` (rows of a ``(len(keys), m)`` array)
+        under ``keys[i]``.
+
+        Each row is copied into its own buffer so eviction actually
+        releases memory entry by entry — storing views of ``columns``
+        would keep the whole batch buffer pinned while any single view
+        survived, silently breaking the ``max_bytes`` bound.
+        """
+        if self.max_bytes <= 0 or not len(keys):
+            return
+        entries = self._entries
+        for key in keys:
+            old = entries.pop(key, None)
+            if old is not None:
+                self._payload_bytes -= old.nbytes
+        entries.update(zip(keys, map(np.copy, columns)))
+        self._payload_bytes += columns.nbytes
+        while self._payload_bytes > self.max_bytes and entries:
+            _, dropped = entries.popitem(last=False)
+            self._payload_bytes -= dropped.nbytes
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._payload_bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self._payload_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: The process-wide cache every sketcher uses unless given its own.
+_SHARED_CACHE = MinimaCache(DEFAULT_CACHE_BYTES)
+
+
+def shared_minima_cache() -> MinimaCache:
+    """The process-wide :class:`MinimaCache` (inspect, resize, clear)."""
+    return _SHARED_CACHE
 
 
 @dataclass(frozen=True)
@@ -206,9 +353,14 @@ def simulate_block_minima_grouped(
     that block replays the *same* stream and merely stops at its own
     occupancy ``k``.  When a matrix of vectors shares blocks, the
     stream therefore only needs simulating **once per block**, to the
-    block's largest requested occupancy; each smaller occupancy's
-    minimum is the ``z`` of the last record at position ``<= k``, read
-    off as the records pass it.
+    block's largest requested occupancy.
+
+    The simulation and the query answering are **fused**: each block's
+    query occupancies are visited in ascending order by a per-cell
+    cursor, and the moment a record advance passes an occupancy ``k``
+    the current ``z`` — the last record at position ``<= k`` — is
+    written straight into the output.  No record log, no sort, no
+    binary search, and no allocation proportional to the record count.
 
     Parameters
     ----------
@@ -220,10 +372,10 @@ def simulate_block_minima_grouped(
         ``(U + 1,)`` boundaries grouping ``query_counts`` by block;
         every block must own at least one query.
     query_counts:
-        Requested occupancies ``k >= 1``, shape ``(Q,)``.  Duplicates
-        are fine; keep each block's segment sorted (the batch sketcher
-        does) so the final lookup hits searchsorted's monotone fast
-        path.
+        Requested occupancies ``k >= 1``, shape ``(Q,)``.  Each block's
+        segment must be sorted ascending (the batch sketcher's distinct
+        ``(block, count)`` grouping guarantees this); duplicates are
+        fine.
 
     Returns
     -------
@@ -244,29 +396,29 @@ def simulate_block_minima_grouped(
         raise ValueError("all query counts must be >= 1")
     if num_queries == 0:
         return np.empty((m, 0))
-
-    # Composite keys ``cell * stride + position`` linearize the
-    # (cell, position) order so both the record log and the queries
-    # become one globally sorted axis.
-    stride = int(query_counts.max()) + 2
-    num_cells = m * num_blocks
-    if num_cells * stride >= 2**62:
-        raise ValueError("query counts too large to compose per-cell search keys")
+    ascending = np.diff(query_counts) >= 0
+    ascending[query_indptr[1:-1] - 1] = True  # block boundaries may reset
+    if not ascending.all():
+        raise ValueError("each block's query counts must be sorted ascending")
 
     keys = derive_key_grid(seed, np.arange(m, dtype=np.int64), block_ids).ravel()
+    num_cells = m * num_blocks
 
-    # Phase 1 — simulate every cell's record stream once, to its
-    # block's largest requested occupancy, logging records as
-    # (cell, position, z) triplets.  Record 0 is (pos 1, u0).
+    # Active-cell state, compacted as cells retire.  Record 0 is the
+    # hash of slot 1; every block has k >= 1 so it is always accepted.
+    # Each cell walks its block's ascending query occupancies with a
+    # cursor (act_qptr .. qend) and flat output base repetition * Q.
     limits = query_counts[query_indptr[1:] - 1].astype(np.float64)  # k_max per block
-    act_cell = np.arange(num_cells, dtype=np.int64)
+    thresholds = query_counts.astype(np.float64)
     act_keys = keys
     act_z = counter_uniform(keys, 0)
     act_pos = np.ones(num_cells, dtype=np.float64)
     act_limit = np.broadcast_to(limits, (m, num_blocks)).ravel()
-    log_cell = [act_cell]
-    log_pos = [act_pos]
-    log_z = [act_z]
+    act_qptr = np.tile(query_indptr[:-1], m)
+    act_qend = np.tile(query_indptr[1:], m)
+    act_base = np.repeat(np.arange(m, dtype=np.int64) * num_queries, num_blocks)
+    out = np.empty(m * num_queries)
+    last_query = num_queries - 1
 
     counter = 1
     rounds = 0
@@ -282,7 +434,7 @@ def simulate_block_minima_grouped(
         return ((word >> np.uint64(12)).astype(np.float64) + 0.5) * inv_2_52
 
     with np.errstate(over="ignore"):
-        while act_cell.size:
+        while act_keys.size:
             rounds += 1
             if rounds > max_rounds:
                 raise RuntimeError(
@@ -293,48 +445,42 @@ def simulate_block_minima_grouped(
             u_skip = _draw(state)
             skip = np.ceil(np.log(u_skip) / np.log1p(-act_z))
             next_pos = act_pos + skip
-            accepted = next_pos <= act_limit
+            # Answer every query this advance passes: the current z is
+            # the last record at position <= k exactly when the next
+            # record lands beyond k.  Retiring cells (next_pos beyond
+            # their largest occupancy) drain their remaining cursor
+            # here, so every query is written exactly once.
+            # Active cells always hold an unanswered query (a drained
+            # cursor implies the record passed k_max, which retires the
+            # cell below), so act_qptr is in range.
+            ready = np.flatnonzero(thresholds[act_qptr] < next_pos)
+            while ready.size:
+                cursor = act_qptr[ready]
+                out[act_base[ready] + cursor] = act_z[ready]
+                cursor += 1
+                act_qptr[ready] = cursor
+                more = (cursor < act_qend[ready]) & (
+                    thresholds[np.minimum(cursor, last_query)] < next_pos[ready]
+                )
+                ready = ready[more]
+            # One flatnonzero feeds every compaction below (a boolean
+            # mask would re-scan itself once per indexed array).
+            keep = np.flatnonzero(next_pos <= act_limit)
 
-            act_cell = act_cell[accepted]
-            act_keys = act_keys[accepted]
+            act_keys = act_keys.take(keep)
             # The value draw is consumed only by accepted cells (pure
             # function of (key, counter), so skipping retiring cells
             # changes nothing downstream).
             u_value = _draw(act_keys + np.uint64(counter) * golden + golden)
-            act_z = act_z[accepted] * u_value
-            act_pos = next_pos[accepted]
-            act_limit = act_limit[accepted]
-            if act_cell.size:
-                log_cell.append(act_cell)
-                log_pos.append(act_pos)
-                log_z.append(act_z)
+            act_z = act_z.take(keep) * u_value
+            act_pos = next_pos.take(keep)
+            act_limit = act_limit.take(keep)
+            act_qptr = act_qptr.take(keep)
+            act_qend = act_qend.take(keep)
+            act_base = act_base.take(keep)
             counter += 2
 
-    # Phase 2 — answer every query with one binary search over the
-    # sorted record log.  A stable sort by cell keeps each cell's
-    # records in round order, i.e. ascending position; the answer for
-    # occupancy k is the z of the last record at position <= k.
-    rec_cell = np.concatenate(log_cell)
-    rec_pos = np.concatenate(log_pos)
-    rec_z = np.concatenate(log_z)
-    order = np.argsort(rec_cell, kind="stable")
-    rec_keys = rec_cell[order] * stride + rec_pos[order].astype(np.int64)
-    rec_z = rec_z[order]
-
-    entry_keys = (
-        np.repeat(np.arange(num_blocks, dtype=np.int64), np.diff(query_indptr))
-        * stride
-        + query_counts
-    )
-    query_keys = (
-        np.arange(m, dtype=np.int64)[:, None] * (num_blocks * stride)
-        + entry_keys[None, :]
-    )
-    # query_keys.ravel() is globally sorted, which numpy's searchsorted
-    # exploits; every cell owns a record at position 1, so the index
-    # never underflows its cell's segment.
-    hits = np.searchsorted(rec_keys, query_keys.ravel(), side="right") - 1
-    return rec_z[hits].reshape(m, num_queries)
+    return out.reshape(m, num_queries)
 
 
 class WeightedMinHash(Sketcher):
@@ -352,11 +498,23 @@ class WeightedMinHash(Sketcher):
         sketch size, only on sketching cost (logarithmically) and on
         rounding fidelity; keep it well above the vector dimension
         (paper: at least ``n``, ideally ``100n``-``1000n``).
+    cache_bytes:
+        Minima-memoization budget.  ``None`` (default) shares the
+        process-wide :func:`shared_minima_cache`; ``0`` disables
+        memoization for this sketcher; a positive value gives the
+        sketcher a private :class:`MinimaCache` of that size.  The
+        cache never changes sketch bits, only sketching time.
     """
 
     name = "WMH"
 
-    def __init__(self, m: int, seed: int = 0, L: int = DEFAULT_L) -> None:
+    def __init__(
+        self,
+        m: int,
+        seed: int = 0,
+        L: int = DEFAULT_L,
+        cache_bytes: int | None = None,
+    ) -> None:
         if m <= 0:
             raise ValueError(f"sample count m must be positive, got {m}")
         if L < 1:
@@ -364,6 +522,30 @@ class WeightedMinHash(Sketcher):
         self.m = int(m)
         self.seed = int(seed)
         self.L = int(L)
+        self._cache_bytes = cache_bytes
+        if cache_bytes is None:
+            self._cache: MinimaCache | None = _SHARED_CACHE
+        elif cache_bytes <= 0:
+            self._cache = None
+        else:
+            self._cache = MinimaCache(cache_bytes)
+
+    def __getstate__(self) -> dict[str, Any]:
+        # The memo cache never crosses process boundaries: pickling a
+        # sketcher (e.g. to a parallel-ingest worker) ships only its
+        # configuration; the receiving process re-resolves its own
+        # shared or private cache.
+        return {
+            "m": self.m,
+            "seed": self.seed,
+            "L": self.L,
+            "cache_bytes": self._cache_bytes,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__init__(
+            state["m"], state["seed"], state["L"], state["cache_bytes"]
+        )
 
     @classmethod
     def from_storage(cls, words: int, seed: int = 0, **kwargs: Any) -> "WeightedMinHash":
@@ -390,15 +572,22 @@ class WeightedMinHash(Sketcher):
         rounded = round_vector(vector, self.L)
         return self.sketch_rounded(rounded)
 
+    def _live_cache(self) -> MinimaCache | None:
+        cache = self._cache
+        if cache is None or not cache.enabled:
+            return None
+        return cache
+
     def sketch_rounded(self, rounded: RoundedVector) -> WMHSketch:
         """Sketch a pre-rounded vector (shared by ablation variants)."""
         if rounded.L != self.L:
             raise ValueError(
                 f"rounded vector has L={rounded.L}, sketcher expects {self.L}"
             )
-        minima = simulate_block_minima(
-            self.seed, self.m, rounded.indices, rounded.counts
-        )
+        # rounded.indices are sorted and unique (SparseVector
+        # invariant), so they satisfy the distinct-pair precondition of
+        # the cache-served resolver directly.
+        minima = self._distinct_pair_minima(rounded.indices, rounded.counts).T
         best = np.argmin(minima, axis=1)
         rows = np.arange(self.m)
         return WMHSketch(
@@ -460,7 +649,76 @@ class WeightedMinHash(Sketcher):
             seed=self.seed,
         )
 
-    def sketch_batch(
+    def _distinct_pair_minima(
+        self, query_blocks: np.ndarray, query_counts: np.ndarray
+    ) -> np.ndarray:
+        """Minima for distinct ``(block, occupancy)`` pairs, cache-served.
+
+        Input arrays must be lexsorted by ``(block, count)`` with no
+        duplicate pairs (the batch sketcher guarantees this).  Cached
+        pairs are copied out of the memo cache; only the misses are
+        simulated — one record stream per missing block, evaluated at
+        that block's missing occupancies — and inserted afterwards.
+
+        Returns a ``(Q, m)`` array with one contiguous row per pair
+        (the transpose of the simulators' layout, which is what the
+        row-major scatter phase wants to gather from).
+        """
+        num_queries = query_blocks.size
+        out = np.empty((num_queries, self.m))
+        cache = self._live_cache()
+        if cache is not None and len(cache):
+            seed, m = self.seed, self.m
+            missing: list[int] = []
+            for q, (block, count) in enumerate(
+                zip(query_blocks.tolist(), query_counts.tolist())
+            ):
+                column = cache.get((seed, m, block, count))
+                if column is None:
+                    missing.append(q)
+                else:
+                    out[q] = column
+            miss_idx = np.asarray(missing, dtype=np.int64)
+        else:
+            miss_idx = np.arange(num_queries, dtype=np.int64)
+
+        if miss_idx.size:
+            miss_blocks = query_blocks[miss_idx]
+            miss_counts = query_counts[miss_idx]
+            # The miss subset inherits the (block, count) ordering, so
+            # grouping by block is a run-length scan.
+            new_block = np.concatenate([[True], np.diff(miss_blocks) != 0])
+            unique_blocks = miss_blocks[new_block]
+            miss_indptr = np.concatenate(
+                [np.flatnonzero(new_block), [miss_blocks.size]]
+            )
+            sim = np.empty((miss_idx.size, self.m))
+            blocks_per_chunk = max(1, _SIM_CELL_TARGET // max(self.m, 1))
+            for ulo in range(0, unique_blocks.size, blocks_per_chunk):
+                uhi = min(ulo + blocks_per_chunk, unique_blocks.size)
+                q_lo, q_hi = int(miss_indptr[ulo]), int(miss_indptr[uhi])
+                sim[q_lo:q_hi] = simulate_block_minima_grouped(
+                    self.seed,
+                    self.m,
+                    unique_blocks[ulo:uhi],
+                    miss_indptr[ulo : uhi + 1] - q_lo,
+                    miss_counts[q_lo:q_hi],
+                ).T
+            out[miss_idx] = sim
+            if cache is not None:
+                seed, m = self.seed, self.m
+                cache.put_many(
+                    [
+                        (seed, m, block, count)
+                        for block, count in zip(
+                            miss_blocks.tolist(), miss_counts.tolist()
+                        )
+                    ],
+                    sim,
+                )
+        return out
+
+    def _sketch_batch(
         self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
     ) -> SketchBank:
         """Sketch all rows in one record simulation (Section 5 batched).
@@ -468,42 +726,56 @@ class WeightedMinHash(Sketcher):
         Because every vector sketched under one seed replays the same
         per-``(repetition, block)`` record stream, the per-block minima
         depend only on the distinct ``(block, occupancy)`` pairs present
-        in the matrix: those are simulated **once** and scattered back
-        to the rows, so blocks shared across rows (common keys, common
-        tokens) cost one simulation instead of one per row.  Results are
-        bit-identical to the scalar loop.
+        in the matrix: those are looked up in the memo cache or
+        simulated **once** and scattered back to the rows, so blocks
+        shared across rows (common keys, common tokens) cost one
+        simulation instead of one per row.  Results are bit-identical
+        to the scalar loop.
         """
-        rows = as_sparse_matrix(matrix)
+        rows = as_sparse_matrix(matrix).without_explicit_zeros()
         total = rows.num_rows
         hashes = np.full((total, self.m), np.inf)
         values = np.zeros((total, self.m))
         norms = np.zeros(total)
 
-        # Algorithm 4 per row; empty rows keep the empty-sketch sentinel.
+        # Algorithm 4 per row, straight off the CSR slices (identical
+        # arithmetic to round_vector, minus the per-row SparseVector
+        # shuffle); empty rows keep the empty-sketch sentinel.
+        mat_indptr = rows.indptr
         active_rows: list[int] = []
-        rounded: list[RoundedVector] = []
+        parts_blocks: list[np.ndarray] = []
+        parts_values: list[np.ndarray] = []
+        parts_counts: list[np.ndarray] = []
         for i in range(total):
-            vector = rows.row(i)
-            if vector.nnz == 0:
+            lo, hi = int(mat_indptr[i]), int(mat_indptr[i + 1])
+            if lo == hi:
                 continue
-            rv = round_vector(vector, self.L)
-            norms[i] = rv.norm
+            vals = rows.values[lo:hi]
+            nrm = float(np.linalg.norm(vals))
+            if nrm == 0.0:
+                # Entries are nonzero but their squares underflowed;
+                # the scalar path's round_vector rejects this too.
+                raise ValueError("cannot round the zero vector")
+            rounded_vals, row_counts = round_unit_vector(vals / nrm, self.L)
+            keep = row_counts > 0
+            norms[i] = nrm
             active_rows.append(i)
-            rounded.append(rv)
+            parts_blocks.append(rows.indices[lo:hi][keep])
+            parts_values.append(rounded_vals[keep])
+            parts_counts.append(row_counts[keep])
 
         if active_rows:
-            blocks = np.concatenate([rv.indices for rv in rounded])
-            counts = np.concatenate([rv.counts for rv in rounded])
-            row_values = np.concatenate([rv.values for rv in rounded])
-            sizes = np.array([rv.nnz for rv in rounded], dtype=np.int64)
+            blocks = np.concatenate(parts_blocks)
+            counts = np.concatenate(parts_counts)
+            row_values = np.concatenate(parts_values)
+            sizes = np.array([part.size for part in parts_blocks], dtype=np.int64)
             indptr = np.concatenate([[0], np.cumsum(sizes)])
 
-            # Group the entries by (block, occupancy): each block's
-            # record stream is simulated once — to its largest
-            # occupancy — and each *distinct* (block, occupancy) pair
-            # is evaluated once, no matter how many rows share it (in a
-            # data lake, same-sized tables over a shared key domain
-            # collapse to a fraction of the raw entry count).
+            # Group the entries by (block, occupancy): each *distinct*
+            # (block, occupancy) pair is resolved once, no matter how
+            # many rows share it (in a data lake, same-sized tables
+            # over a shared key domain collapse to a fraction of the
+            # raw entry count).
             perm = np.lexsort((counts, blocks))
             sorted_blocks = blocks[perm]
             sorted_counts = counts[perm]
@@ -513,36 +785,24 @@ class WeightedMinHash(Sketcher):
             query_of_entry = np.cumsum(new_pair) - 1
             query_blocks = sorted_blocks[new_pair]
             query_counts = sorted_counts[new_pair]
-            new_block = np.concatenate([[True], np.diff(query_blocks) != 0])
-            unique_blocks = query_blocks[new_block]
-            query_indptr = np.concatenate(
-                [np.flatnonzero(new_block), [query_blocks.size]]
-            )
-
-            minima = np.empty((self.m, query_blocks.size))
-            blocks_per_chunk = max(1, _SIM_CELL_TARGET // max(self.m, 1))
-            for ulo in range(0, unique_blocks.size, blocks_per_chunk):
-                uhi = min(ulo + blocks_per_chunk, unique_blocks.size)
-                q_lo, q_hi = int(query_indptr[ulo]), int(query_indptr[uhi])
-                minima[:, q_lo:q_hi] = simulate_block_minima_grouped(
-                    self.seed,
-                    self.m,
-                    unique_blocks[ulo:uhi],
-                    query_indptr[ulo : uhi + 1] - q_lo,
-                    query_counts[q_lo:q_hi],
-                )
             inverse = np.empty(sorted_blocks.size, dtype=np.int64)
             inverse[perm] = query_of_entry
 
-            # Scatter to rows and reduce, chunked to bound memory.
+            minima = self._distinct_pair_minima(query_blocks, query_counts)
+
+            # Scatter to rows and reduce, chunked to bound memory.  The
+            # row-major (entries, m) layout makes the gather contiguous
+            # per entry and the reduction emit (rows, m) directly.
             row_index = np.array(active_rows, dtype=np.int64)
             for lo, hi in chunk_boundaries(indptr, _BATCH_CELL_TARGET // max(self.m, 1)):
                 lo_nnz, hi_nnz = int(indptr[lo]), int(indptr[hi])
-                cols = minima[:, inverse[lo_nnz:hi_nnz]]
-                mins, argpos = segmented_min_argmin(cols, indptr[lo : hi + 1] - lo_nnz)
+                gathered = minima[inverse[lo_nnz:hi_nnz]]
+                mins, argpos = segmented_min_argmin_rows(
+                    gathered, indptr[lo : hi + 1] - lo_nnz
+                )
                 chunk_rows = row_index[lo:hi]
-                hashes[chunk_rows] = mins.T
-                values[chunk_rows] = row_values[lo_nnz + argpos].T
+                hashes[chunk_rows] = mins
+                values[chunk_rows] = row_values[lo_nnz + argpos]
 
         return SketchBank(
             kind=self.name,

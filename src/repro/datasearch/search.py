@@ -149,22 +149,11 @@ class DatasetSearch:
         if not joinable:
             return []
         sketcher = self.index.sketcher
-        table_stats = dict(zip(names, sizes))
-        sum_left = dict(
-            zip(
-                names,
-                sketcher.estimate_many(
-                    query.values[query_column], self.index.indicator_bank
-                ),
-            )
+        sum_left = sketcher.estimate_many(
+            query.values[query_column], self.index.indicator_bank
         )
-        sum_squares_left = dict(
-            zip(
-                names,
-                sketcher.estimate_many(
-                    query.squares[query_column], self.index.indicator_bank
-                ),
-            )
+        sum_squares_left = sketcher.estimate_many(
+            query.squares[query_column], self.index.indicator_bank
         )
 
         # Per-column statistics (against the value/square banks).
@@ -180,39 +169,73 @@ class DatasetSearch:
         joinable_rank = {name: rank for rank, (name, _, _) in enumerate(joinable)}
         join_info = {name: (size, cont) for name, size, cont in joinable}
 
-        hits: list[SearchHit] = []
-        for row, (table_name, column) in enumerate(owners):
-            if table_name not in joinable_rank:
-                continue
-            size = float(table_stats[table_name])
-            correlation = self._correlation(
-                size,
-                float(sum_left[table_name]),
-                float(sum_squares_left[table_name]),
-                float(sum_right[row]),
-                float(sum_squares_right[row]),
-                float(inner_products[row]),
+        # Score every joinable column in one vectorized pass over the
+        # six primitive statistics (same arithmetic as _correlation).
+        table_pos = {name: i for i, name in enumerate(names)}
+        owner_pos = np.array(
+            [table_pos[table] for table, _ in owners], dtype=np.int64
+        )
+        owner_rank = np.array(
+            [joinable_rank.get(table, -1) for table, _ in owners], dtype=np.int64
+        )
+        rows = np.flatnonzero(owner_rank >= 0)
+        if rows.size == 0:
+            return []
+        pos = owner_pos[rows]
+        size = sizes[pos]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean_left = sum_left[pos] / size
+            mean_right = sum_right[rows] / size
+            variance_left = np.maximum(
+                sum_squares_left[pos] / size - mean_left * mean_left, 0.0
             )
-            if by == "correlation":
-                score = abs(correlation) if not math.isnan(correlation) else 0.0
-            else:
-                score = abs(float(inner_products[row]))
+            variance_right = np.maximum(
+                sum_squares_right[rows] / size - mean_right * mean_right, 0.0
+            )
+            covariance = inner_products[rows] / size - mean_left * mean_right
+            raw = covariance / np.sqrt(variance_left * variance_right)
+        correlations = np.clip(raw, -1.0, 1.0)
+        correlations[
+            (size < 0.5) | ~(variance_left > 0.0) | ~(variance_right > 0.0)
+        ] = np.nan
+        if by == "correlation":
+            scores = np.where(np.isnan(correlations), 0.0, np.abs(correlations))
+        else:
+            scores = np.abs(inner_products[rows])
+        ranks = owner_rank[rows]
+
+        # Top-k cut via argpartition instead of sorting every score in
+        # the lake; boundary ties survive the cut and the exact order —
+        # score desc, joinability rank asc, row order asc (what the old
+        # pair of stable sorts produced) — is resolved on the
+        # candidates alone.
+        if 0 < top_k < scores.size:
+            kth = np.partition(scores, scores.size - top_k)[scores.size - top_k]
+            candidates = np.flatnonzero(scores >= kth)
+        else:
+            candidates = np.arange(scores.size)
+        order = np.lexsort((candidates, ranks[candidates], -scores[candidates]))
+        chosen = candidates[order][:top_k]
+
+        hits: list[SearchHit] = []
+        for c in chosen.tolist():
+            table_name, column = owners[int(rows[c])]
             join_size, containment = join_info[table_name]
+            correlation = float(correlations[c])
             hits.append(
                 SearchHit(
                     table_name=table_name,
                     column=column,
                     join_size=join_size,
                     containment=containment,
-                    score=score,
-                    correlation=correlation,
+                    score=float(scores[c]),
+                    # the math.nan singleton, so hit tuples stay
+                    # comparable with == (identity shortcut) like the
+                    # scalar _correlation always returned
+                    correlation=math.nan if math.isnan(correlation) else correlation,
                 )
             )
-        # Stable sorts: by joinability rank first, then by score, so
-        # equal-score hits keep the joinable ordering.
-        hits.sort(key=lambda hit: joinable_rank[hit.table_name])
-        hits.sort(key=lambda hit: hit.score, reverse=True)
-        return hits[:top_k]
+        return hits
 
     @staticmethod
     def _correlation(

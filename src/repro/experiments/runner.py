@@ -91,6 +91,7 @@ def run_sweep(
     methods: Sequence[str] = PAPER_METHODS,
     seed: int = 0,
     registry: Mapping[str, MethodSpec] | None = None,
+    workers: int | None = None,
 ) -> list[ErrorRecord]:
     """Evaluate methods over pairs x storages x trials.
 
@@ -98,6 +99,10 @@ def run_sweep(
     specific seed and sketches every pair with it — mirroring a real
     deployment where a single sketch configuration serves the whole
     corpus.  Returns one :class:`ErrorRecord` per estimate.
+
+    ``workers`` fans each cell's ``sketch_batch`` out over that many
+    processes (:mod:`repro.parallel`); records are bit-identical for
+    any worker count.
     """
     if registry is None:
         registry = method_registry()
@@ -123,7 +128,7 @@ def run_sweep(
         for storage in storages:
             for trial in range(trials):
                 sketcher = spec.build(storage, seed * 7919 + trial)
-                bank = sketcher.sketch_batch(unique_vectors)
+                bank = sketcher.sketch_batch(unique_vectors, workers=workers)
                 sketches = sketcher.bank_to_sketches(bank)
                 for pair_id, (a, b) in enumerate(pairs):
                     estimate = sketcher.estimate(

@@ -99,9 +99,18 @@ class TwoWiseHashFamily:
         """
         return (self.hash_ints(indices).astype(np.float64) + 1.0) / self.prime
 
-    def single_unit(self, row: int, indices: np.ndarray) -> np.ndarray:
-        """Evaluate just the ``row``-th function; shape ``(len(indices),)``."""
+    def single_ints(self, row: int, indices: np.ndarray) -> np.ndarray:
+        """Integer hashes of just the ``row``-th function.
+
+        The raw 31-bit values order exactly like their unit-interval
+        images (``(h + 1) / p`` is strictly monotone), which lets
+        selection kernels compare integers and defer the division to
+        the handful of retained entries.
+        """
         idx = np.asarray(indices, dtype=np.uint64)
         with np.errstate(over="ignore"):
-            raw = (self._alpha[row] * idx + self._beta[row]) % np.uint64(self.prime)
-        return (raw.astype(np.float64) + 1.0) / self.prime
+            return (self._alpha[row] * idx + self._beta[row]) % np.uint64(self.prime)
+
+    def single_unit(self, row: int, indices: np.ndarray) -> np.ndarray:
+        """Evaluate just the ``row``-th function; shape ``(len(indices),)``."""
+        return (self.single_ints(row, indices).astype(np.float64) + 1.0) / self.prime

@@ -1,0 +1,17 @@
+"""Parallel ingest engine: chunked, deterministic batch sketching."""
+
+from repro.parallel.executor import (
+    ParallelSketcher,
+    map_chunks,
+    parallel_sketch_batch,
+    row_chunks,
+    shutdown_pools,
+)
+
+__all__ = [
+    "ParallelSketcher",
+    "map_chunks",
+    "parallel_sketch_batch",
+    "row_chunks",
+    "shutdown_pools",
+]

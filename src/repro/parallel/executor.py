@@ -1,0 +1,229 @@
+"""Chunked process-pool execution for the sketching hot path.
+
+Sketching a data lake is embarrassingly parallel: every sketch is a
+pure function of ``(sketcher configuration, row)``, so a matrix can be
+split into contiguous row chunks, each chunk sketched in a separate
+process, and the resulting banks concatenated in chunk order.  The
+output is **bit-identical for any worker count and any chunking** —
+no randomness lives in the executor; all of it is already pinned down
+by the sketcher's counter-based seeding.
+
+Three layers:
+
+* :func:`map_chunks` — generic ordered fan-out of a picklable function
+  over a list of work items, with an in-process fallback for
+  ``workers <= 1``;
+* :func:`parallel_sketch_batch` — split a :class:`SparseMatrix` into
+  row chunks and run each through the sketcher's serial batch kernel in
+  a worker process (this is what ``Sketcher.sketch_batch(workers=N)``
+  dispatches to);
+* :class:`ParallelSketcher` — a sketcher wrapper with the worker count
+  baked in, for call sites that take a sketcher-shaped object.
+
+Worker processes are kept in process pools that persist across calls
+(one pool per worker count), so per-process state — most importantly
+the Weighted MinHash minima cache — stays warm across successive lake
+appends instead of being rebuilt per batch.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.bank import SketchBank
+from repro.core.base import Sketcher
+from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
+
+__all__ = [
+    "ParallelSketcher",
+    "map_chunks",
+    "parallel_sketch_batch",
+    "row_chunks",
+    "shutdown_pools",
+]
+
+WorkItem = TypeVar("WorkItem")
+Result = TypeVar("Result")
+
+#: Below this many rows, fan-out overhead (pickling, IPC) outweighs the
+#: work; the executor falls back to the serial kernel.
+MIN_CHUNK_ROWS = 8
+
+#: Chunks per worker when no explicit chunk size is given.  One chunk
+#: per worker maximizes within-chunk deduplication (the batch kernels
+#: hash / simulate each distinct index once per *chunk*) and minimizes
+#: IPC; workloads with wildly uneven row costs can pass an explicit
+#: ``chunk_rows`` to trade dedup for balance.
+CHUNKS_PER_WORKER = 1
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached worker pool (registered via ``atexit``)."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def map_chunks(
+    fn: Callable[[WorkItem], Result],
+    items: Iterable[WorkItem],
+    workers: int | None,
+) -> list[Result]:
+    """Apply ``fn`` to every item, returning results in item order.
+
+    ``workers <= 1`` (or a single item) runs in-process with no pool.
+    Otherwise items are dispatched to a persistent pool of ``workers``
+    processes; ``fn`` and the items must be picklable, and ``fn`` must
+    be pure — the executor gives no ordering guarantee on *execution*,
+    only on the returned list.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = int(workers)
+    try:
+        return list(_get_pool(workers).map(fn, items))
+    except BrokenExecutor:
+        # One dead worker (OOM kill, crash) poisons the whole cached
+        # executor; evict it and retry once on a fresh pool so a
+        # transient failure does not permanently disable parallel
+        # sketching for this worker count.
+        _discard_pool(workers)
+        try:
+            return list(_get_pool(workers).map(fn, items))
+        except BrokenExecutor:
+            _discard_pool(workers)  # leave a clean slate for callers
+            raise
+
+
+def row_chunks(
+    num_rows: int, workers: int, chunk_rows: int | None = None
+) -> list[tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` row spans covering ``[0, num_rows)``.
+
+    ``chunk_rows`` overrides the default of a few chunks per worker.
+    Chunk boundaries never affect results (rows are independent); they
+    only trade scheduling granularity against per-chunk overhead.
+    """
+    if num_rows <= 0:
+        return []
+    if chunk_rows is None:
+        chunk_rows = math.ceil(num_rows / (max(workers, 1) * CHUNKS_PER_WORKER))
+    chunk_rows = max(int(chunk_rows), MIN_CHUNK_ROWS)
+    return [
+        (lo, min(lo + chunk_rows, num_rows))
+        for lo in range(0, num_rows, chunk_rows)
+    ]
+
+
+def _sketch_chunk(
+    payload: tuple[Sketcher, np.ndarray, np.ndarray, np.ndarray, int | None],
+) -> SketchBank:
+    """Worker-side kernel: rebuild the chunk matrix and sketch it."""
+    sketcher, indptr, indices, values, n = payload
+    return sketcher._sketch_batch(SparseMatrix(indptr, indices, values, n=n))
+
+
+def parallel_sketch_batch(
+    sketcher: Sketcher,
+    matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray,
+    workers: int,
+    chunk_rows: int | None = None,
+) -> SketchBank:
+    """Sketch ``matrix`` across ``workers`` processes, bit-identically.
+
+    The matrix is split into contiguous row chunks; each worker runs
+    the sketcher's serial batch kernel on its chunk and ships the bank
+    back; banks concatenate in chunk order.  Falls back to the serial
+    kernel when the fan-out cannot pay for itself (one worker, tiny
+    matrix, single chunk).
+    """
+    rows = as_sparse_matrix(matrix)
+    workers = int(workers)
+    spans = row_chunks(rows.num_rows, workers, chunk_rows)
+    if workers <= 1 or len(spans) <= 1:
+        return sketcher._sketch_batch(rows)
+    payloads = []
+    for lo, hi in spans:
+        entry_lo, entry_hi = int(rows.indptr[lo]), int(rows.indptr[hi])
+        payloads.append(
+            (
+                sketcher,
+                rows.indptr[lo : hi + 1] - entry_lo,
+                rows.indices[entry_lo:entry_hi],
+                rows.values[entry_lo:entry_hi],
+                rows.n,
+            )
+        )
+    return SketchBank.concat(map_chunks(_sketch_chunk, payloads, workers))
+
+
+class ParallelSketcher:
+    """A sketcher wrapper with a fixed worker count.
+
+    ``sketch_batch`` fans out through :func:`parallel_sketch_batch`;
+    every other attribute (``sketch``, ``estimate_many``, ``name``,
+    configuration) delegates to the wrapped sketcher, so the wrapper is
+    a drop-in at call sites that consume a sketcher-shaped object.
+    """
+
+    def __init__(
+        self,
+        sketcher: Sketcher,
+        workers: int,
+        chunk_rows: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.sketcher = sketcher
+        self.workers = int(workers)
+        self.chunk_rows = chunk_rows
+
+    def sketch_batch(
+        self,
+        matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray,
+        workers: int | None = None,
+    ) -> SketchBank:
+        return parallel_sketch_batch(
+            self.sketcher,
+            matrix,
+            self.workers if workers is None else workers,
+            self.chunk_rows,
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        # Never delegate dunders or the wrapped attribute itself:
+        # pickle/copy probe __getstate__ and friends through
+        # __getattr__, and an instance whose __dict__ is not yet
+        # populated (unpickling via __new__) would recurse forever on
+        # 'sketcher'.
+        if name.startswith("_") or name == "sketcher":
+            raise AttributeError(name)
+        return getattr(self.sketcher, name)
+
+    def __repr__(self) -> str:
+        return f"ParallelSketcher({self.sketcher!r}, workers={self.workers})"

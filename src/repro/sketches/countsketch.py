@@ -156,7 +156,7 @@ class CountSketch(Sketcher):
             seed=self.seed,
         )
 
-    def sketch_batch(
+    def _sketch_batch(
         self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
     ) -> SketchBank:
         """Accumulate all rows' tables from one hash pass.

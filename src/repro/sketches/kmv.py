@@ -95,26 +95,24 @@ class KMinimumValues(Sketcher):
                 exact=True,
             )
         folded = fold_to_domain(vector.indices)
-        hashes = self._family.single_unit(0, folded)
-        # Bottom-k with deterministic first-position tie-breaking,
-        # identical to the batch path's padded stable argsort, in
-        # O(nnz + k log k): partition, then resolve ties at the k-th
-        # boundary by ascending position.
-        if hashes.size <= self.k:
-            order = np.argsort(hashes, kind="stable")
+        raw = self._family.single_ints(0, folded)
+        # Bottom-k on packed ``raw_hash << 32 | position`` keys: the
+        # integer order is exactly the (hash, first-position) order the
+        # estimator's stable merge assumes, hash ties included, and one
+        # argpartition + k-element sort replaces the float boundary
+        # bookkeeping.  O(nnz + k log k).
+        keys = (raw << np.uint64(32)) | np.arange(raw.size, dtype=np.uint64)
+        if keys.size <= self.k:
+            order = np.argsort(keys)
         else:
-            candidates = np.argpartition(hashes, self.k - 1)[: self.k]
-            tau = hashes[candidates].max()
-            below = np.flatnonzero(hashes < tau)
-            at_tau = np.flatnonzero(hashes == tau)
-            chosen = np.concatenate([below, at_tau[: self.k - below.size]])
-            order = chosen[np.argsort(hashes[chosen], kind="stable")]
+            candidates = np.argpartition(keys, self.k - 1)[: self.k]
+            order = candidates[np.argsort(keys[candidates])]
         return KMVSketch(
-            hashes=hashes[order],
+            hashes=(raw[order].astype(np.float64) + 1.0) / self._family.prime,
             values=vector.values[order],
             k=self.k,
             seed=self.seed,
-            exact=hashes.size <= self.k,
+            exact=raw.size <= self.k,
         )
 
     def estimate_union_size(self, sketch_a: KMVSketch, sketch_b: KMVSketch) -> float:
@@ -183,17 +181,20 @@ class KMinimumValues(Sketcher):
             exact=bool(bank.columns["exact"][i]),
         )
 
-    def sketch_batch(
+    def _sketch_batch(
         self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
     ) -> SketchBank:
         """Sketch all rows with one hash pass over the distinct indices.
 
         The single KMV hash function is evaluated once per distinct
         folded index in the matrix; the per-row bottom-``k`` selection
-        then runs as a padded stable argsort over row chunks.  Results
-        are bit-identical to the scalar loop.
+        then runs as a padded ``argpartition`` over packed
+        ``raw_hash << 32 | position`` keys — ``O(width)`` per row plus a
+        ``k``-element sort, instead of a full-width stable argsort.
+        The packed-key order is the scalar path's (hash, position)
+        order, so results are bit-identical to the scalar loop.
         """
-        rows = as_sparse_matrix(matrix)
+        rows = as_sparse_matrix(matrix).without_explicit_zeros()
         total = rows.num_rows
         hashes = np.full((total, self.k), np.inf)
         values = np.zeros((total, self.k))
@@ -208,35 +209,47 @@ class KMinimumValues(Sketcher):
         if active.any():
             row_index = np.flatnonzero(active)
             indptr = np.concatenate([[0], np.cumsum(row_sizes[active])])
+            # One multiply-mod per entry is cheaper than deduplicating:
+            # KMV evaluates a single hash function, so the sort inside
+            # np.unique would cost more than it saves.
             folded = fold_to_domain(rows.indices)
-            unique_folded, inverse = np.unique(folded, return_inverse=True)
-            unique_hashes = self._family.single_unit(0, unique_folded)
+            entry_keys = self._family.single_ints(0, folded) << np.uint64(32)
+            # Padding sorts after every real key: its high 32 bits are
+            # all-ones, a raw hash is at most prime - 1 < 2**31.
+            pad_key = np.uint64(np.iinfo(np.uint64).max)
 
             for lo, hi in chunk_boundaries(indptr, _BATCH_CELL_TARGET):
                 lo_nnz, hi_nnz = int(indptr[lo]), int(indptr[hi])
+                if hi_nnz - lo_nnz >= 1 << 32:
+                    raise ValueError(
+                        "a single row exceeds 2**32 non-zeros; cannot pack "
+                        "positions into the selection keys"
+                    )
                 chunk_sizes = np.diff(indptr[lo : hi + 1])
                 width = int(chunk_sizes.max())
                 count = hi - lo
-                padded = np.full((count, width), np.inf)
-                padded_values = np.zeros((count, width))
+                padded = np.full((count, width), pad_key, dtype=np.uint64)
                 local_rows = np.repeat(np.arange(count), chunk_sizes)
                 local_cols = (
                     np.arange(hi_nnz - lo_nnz)
                     - np.repeat(indptr[lo:hi] - lo_nnz, chunk_sizes)
                 )
-                padded[local_rows, local_cols] = unique_hashes[
-                    inverse[lo_nnz:hi_nnz]
-                ]
-                padded_values[local_rows, local_cols] = rows.values[lo_nnz:hi_nnz]
+                padded[local_rows, local_cols] = entry_keys[
+                    lo_nnz:hi_nnz
+                ] | np.arange(hi_nnz - lo_nnz, dtype=np.uint64)
                 keep = min(self.k, width)
-                order = np.argsort(padded, axis=1, kind="stable")[:, :keep]
-                chunk_rows = row_index[lo:hi]
-                selected = np.take_along_axis(padded, order, axis=1)
-                hashes[chunk_rows, :keep] = selected
-                values[chunk_rows, :keep] = np.take_along_axis(
-                    padded_values, order, axis=1
+                chosen = np.partition(padded, keep - 1, axis=1)[:, :keep]
+                chosen.sort(axis=1)
+                positions = np.minimum(
+                    (chosen & np.uint64(0xFFFFFFFF)).astype(np.int64) + lo_nnz,
+                    hi_nnz - 1,  # padding decodes out of range; masked below
                 )
-            # Padding positions sorted in carry inf hashes; restore the
+                chunk_rows = row_index[lo:hi]
+                hashes[chunk_rows, :keep] = (
+                    (chosen >> np.uint64(32)).astype(np.float64) + 1.0
+                ) / self._family.prime
+                values[chunk_rows, :keep] = rows.values[positions]
+            # Padding keys decode to garbage hashes/values; restore the
             # sentinel layout (inf hash, zero value) beyond each row's
             # stored size.
             pad_mask = np.arange(self.k)[None, :] >= sizes[:, None]

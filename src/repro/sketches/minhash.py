@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.bank import SketchBank
 from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
-from repro.core.segments import chunk_boundaries, segmented_min_argmin
+from repro.core.segments import chunk_boundaries
 from repro.hashing.universal import TwoWiseHashFamily, fold_to_domain
 from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
@@ -146,18 +146,24 @@ class MinHash(Sketcher):
             seed=self.seed,
         )
 
-    def sketch_batch(
+    def _sketch_batch(
         self, matrix: SparseMatrix | Sequence[SparseVector] | np.ndarray
     ) -> SketchBank:
         """Sketch all rows with one hash pass over the distinct indices.
 
         The ``m`` Carter–Wegman functions are evaluated once per
         distinct folded index in the matrix (indices shared across rows
-        — common vocabulary, common keys — are hashed once), then
-        scattered back to the rows for a segmented argmin.  Results are
-        bit-identical to the scalar loop.
+        — common vocabulary, common keys — are hashed once).  The
+        per-row reduction then runs entirely on packed integer keys
+        ``raw_hash << 32 | entry_position``: one unsigned minimum per
+        segment yields the minimum hash *and* its first position in a
+        single pass, with no float division and no complex temporaries.
+        ``(h, position)`` ordering is exactly ``np.argmin`` ordering on
+        the unit-interval hashes — ``(h + 1) / p`` is strictly monotone
+        in ``h`` — so results are bit-identical to the scalar loop,
+        including genuine 31-bit hash-collision ties.
         """
-        rows = as_sparse_matrix(matrix)
+        rows = as_sparse_matrix(matrix).without_explicit_zeros()
         total = rows.num_rows
         hashes = np.full((total, self.m), np.inf)
         values = np.zeros((total, self.m))
@@ -173,17 +179,33 @@ class MinHash(Sketcher):
 
             folded = fold_to_domain(rows.indices)
             unique_folded, inverse = np.unique(folded, return_inverse=True)
-            unique_hashes = self._family.hash_unit(unique_folded)  # (m, U)
+            # (U, m) row-major so each entry's gather is one contiguous
+            # row copy; pre-shifted so the chunk loop only adds
+            # positions.
+            unique_keys = np.ascontiguousarray(
+                self._family.hash_ints(unique_folded).T
+            ) << np.uint64(32)
 
             for lo, hi in chunk_boundaries(
                 indptr, _BATCH_CELL_TARGET // max(self.m, 1)
             ):
                 lo_nnz, hi_nnz = int(indptr[lo]), int(indptr[hi])
-                cols = unique_hashes[:, inverse[lo_nnz:hi_nnz]]
-                mins, argpos = segmented_min_argmin(cols, indptr[lo : hi + 1] - lo_nnz)
+                if hi_nnz - lo_nnz >= 1 << 32:
+                    raise ValueError(
+                        "a single row exceeds 2**32 non-zeros; cannot pack "
+                        "positions into the reduction keys"
+                    )
+                gathered = unique_keys[inverse[lo_nnz:hi_nnz]]
+                gathered += np.arange(hi_nnz - lo_nnz, dtype=np.uint64)[:, None]
+                reduced = np.minimum.reduceat(
+                    gathered, (indptr[lo:hi] - lo_nnz), axis=0
+                )
+                argpos = (reduced & np.uint64(0xFFFFFFFF)).astype(np.int64) + lo_nnz
                 chunk_rows = row_index[lo:hi]
-                hashes[chunk_rows] = mins.T
-                values[chunk_rows] = row_values[lo_nnz + argpos].T
+                hashes[chunk_rows] = (
+                    (reduced >> np.uint64(32)).astype(np.float64) + 1.0
+                ) / self._family.prime
+                values[chunk_rows] = row_values[argpos]
 
         return SketchBank(
             kind=self.name,

@@ -36,9 +36,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.bank import SketchBank
 from repro.core.base import WORDS_PER_SAMPLE_SAMPLING, Sketcher
 from repro.hashing.splitmix import counter_uniform, derive_key, mix64
-from repro.vectors.sparse import SparseVector
+from repro.vectors.sparse import SparseVector, as_sparse_matrix
 
 __all__ = ["PrioritySketch", "PrioritySampling"]
 
@@ -105,14 +106,7 @@ class PrioritySampling(Sketcher):
         weights = vector.values**2
         uniforms = self._shared_uniforms(vector.indices)
         priorities = weights / uniforms
-        if priorities.size <= self.k:
-            order = np.argsort(-priorities)
-            threshold = np.inf  # every coordinate included with certainty
-            chosen = order
-        else:
-            order = np.argsort(-priorities)
-            chosen = order[: self.k]
-            threshold = float(priorities[order[self.k]])
+        chosen, threshold = self._select(priorities)
         return PrioritySketch(
             indices=vector.indices[chosen].copy(),
             values=vector.values[chosen].copy(),
@@ -122,8 +116,64 @@ class PrioritySampling(Sketcher):
             seed=self.seed,
         )
 
+    def _select(self, priorities: np.ndarray) -> tuple[np.ndarray, float]:
+        """Top-``k`` positions by priority plus the (k+1)-th threshold.
+
+        Stable descending order (ties keep the earlier coordinate) so
+        the scalar and batch paths select identically.
+        """
+        order = np.argsort(-priorities, kind="stable")
+        if priorities.size <= self.k:
+            return order, np.inf  # every coordinate included with certainty
+        return order[: self.k], float(priorities[order[self.k]])
+
     def _bank_params(self) -> dict[str, Any]:
         return {"k": self.k, "seed": self.seed}
+
+    def _sketch_batch(self, matrix: Any) -> SketchBank:
+        """Coordinated sampling of all rows from one uniform derivation.
+
+        The coordinated ``u_j`` are a pure function of ``(seed, j)``,
+        so the mixing passes — the expensive part of priority sampling —
+        run once per *distinct* index in the matrix instead of once per
+        ``(row, index)`` cell; the per-row top-``k`` selection then works
+        on array slices.  Results are bit-identical to the scalar loop.
+        """
+        rows = as_sparse_matrix(matrix).without_explicit_zeros()
+        indptr = rows.indptr
+        all_indices = rows.indices
+        all_values = rows.values
+        sketches: list[PrioritySketch] = []
+        if all_indices.size:
+            unique_indices, inverse = np.unique(all_indices, return_inverse=True)
+            uniforms = self._shared_uniforms(unique_indices)[inverse]
+            weights = all_values**2
+            priorities = weights / uniforms
+        empty = PrioritySketch(
+            indices=np.empty(0, np.int64),
+            values=np.empty(0),
+            weights=np.empty(0),
+            threshold=np.inf,
+            k=self.k,
+            seed=self.seed,
+        )
+        for i in range(rows.num_rows):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            if lo == hi:
+                sketches.append(empty)
+                continue
+            chosen, threshold = self._select(priorities[lo:hi])
+            sketches.append(
+                PrioritySketch(
+                    indices=all_indices[lo:hi][chosen],
+                    values=all_values[lo:hi][chosen],
+                    weights=weights[lo:hi][chosen],
+                    threshold=threshold,
+                    k=self.k,
+                    seed=self.seed,
+                )
+            )
+        return self.pack_bank(sketches)
 
     def estimate(self, sketch_a: PrioritySketch, sketch_b: PrioritySketch) -> float:
         self._require(

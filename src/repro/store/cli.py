@@ -98,7 +98,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         for path in args.csv
     ]
     with _open_or_create(args) as store:
-        shard_id = store.append(tables)
+        shard_id = store.append(tables, workers=args.workers)
         stats = store.stats()
     print(
         f"ingested {len(tables)} table(s) into shard {shard_id} of {args.store} "
@@ -199,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-sketch storage budget in 64-bit words (default: 300)",
     )
     ingest.add_argument("--seed", type=int, default=0, help="sketching seed")
+    ingest.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sketch the batch across this many processes "
+        "(results are bit-identical for any worker count)",
+    )
     _add_csv_options(ingest)
     ingest.set_defaults(handler=_cmd_ingest)
 

@@ -212,7 +212,9 @@ class LakeStore:
         finally:
             handle.close()  # closing the fd releases the flock
 
-    def append(self, tables: Iterable[Table]) -> int | None:
+    def append(
+        self, tables: Iterable[Table], workers: int | None = None
+    ) -> int | None:
         """Sketch and persist a batch of new tables as one shard.
 
         Only the given tables are sketched (one ``sketch_batch`` call);
@@ -221,6 +223,10 @@ class LakeStore:
         the old one is tombstoned (space is reclaimed by
         :meth:`compact`).  Returns the new shard id, or ``None`` for an
         empty batch.
+
+        ``workers`` fans the sketching out over that many processes via
+        :mod:`repro.parallel`; the shard bytes, manifest, and index are
+        bit-identical for any worker count.
         """
         self._check_open()
         tables = list(tables)
@@ -244,7 +250,12 @@ class LakeStore:
                 )
             )
             vectors.extend(encoded)
-        bank = self.sketcher.sketch_batch(vectors)
+        # Only forward workers when set: sketcher-shaped objects whose
+        # sketch_batch predates the parameter keep working serially.
+        if workers is None:
+            bank = self.sketcher.sketch_batch(vectors)
+        else:
+            bank = self.sketcher.sketch_batch(vectors, workers=workers)
 
         with self._writer_lock():
             shard_id = self._manifest.next_shard_id

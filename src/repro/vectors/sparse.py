@@ -322,6 +322,24 @@ class SparseMatrix:
         start, stop = int(self.indptr[i]), int(self.indptr[i + 1])
         return SparseVector(self.indices[start:stop], self.values[start:stop], n=self.n)
 
+    def without_explicit_zeros(self) -> "SparseMatrix":
+        """Drop entries whose value is exactly zero (``self`` if none).
+
+        The CSR constructor accepts explicit zeros, but
+        :class:`SparseVector` — the scalar sketching input — drops them
+        on construction.  Selection-based batch kernels (MinHash, KMV,
+        WMH, priority sampling) normalize through this so a zero entry
+        can never win an argmin/bottom-k that the scalar path never
+        saw.
+        """
+        nonzero = self.values != 0.0
+        if nonzero.all():
+            return self
+        indptr = np.concatenate([[0], np.cumsum(nonzero)])[self.indptr]
+        return SparseMatrix(
+            indptr, self.indices[nonzero], self.values[nonzero], n=self.n
+        )
+
     def __len__(self) -> int:
         return self.num_rows
 

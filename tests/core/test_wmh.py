@@ -200,3 +200,72 @@ class TestCollisionStatistics:
             candidates_b = indices_for(rounded_b, sketch_b.values[position])
             # The matched sample must be explainable by a shared index.
             assert candidates_a & candidates_b
+
+
+class TestGroupedSimulation:
+    """The fused grouped simulator against the scalar reference."""
+
+    def test_matches_scalar_per_query(self):
+        from repro.core.wmh import simulate_block_minima_grouped
+
+        rng = np.random.default_rng(0)
+        blocks = np.sort(rng.choice(500, size=12, replace=False))
+        indptr = [0]
+        counts: list[int] = []
+        for _ in blocks:
+            ks = sorted(set(rng.integers(1, 10_000, size=3).tolist()))
+            counts.extend(ks)
+            indptr.append(len(counts))
+        grouped = simulate_block_minima_grouped(
+            11, 9, blocks, np.array(indptr), np.array(counts)
+        )
+        column = 0
+        for j, block in enumerate(blocks):
+            for k in counts[indptr[j] : indptr[j + 1]]:
+                reference = simulate_block_minima(
+                    11, 9, np.array([block]), np.array([k])
+                )
+                np.testing.assert_array_equal(grouped[:, column], reference[:, 0])
+                column += 1
+
+    def test_rejects_unsorted_counts_within_block(self):
+        from repro.core.wmh import simulate_block_minima_grouped
+
+        with pytest.raises(ValueError, match="ascending"):
+            simulate_block_minima_grouped(
+                0, 4, np.array([3]), np.array([0, 2]), np.array([9, 5])
+            )
+
+    def test_descending_across_block_boundary_allowed(self):
+        from repro.core.wmh import simulate_block_minima_grouped
+
+        result = simulate_block_minima_grouped(
+            0, 4, np.array([3, 7]), np.array([0, 1, 2]), np.array([9, 5])
+        )
+        assert result.shape == (4, 2)
+
+
+class TestBatchZeroRows:
+    def test_explicit_zero_rows_get_empty_sentinel(self):
+        from repro.vectors.sparse import SparseMatrix
+
+        # The CSR constructor, unlike SparseVector, keeps explicit
+        # zeros; an all-zero row is the zero vector and must sketch to
+        # the empty sentinel, not crash the rounding.
+        matrix = SparseMatrix(
+            np.array([0, 2, 4]),
+            np.array([1, 2, 3, 4]),
+            np.array([0.0, 0.0, 1.0, 2.0]),
+        )
+        sketcher = WeightedMinHash(m=8, seed=1, L=1 << 12, cache_bytes=0)
+        bank = sketcher.sketch_batch(matrix)
+        zero_row = sketcher.bank_row(bank, 0)
+        assert np.all(np.isinf(zero_row.hashes))
+        assert np.all(zero_row.values == 0.0)
+        assert zero_row.norm == 0.0
+        # Mixed rows (explicit zero next to real entries) must match
+        # the scalar path, which drops the zeros in SparseVector.
+        scalar = sketcher.sketch(matrix.row(1))
+        live_row = sketcher.bank_row(bank, 1)
+        np.testing.assert_array_equal(live_row.hashes, scalar.hashes)
+        np.testing.assert_array_equal(live_row.values, scalar.values)

@@ -1,0 +1,163 @@
+"""Weighted MinHash minima memo cache: bit-identity and bounds.
+
+The cache's one invariant: it can change sketching *time*, never
+sketching *bits*.  Cold, warm, disabled, private, or mid-eviction, the
+scalar and batch paths must produce identical sketches; the LRU must
+respect its byte budget; and eviction must keep accounting exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.wmh import (
+    MinimaCache,
+    WeightedMinHash,
+    shared_minima_cache,
+    simulate_block_minima,
+)
+from repro.vectors.sparse import SparseMatrix, SparseVector
+
+
+def make_corpus(rows: int = 25, seed: int = 0) -> list[SparseVector]:
+    rng = np.random.default_rng(seed)
+    vectors = []
+    for _ in range(rows):
+        nnz = int(rng.integers(4, 40))
+        indices = rng.choice(300, size=nnz, replace=False)
+        vectors.append(SparseVector(indices, rng.normal(size=nnz), n=300))
+    return vectors
+
+
+def bank_columns(sketcher, corpus):
+    bank = sketcher.sketch_batch(SparseMatrix.from_rows(corpus))
+    return {name: column.copy() for name, column in bank.columns.items()}
+
+
+class TestCacheEquivalence:
+    def test_cold_warm_disabled_and_private_agree(self):
+        corpus = make_corpus()
+        reference = bank_columns(
+            WeightedMinHash(m=32, seed=9, L=1 << 16, cache_bytes=0), corpus
+        )
+        shared = WeightedMinHash(m=32, seed=9, L=1 << 16)
+        shared_minima_cache().clear()
+        cold = bank_columns(shared, corpus)
+        warm = bank_columns(shared, corpus)  # served from the cache
+        private = bank_columns(
+            WeightedMinHash(m=32, seed=9, L=1 << 16, cache_bytes=1 << 20), corpus
+        )
+        for name in reference:
+            np.testing.assert_array_equal(cold[name], reference[name])
+            np.testing.assert_array_equal(warm[name], reference[name])
+            np.testing.assert_array_equal(private[name], reference[name])
+
+    def test_scalar_path_uses_and_fills_cache(self):
+        corpus = make_corpus(rows=8, seed=3)
+        sketcher = WeightedMinHash(m=16, seed=2, L=1 << 14, cache_bytes=1 << 20)
+        cache = sketcher._cache
+        first = [sketcher.sketch(v) for v in corpus]
+        assert len(cache) > 0
+        hits_before = cache.hits
+        second = [sketcher.sketch(v) for v in corpus]
+        assert cache.hits > hits_before
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.hashes, b.hashes)
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_eviction_pressure_keeps_results_identical(self):
+        corpus = make_corpus(rows=30, seed=5)
+        # Budget of a handful of columns: constant eviction churn.
+        tiny = WeightedMinHash(m=32, seed=9, L=1 << 16, cache_bytes=2048)
+        reference = bank_columns(
+            WeightedMinHash(m=32, seed=9, L=1 << 16, cache_bytes=0), corpus
+        )
+        for _ in range(2):
+            got = bank_columns(tiny, corpus)
+            for name in reference:
+                np.testing.assert_array_equal(got[name], reference[name])
+        assert tiny._cache.evictions > 0
+        assert tiny._cache.nbytes <= 2048
+
+    def test_cache_shared_across_same_seed_sketchers_only(self):
+        cache = MinimaCache(1 << 20)
+        a = simulate_block_minima(1, 8, np.array([5]), np.array([100]))
+        cache.put((1, 8, 5, 100), np.ascontiguousarray(a[:, 0]))
+        assert cache.get((1, 8, 5, 100)) is not None
+        assert cache.get((2, 8, 5, 100)) is None  # different seed
+        assert cache.get((1, 16, 5, 100)) is None  # different m
+
+
+class TestCacheMechanics:
+    def test_lru_evicts_least_recently_used(self):
+        column = np.zeros(4)  # 32 bytes
+        cache = MinimaCache(96)  # room for three columns
+        for key in ("a", "b", "c"):
+            cache.put((key,), column.copy())
+        cache.get(("a",))  # refresh "a"; "b" becomes the LRU entry
+        cache.put(("d",), column.copy())
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.get(("d",)) is not None
+
+    def test_put_replaces_without_leaking_bytes(self):
+        cache = MinimaCache(1 << 10)
+        cache.put(("k",), np.zeros(8))
+        cache.put(("k",), np.zeros(16))
+        assert len(cache) == 1
+        assert cache.nbytes == 16 * 8
+
+    def test_put_many_accounts_and_evicts(self):
+        cache = MinimaCache(10 * 8 * 4)  # ten 4-double columns
+        block = np.arange(48.0).reshape(12, 4)
+        cache.put_many([(i,) for i in range(12)], block)
+        assert cache.nbytes <= cache.max_bytes
+        assert cache.evictions == 2
+        assert cache.get((0,)) is None  # oldest rows evicted first
+        np.testing.assert_array_equal(cache.get((11,)), block[11])
+
+    def test_zero_budget_disables_storage(self):
+        cache = MinimaCache(0)
+        cache.put(("k",), np.zeros(4))
+        cache.put_many([("j",)], np.zeros((1, 4)))
+        assert len(cache) == 0
+        assert not cache.enabled
+
+    def test_clear_resets_counters_payload(self):
+        cache = MinimaCache(1 << 10)
+        cache.put(("k",), np.zeros(4))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["bytes"] == 0
+
+    def test_sketcher_pickles_without_cache_payload(self):
+        import pickle
+
+        sketcher = WeightedMinHash(m=16, seed=4, L=1 << 14)
+        shared_minima_cache().clear()
+        [sketcher.sketch(v) for v in make_corpus(rows=5)]
+        assert len(shared_minima_cache()) > 0
+        payload = pickle.dumps(sketcher)
+        # The pickle must stay configuration-sized even with a hot
+        # shared cache (a 256 MB cache must never ride along to
+        # parallel workers).
+        assert len(payload) < 4096
+        clone = pickle.loads(payload)
+        assert (clone.m, clone.seed, clone.L) == (16, 4, 1 << 14)
+        assert clone._cache is shared_minima_cache()
+
+
+class TestCacheMemoryBound:
+    def test_put_many_entries_own_their_buffers(self):
+        cache = MinimaCache(1 << 20)
+        block = np.arange(64.0).reshape(16, 4)
+        cache.put_many([(i,) for i in range(16)], block)
+        entry = cache.get((3,))
+        # Entries must not alias the bulk-insert buffer (a surviving
+        # view would pin the whole batch allocation past eviction,
+        # breaking the max_bytes bound).
+        assert entry.base is None
+        block[3] = -1.0
+        np.testing.assert_array_equal(cache.get((3,)), [12.0, 13.0, 14.0, 15.0])

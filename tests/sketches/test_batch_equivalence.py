@@ -158,3 +158,34 @@ class TestCrossSketchSafety:
         minhash = build("MH")
         with pytest.raises(SketchMismatchError):
             wmh.estimate_many(wmh.sketch(a), minhash.sketch_batch([b]))
+
+
+class TestExplicitZeroEntries:
+    """CSR inputs may carry explicit zeros that SparseVector drops;
+    every batch kernel must behave as if they were never there."""
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_batch_matches_scalar_on_explicit_zero_matrix(self, name):
+        matrix = SparseMatrix(
+            np.array([0, 3, 4, 6]),
+            np.array([1, 2, 3, 5, 2, 9]),
+            np.array([1.0, 0.0, 2.0, 0.0, -1.5, 0.5]),
+        )
+        sketcher = build(name)
+        bank = sketcher.sketch_batch(matrix)
+        for i in range(matrix.num_rows):
+            query = sketcher.sketch(matrix.row(i))
+            batch = sketcher.estimate_many(query, bank)
+            loop = np.array(
+                [
+                    sketcher.estimate(query, sketcher.sketch(matrix.row(j)))
+                    for j in range(matrix.num_rows)
+                ]
+            )
+            np.testing.assert_array_equal(batch, loop)
+
+    def test_without_explicit_zeros_is_identity_when_clean(self):
+        clean = SparseMatrix.from_rows(
+            [SparseVector([1, 4], [1.0, 2.0]), SparseVector.zero()]
+        )
+        assert clean.without_explicit_zeros() is clean

@@ -152,3 +152,64 @@ class TestSumEstimation:
     def test_empty_sum(self):
         sketcher = PrioritySampling(k=4, seed=0)
         assert sketcher.estimate_sum(sketcher.sketch(SparseVector.zero())) == 0.0
+
+
+class TestBatchPath:
+    """The vectorized ``sketch_batch`` must match the scalar loop bit
+    for bit — same sampled coordinates, same order, same threshold."""
+
+    def corpus(self, seed: int = 0, rows: int = 20) -> list[SparseVector]:
+        rng = np.random.default_rng(seed)
+        vectors = []
+        for _ in range(rows):
+            nnz = int(rng.integers(1, 30))
+            indices = rng.choice(500, size=nnz, replace=False)
+            vectors.append(SparseVector(indices, rng.normal(size=nnz)))
+        vectors.append(SparseVector.zero())
+        return vectors
+
+    def test_batch_sketches_bit_identical_to_scalar(self):
+        sampler = PrioritySampling(k=8, seed=3)
+        corpus = self.corpus()
+        bank = sampler.sketch_batch(corpus)
+        for i, vector in enumerate(corpus):
+            scalar = sampler.sketch(vector)
+            row = sampler.bank_row(bank, i)
+            for field in scalar.__dataclass_fields__:
+                expected = getattr(scalar, field)
+                actual = getattr(row, field)
+                if isinstance(expected, np.ndarray):
+                    np.testing.assert_array_equal(actual, expected, err_msg=f"row {i}")
+                else:
+                    assert actual == expected, f"row {i} field {field}"
+
+    def test_batch_shares_uniform_derivation_across_rows(self):
+        # Two rows over the same support must sample the same coordinates
+        # (coordination), and batch must preserve that.
+        indices = np.arange(40)
+        a = SparseVector(indices, np.linspace(1, 2, 40))
+        b = SparseVector(indices, np.linspace(1, 2, 40) * 3.0)
+        sampler = PrioritySampling(k=10, seed=1)
+        bank = sampler.sketch_batch([a, b])
+        row_a, row_b = sampler.bank_row(bank, 0), sampler.bank_row(bank, 1)
+        np.testing.assert_array_equal(np.sort(row_a.indices), np.sort(row_b.indices))
+
+    def test_explicit_zero_csr_entries_match_scalar(self):
+        from repro.vectors.sparse import SparseMatrix
+
+        # The CSR constructor keeps explicit zeros that SparseVector
+        # drops; batch must drop them too or thresholds diverge.
+        matrix = SparseMatrix(
+            np.array([0, 3, 4]),
+            np.array([1, 2, 3, 5]),
+            np.array([1.0, 0.0, 2.0, 0.0]),
+        )
+        sampler = PrioritySampling(k=2, seed=7)
+        bank = sampler.sketch_batch(matrix)
+        for i in range(2):
+            scalar = sampler.sketch(matrix.row(i))
+            row = sampler.bank_row(bank, i)
+            np.testing.assert_array_equal(row.indices, scalar.indices)
+            np.testing.assert_array_equal(row.values, scalar.values)
+            np.testing.assert_array_equal(row.weights, scalar.weights)
+            assert row.threshold == scalar.threshold
