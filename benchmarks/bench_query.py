@@ -1,0 +1,275 @@
+"""Query-serving benchmarks, recorded to ``BENCH_query.json``.
+
+PRs 1-3 optimized ingest; this file establishes the **query-side**
+trajectory.  Three measurements justify the serving fast path:
+
+* **candidate-pruned single-query latency** — ``DatasetSearch.search``
+  with pruning (the five relevance statistics estimated on joinable
+  rows only) versus the full-lake path (``prune=False``), on a
+  1000-table lake where ~5% of tables are joinable.  Hits are asserted
+  identical; only the work changes.
+* **batched-query throughput** — serving a 32-query batch through
+  ``search_many`` (one ``estimate_cross`` per statistic) versus looping
+  ``search``, plus the raw ``estimate_cross``-vs-``estimate_many``-loop
+  kernel comparison on the value bank.
+* **cold-open serve** — open a persisted lake and answer the whole
+  batch, the worker-boot path a serving fleet actually pays.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_query.py [--quick] [--out BENCH_query.json]
+
+``--quick`` shrinks the workload for CI smoke jobs; the JSON shape is
+identical.  The CI gate fails if pruned search is slower than the
+full-lake path or ``estimate_cross`` is slower than the loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.search import DatasetSearch
+from repro.datasearch.table import Table
+from repro.store import LakeStore, QuerySession
+
+#: Full workload: a 1000-table lake, ~5% of it joinable with the
+#: queries (shared key domain), three value columns per table.
+NUM_TABLES = 1_000
+JOINABLE_TABLES = 50
+COLUMNS_PER_TABLE = 3
+ROWS_PER_TABLE = 120
+NUM_QUERIES = 32
+SKETCH_M = 200
+MIN_CONTAINMENT = 0.25
+
+#: Shared key domain = 2.5x the table rows, so a joinable table holds
+#: 40% of the domain and a query's *true* containment in it is ~0.4 —
+#: comfortably above MIN_CONTAINMENT, while disjoint tables sit at 0.
+#: The filter separates cleanly instead of riding on estimator noise.
+_DOMAIN_FACTOR = 5 / 2
+
+
+def make_lake(
+    num_tables: int, joinable: int, rows: int, columns: int, seed: int
+) -> list[Table]:
+    """``joinable`` tables share the query key domain; the rest are
+    disjoint, so only they clear the containment filter."""
+    rng = np.random.default_rng(seed)
+    domain = int(rows * _DOMAIN_FACTOR)
+    tables = []
+    for i in range(num_tables):
+        if i < joinable:
+            keys = [f"k{k}" for k in rng.choice(domain, size=rows, replace=False)]
+        else:
+            keys = [f"t{i}-{j}" for j in range(rows)]
+        tables.append(
+            Table(
+                f"table{i}",
+                keys,
+                {f"c{c}": rng.normal(size=rows) for c in range(columns)},
+            )
+        )
+    return tables
+
+
+def make_queries(count: int, rows: int, seed: int) -> list[Table]:
+    rng = np.random.default_rng(seed)
+    domain = int(rows * _DOMAIN_FACTOR)
+    queries = []
+    for qi in range(count):
+        keys = [f"k{k}" for k in rng.choice(domain, size=rows, replace=False)]
+        queries.append(Table(f"query{qi}", keys, {"signal": rng.normal(size=rows)}))
+    return queries
+
+
+def _time_best(fn, repeats: int = 3, inner: int = 1):
+    """Best-of-``repeats`` wall time plus the last result.
+
+    ``inner`` amortizes per-call timer overhead for sub-millisecond
+    workloads (quick mode): each timed sample runs ``fn`` that many
+    times and reports the mean.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            result = fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best, result
+
+
+def _hit_key(hits):
+    return [(h.table_name, h.column, h.score, h.correlation) for h in hits]
+
+
+def run(quick: bool = False, seed: int = 0) -> dict:
+    num_tables = 150 if quick else NUM_TABLES
+    joinable = 8 if quick else JOINABLE_TABLES
+    rows = 60 if quick else ROWS_PER_TABLE
+    columns = 2 if quick else COLUMNS_PER_TABLE
+    num_queries = 8 if quick else NUM_QUERIES
+    sketch_m = 64 if quick else SKETCH_M
+
+    lake = make_lake(num_tables, joinable, rows, columns, seed)
+    query_tables = make_queries(num_queries, rows, seed + 1)
+
+    def sketcher():
+        return WeightedMinHash(m=sketch_m, seed=7, L=1 << 20)
+
+    index = SketchIndex(sketcher())
+    index.add_all(lake)
+    pruned_engine = DatasetSearch(index, min_containment=MIN_CONTAINMENT)
+    full_engine = DatasetSearch(index, min_containment=MIN_CONTAINMENT, prune=False)
+    queries = [pruned_engine.sketch_query(t) for t in query_tables]
+
+    inner = 5 if quick else 1
+    report: dict = {
+        "workload": {
+            "tables": num_tables,
+            "joinable_tables": joinable,
+            "columns_per_table": columns,
+            "rows_per_table": rows,
+            "queries": num_queries,
+            "sketch_m": sketch_m,
+            "min_containment": MIN_CONTAINMENT,
+            "quick": quick,
+        }
+    }
+
+    # --- candidate-pruned vs full-lake single-query latency -----------
+    def run_singles(engine):
+        return [engine.search(q, "signal", top_k=10) for q in queries]
+
+    pruned_s, pruned_hits = _time_best(
+        lambda: run_singles(pruned_engine), inner=inner
+    )
+    full_s, full_hits = _time_best(lambda: run_singles(full_engine), inner=inner)
+    if [_hit_key(h) for h in pruned_hits] != [_hit_key(h) for h in full_hits]:
+        raise AssertionError("pruned search diverges from the full-lake path")
+    report["single_query"] = {
+        "pruned_s_per_query": round(pruned_s / num_queries, 6),
+        "full_s_per_query": round(full_s / num_queries, 6),
+        "speedup": round(full_s / pruned_s, 2),
+    }
+
+    # --- batched serving: search_many vs the search loop --------------
+    batch_s, batch_hits = _time_best(
+        lambda: pruned_engine.search_many(queries, "signal", top_k=10), inner=inner
+    )
+    loop_s, loop_hits = _time_best(lambda: run_singles(pruned_engine), inner=inner)
+    if [_hit_key(h) for h in batch_hits] != [_hit_key(h) for h in loop_hits]:
+        raise AssertionError("search_many diverges from the search loop")
+    report["batched_queries"] = {
+        "search_many_s": round(batch_s, 4),
+        "search_loop_s": round(loop_s, 4),
+        "speedup": round(loop_s / batch_s, 2),
+    }
+
+    # --- raw kernel: estimate_cross vs the estimate_many loop ---------
+    wmh = index.sketcher
+    value_bank = index.value_bank
+    query_bank = wmh.pack_bank([q.values["signal"] for q in queries])
+    cross_s, cross_out = _time_best(
+        lambda: wmh.estimate_cross(query_bank, value_bank), inner=inner
+    )
+    loop_est_s, loop_out = _time_best(
+        inner=inner,
+        fn=lambda: np.stack(
+            [
+                wmh.estimate_many(wmh.bank_row(query_bank, i), value_bank)
+                for i in range(len(query_bank))
+            ]
+        )
+    )
+    if not np.array_equal(cross_out, loop_out):
+        raise AssertionError("estimate_cross diverges from the estimate_many loop")
+    report["estimate_cross"] = {
+        "queries": num_queries,
+        "bank_rows": len(value_bank),
+        "cross_s": round(cross_s, 4),
+        "loop_s": round(loop_est_s, 4),
+        "speedup": round(loop_est_s / cross_s, 2),
+    }
+
+    # --- cold-open serve from a persisted lake ------------------------
+    workdir = Path(tempfile.mkdtemp(prefix="bench_query_"))
+    try:
+        with LakeStore.create(workdir / "lake", sketcher()) as store:
+            store.append(lake)
+
+        def cold_serve():
+            with LakeStore.open(workdir / "lake") as reopened:
+                session = QuerySession(reopened, min_containment=MIN_CONTAINMENT)
+                return session.search_many(query_tables, "signal", top_k=10)
+
+        cold_s, cold_hits = _time_best(cold_serve, repeats=1)
+        if [_hit_key(h) for h in cold_hits] != [_hit_key(h) for h in batch_hits]:
+            raise AssertionError("stored-lake serve diverges from in-memory")
+        report["cold_open_serve"] = {
+            "open_plus_batch_s": round(cold_s, 4),
+            "per_query_s": round(cold_s / num_queries, 6),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_query.json",
+    )
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick, seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    single = report["single_query"]
+    batch = report["batched_queries"]
+    cross = report["estimate_cross"]
+    cold = report["cold_open_serve"]
+    print(
+        f"  single query: pruned {single['pruned_s_per_query'] * 1e3:.2f}ms vs "
+        f"full-lake {single['full_s_per_query'] * 1e3:.2f}ms "
+        f"({single['speedup']:.1f}x)"
+    )
+    print(
+        f"  batch of {cross['queries']}: search_many {batch['search_many_s']:.3f}s vs "
+        f"loop {batch['search_loop_s']:.3f}s ({batch['speedup']:.1f}x)"
+    )
+    print(
+        f"  estimate_cross {cross['cross_s']:.3f}s vs estimate_many loop "
+        f"{cross['loop_s']:.3f}s ({cross['speedup']:.1f}x over "
+        f"{cross['bank_rows']} bank rows)"
+    )
+    print(
+        f"  cold-open serve: {cold['open_plus_batch_s']:.3f}s for the batch "
+        f"({cold['per_query_s'] * 1e3:.2f}ms/query)"
+    )
+    if single["speedup"] < 1.0:
+        raise SystemExit(
+            f"pruned search slower than the full-lake path "
+            f"({single['speedup']:.2f}x) — the fast path lost its reason to exist"
+        )
+    if cross["speedup"] < 1.0:
+        raise SystemExit(
+            f"estimate_cross slower than the estimate_many loop "
+            f"({cross['speedup']:.2f}x) — batching regressed"
+        )
+
+
+if __name__ == "__main__":
+    main()

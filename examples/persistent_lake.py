@@ -10,7 +10,11 @@ example shows the durable version of that promise with
    zero re-sketching (and zero array copies: shards are memory-mapped);
 4. query through a ``QuerySession`` and verify the estimates are
    **identical** to the in-memory index built from the same tables;
-5. append one new table — only the new table is sketched — and compact.
+5. serve a **batch** of analyst queries with ``search_many`` — the
+   stored banks are traversed once for the whole batch
+   (``estimate_cross``), and each hit list is identical to the
+   corresponding single ``search``;
+6. append one new table — only the new table is sketched — and compact.
 
 Run:  python examples/persistent_lake.py
 """
@@ -86,6 +90,22 @@ def main() -> None:
             ] == [(h.table_name, h.column, h.score, h.join_size) for h in memory_hits]
             print(f"\nidentical to the in-memory index: {identical}")
             assert identical
+
+            # --- batched serving: many analysts, one bank traversal -----
+            subway = Table(
+                "subway_rides_2022",
+                keys=taxi.keys,
+                columns={"swipes": rng.normal(1_000_000, 50_000, size=taxi.num_rows)},
+            )
+            batch_hits = session.search_many([taxi, subway], ["rides", "swipes"], top_k=3)
+            print("\nbatched search_many over 2 query tables:")
+            for table, hits in zip((taxi, subway), batch_hits):
+                top = hits[0] if hits else None
+                print(f"  {table.name}: {len(hits)} hits, top = {top!r}")
+            assert batch_hits == [
+                session.search(taxi, "rides", top_k=3),
+                session.search(subway, "swipes", top_k=3),
+            ]
 
             # --- incremental append: only the new table is sketched -----
             events = Table(

@@ -9,7 +9,11 @@ sampling-based (MinHash, KMV, Weighted MinHash) — fits one contract:
 * ``sketch_batch(matrix)`` — compress every row of a matrix into a
   columnar :class:`~repro.core.bank.SketchBank`;
 * ``estimate_many(query, bank)`` — approximate the inner product of one
-  query vector against every bank row, returning an array.
+  query vector against every bank row, returning an array;
+* ``estimate_cross(query_bank, bank)`` — approximate every pairwise
+  inner product between two banks, returning a ``(Q, N)`` matrix (the
+  multi-query serving primitive: a batch of analyst queries traverses
+  the stored bank once instead of once per query).
 
 The batch half of the contract has a correct-but-generic default that
 wraps the scalar path (an object-dtype bank plus a Python loop), so
@@ -126,6 +130,26 @@ class Sketcher(abc.ABC):
                 for i in range(len(bank))
             ],
             dtype=np.float64,
+        )
+
+    def estimate_cross(self, query_bank: SketchBank, bank: SketchBank) -> np.ndarray:
+        """Estimate ``<query_i, row_j>`` for every query/row pair.
+
+        Returns a float64 array of shape ``(len(query_bank), len(bank))``
+        whose row ``i`` equals ``estimate_many(query_i, bank)`` exactly.
+        The default loops :meth:`estimate_many` over the query rows;
+        vectorized sketchers override it to traverse ``bank`` once for
+        the whole query batch.
+        """
+        self._check_bank(query_bank)
+        self._check_bank(bank)
+        if len(query_bank) == 0:
+            return np.zeros((0, len(bank)))
+        return np.stack(
+            [
+                self.estimate_many(self.bank_row(query_bank, i), bank)
+                for i in range(len(query_bank))
+            ]
         )
 
     def pack_bank(self, sketches: Sequence[Any]) -> SketchBank:

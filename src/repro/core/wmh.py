@@ -88,6 +88,12 @@ _BATCH_CELL_TARGET = 500_000
 #: monolithic pass.
 _SIM_CELL_TARGET = 200_000
 
+#: Cell cap for the estimation kernels: ``estimate_many`` and
+#: ``estimate_cross`` bound every temporary to about this many float64
+#: elements (a few MB), so scoring a query batch against a lake never
+#: materializes ``(rows, m)``-shaped intermediates.
+_ESTIMATE_CELL_TARGET = 500_000
+
 #: Default discretization parameter.  The paper wants ``L`` at least
 #: ``n`` and ideally 100-1000x larger; 2**26 ≈ 6.7e7 comfortably covers
 #: the experiments here (n = 10**4, so L/n > 6000) and keeps the record
@@ -811,26 +817,119 @@ class WeightedMinHash(Sketcher):
             words_per_sketch=self.storage_words(),
         )
 
+    def _estimate_block(
+        self,
+        query_hashes: np.ndarray,
+        query_values: np.ndarray,
+        bank_hashes: np.ndarray,
+        bank_values: np.ndarray,
+        bank_values_sq: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Algorithm 5 for one ``(..., m)``-aligned block, fused.
+
+        ``query_*`` and ``bank_*`` must broadcast against each other on
+        the leading axes; the result drops the trailing ``m`` axis and
+        omits the norm product (applied by the callers).  Min-sum,
+        match detection, and the importance-weighted term sum run over
+        one block so the callers can bound every temporary by chunking.
+        ``bank_values_sq`` lets :meth:`estimate_cross` hoist the
+        query-independent ``bank_values**2`` out of its per-query loop.
+        """
+        mins = np.minimum(query_hashes, bank_hashes)
+        totals = mins.sum(axis=-1)
+        m_tilde = (self.m / totals - 1.0) / self.L
+        matches = query_hashes == bank_hashes
+        if bank_values_sq is None:
+            bank_values_sq = np.square(bank_values)
+        q = np.minimum(np.square(query_values), bank_values_sq)
+        products = query_values * bank_values
+        terms = np.where(matches & (q > 0.0), products / np.where(q > 0.0, q, 1.0), 0.0)
+        return (m_tilde / self.m) * terms.sum(axis=-1)
+
     def estimate_many(self, query_sketch: WMHSketch, bank: SketchBank) -> np.ndarray:
-        """Algorithm 5 against every bank row in one vectorized pass."""
+        """Algorithm 5 against every bank row in one fused chunked pass.
+
+        Temporaries are bounded to ``(chunk, m)`` blocks of roughly
+        :data:`_ESTIMATE_CELL_TARGET` elements — the full-lake
+        ``(rows, m)`` intermediates of the naive formulation never
+        materialize — and every per-row value is bit-identical to the
+        unchunked arithmetic (each row's estimate depends only on that
+        row).
+        """
         self._check_bank(bank)
         self._check_query(query_sketch)
-        out = np.zeros(len(bank))
-        if len(bank) == 0 or query_sketch.norm == 0.0:
+        count = len(bank)
+        out = np.zeros(count)
+        if count == 0 or query_sketch.norm == 0.0:
             return out
         norms = bank.columns["norms"]
-        active = norms > 0.0
-        if not active.any():
+        bank_hashes = bank.columns["hashes"]
+        bank_values = bank.columns["values"]
+        query_hashes = query_sketch.hashes[None, :]
+        query_values = query_sketch.values[None, :]
+        chunk = max(1, _ESTIMATE_CELL_TARGET // max(self.m, 1))
+        for lo in range(0, count, chunk):
+            hi = min(lo + chunk, count)
+            scaled = self._estimate_block(
+                query_hashes,
+                query_values,
+                bank_hashes[lo:hi],
+                bank_values[lo:hi],
+            )
+            block = (query_sketch.norm * norms[lo:hi]) * scaled
+            # The zero vector's sentinel rows (norm 0, hashes +inf) go
+            # through the arithmetic too; pin them to exact +0.0.
+            block[norms[lo:hi] == 0.0] = 0.0
+            out[lo:hi] = block
+        return out
+
+    def estimate_cross(self, query_bank: SketchBank, bank: SketchBank) -> np.ndarray:
+        """Algorithm 5 for every query/row pair, one bank traversal.
+
+        Row ``i`` of the result is bit-identical to
+        ``estimate_many(bank_row(query_bank, i), bank)``.  The loop
+        nest is bank-chunk-outer / query-inner: each bounded
+        ``(row_chunk, m)`` slice of the bank columns is loaded once and
+        stays cache-resident while the *whole* query batch scores
+        against it, so the bank streams through memory once per batch
+        instead of once per query — and the inner arithmetic is the
+        exact 2-D kernel of :meth:`estimate_many`.
+        """
+        self._check_bank(query_bank)
+        self._check_bank(bank)
+        num_queries = len(query_bank)
+        count = len(bank)
+        out = np.zeros((num_queries, count))
+        if num_queries == 0 or count == 0:
             return out
-        bank_hashes = bank.columns["hashes"][active]
-        bank_values = bank.columns["values"][active]
-        mins = np.minimum(query_sketch.hashes[None, :], bank_hashes)
-        totals = mins.sum(axis=1)
-        m_tilde = (self.m / totals - 1.0) / self.L
-        matches = query_sketch.hashes[None, :] == bank_hashes
-        q = np.minimum(query_sketch.values[None, :] ** 2, bank_values**2)
-        products = query_sketch.values[None, :] * bank_values
-        terms = np.where(matches & (q > 0.0), products / np.where(q > 0.0, q, 1.0), 0.0)
-        scaled = (m_tilde / self.m) * terms.sum(axis=1)
-        out[active] = (query_sketch.norm * norms[active]) * scaled
+        q_hashes = query_bank.columns["hashes"]
+        q_values = query_bank.columns["values"]
+        q_norms = query_bank.columns["norms"]
+        bank_hashes = bank.columns["hashes"]
+        bank_values = bank.columns["values"]
+        norms = bank.columns["norms"]
+        row_chunk = max(1, _ESTIMATE_CELL_TARGET // max(self.m, 1))
+        for lo in range(0, count, row_chunk):
+            hi = min(lo + row_chunk, count)
+            block_hashes = bank_hashes[lo:hi]
+            block_values = bank_values[lo:hi]
+            block_values_sq = np.square(block_values)
+            block_norms = norms[lo:hi]
+            block_zero = block_norms == 0.0
+            for qi in range(num_queries):
+                scaled = self._estimate_block(
+                    q_hashes[qi][None, :],
+                    q_values[qi][None, :],
+                    block_hashes,
+                    block_values,
+                    block_values_sq,
+                )
+                row = (q_norms[qi] * block_norms) * scaled
+                # The zero vector's sentinel bank rows go through the
+                # arithmetic too; pin them to exact +0.0 (as
+                # estimate_many does).
+                row[block_zero] = 0.0
+                out[qi, lo:hi] = row
+        # estimate_many short-circuits zero-norm queries to all zeros.
+        out[q_norms == 0.0, :] = 0.0
         return out

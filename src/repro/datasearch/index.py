@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.join_estimates import JoinSketch
@@ -61,6 +63,14 @@ class SketchIndex:
         # the prefix, which is the only event that invalidates it.
         self._banks: tuple[SketchBank, SketchBank, SketchBank] | None = None
         self._banks_count = 0
+        # Ownership caches over the value-bank rows: the ``(table,
+        # column)`` name list and the numpy table-position array the
+        # query fast path selects candidate rows with.  Both cover the
+        # first ``_owners_count`` entries; same staleness rules as the
+        # bank cache (appends extend, replacement invalidates).
+        self._owners: list[tuple[str, str]] | None = None
+        self._owner_pos: np.ndarray | None = None
+        self._owners_count = 0
 
     # ------------------------------------------------------------------
     # building
@@ -100,6 +110,9 @@ class SketchIndex:
             # prefix (dict order keeps the old position) — drop it.
             self._banks = None
             self._banks_count = 0
+            self._owners = None
+            self._owner_pos = None
+            self._owners_count = 0
         self._entries[entry.name] = entry
 
     def add(self, table: Table) -> JoinSketch:
@@ -242,13 +255,49 @@ class SketchIndex:
         """Indexed table names, aligned with :attr:`indicator_bank` rows."""
         return list(self._entries)
 
+    def _refresh_owners(self) -> None:
+        if self._owners is not None and self._owners_count == len(self._entries):
+            return
+        # Append-only growth extends the cached prefix; replacement
+        # already dropped it in _set_entry, so a full rebuild here only
+        # happens on the first call or after a replacement.
+        entries = list(self._entries.values())
+        tail = entries[self._owners_count :]
+        owners = self._owners if self._owners is not None else []
+        owners.extend(
+            (entry.name, column) for entry in tail for column in entry.columns
+        )
+        counts = np.array([len(entry.columns) for entry in tail], dtype=np.int64)
+        tail_pos = np.repeat(
+            np.arange(self._owners_count, len(entries), dtype=np.int64), counts
+        )
+        if self._owner_pos is None or self._owner_pos.size == 0:
+            self._owner_pos = tail_pos
+        elif tail_pos.size:
+            self._owner_pos = np.concatenate([self._owner_pos, tail_pos])
+        self._owners = owners
+        self._owners_count = len(entries)
+
     def value_owners(self) -> list[tuple[str, str]]:
-        """``(table_name, column)`` per :attr:`value_bank` row, in order."""
-        return [
-            (entry.name, column)
-            for entry in self._entries.values()
-            for column in entry.columns
-        ]
+        """``(table_name, column)`` per :attr:`value_bank` row, in order.
+
+        The list is cached (and extended incrementally on appends);
+        treat it as read-only.
+        """
+        self._refresh_owners()
+        return self._owners
+
+    def owner_positions(self) -> np.ndarray:
+        """Table position (into :meth:`table_names`) per value-bank row.
+
+        The int64 array aligned with :attr:`value_bank` /
+        :attr:`square_bank` rows that lets the query fast path map a
+        joinable-table mask to candidate value rows with one gather
+        (``table_mask[owner_positions()]``) instead of a Python scan
+        over :meth:`value_owners`.  Cached; treat it as read-only.
+        """
+        self._refresh_owners()
+        return self._owner_pos
 
     def num_rows(self, name: str) -> int:
         return self._entry(name).num_rows

@@ -10,18 +10,30 @@ example (taxi ridership vs weather):
    relationship (post-join correlation or inner product) between the
    query column and every candidate column, and rank by magnitude.
 
-Everything runs on sketches and the index's columnar banks: the
-joinability filter is **one** ``estimate_many`` call over the
-indicator bank, and relevance ranking is a fixed handful of
-``estimate_many`` calls per query column (the six primitive statistics
-of Figure 2), never a Python loop over stored sketches.  No join is
-ever materialized.
+Everything runs on sketches and the index's columnar banks, and the
+query-serving fast path makes two structural promises:
+
+* **candidate pruning** — only the joinability filter touches the whole
+  lake (one ``estimate_many`` over the indicator bank).  The five
+  relevance statistics of Figure 2 are then estimated on *joinable rows
+  only*, selected out of the banks with one gather, so per-column work
+  scales with the candidate set, not the lake.  Because every bank
+  row's estimate depends only on that row, pruned rankings are
+  bit-identical to scoring the full lake (``prune=False`` keeps the
+  full-lake path around for verification and benchmarking);
+* **multi-query batching** — :meth:`DatasetSearch.search_many` serves a
+  batch of analyst queries with one ``estimate_cross`` call per
+  statistic, traversing the banks once for the whole batch instead of
+  once per query, with results identical to looping :meth:`search`.
+
+No join is ever materialized.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -53,16 +65,25 @@ class SearchHit:
 class DatasetSearch:
     """Sketch-based joinable-and-related table search."""
 
-    def __init__(self, index: SketchIndex, min_containment: float = 0.05) -> None:
+    def __init__(
+        self,
+        index: SketchIndex,
+        min_containment: float = 0.05,
+        prune: bool = True,
+    ) -> None:
         """``min_containment``: minimum estimated fraction of query keys
         that must appear in a candidate table for it to be considered
-        joinable."""
+        joinable.  ``prune``: restrict the relevance statistics to
+        joinable rows (the serving fast path); ``False`` scores the full
+        lake per statistic — same results, more work — and exists for
+        verification and benchmarking."""
         if not 0.0 <= min_containment <= 1.0:
             raise ValueError(
                 f"min_containment must be in [0, 1], got {min_containment}"
             )
         self.index = index
         self.min_containment = min_containment
+        self.prune = bool(prune)
 
     def sketch_query(self, table: Table) -> JoinSketch:
         """Sketch the analyst's query table with the index's method."""
@@ -78,17 +99,30 @@ class DatasetSearch:
         )
         return names, np.maximum(sizes, 0.0)
 
+    def _joinable_order(
+        self, sizes: np.ndarray, num_rows: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Positions of joinable tables plus the containment array.
+
+        Returns ``(order, containments)`` where ``order`` holds the
+        table positions clearing ``min_containment``, sorted by
+        containment descending with ties in table order (the stable
+        order the tuple API has always produced), and ``containments``
+        covers every table.
+        """
+        containments = sizes / max(num_rows, 1)
+        keep = np.flatnonzero(containments >= self.min_containment)
+        order = keep[np.argsort(-containments[keep], kind="stable")]
+        return order, containments
+
     def _filter_joinable(
         self, names: list[str], sizes: np.ndarray, num_rows: int
     ) -> list[tuple[str, float, float]]:
-        containments = sizes / max(num_rows, 1)
-        results = [
-            (name, float(size), float(containment))
-            for name, size, containment in zip(names, sizes, containments)
-            if containment >= self.min_containment
+        order, containments = self._joinable_order(sizes, num_rows)
+        return [
+            (names[i], float(sizes[i]), float(containments[i]))
+            for i in order.tolist()
         ]
-        results.sort(key=lambda item: item[2], reverse=True)
-        return results
 
     def search_table(
         self,
@@ -115,6 +149,35 @@ class DatasetSearch:
         names, sizes = self._join_sizes(query)
         return self._filter_joinable(names, sizes, query.num_rows)
 
+    @staticmethod
+    def _check_criterion(by: str) -> None:
+        if by not in ("correlation", "inner_product"):
+            raise ValueError(f"unknown ranking criterion {by!r}")
+
+    @staticmethod
+    def _check_query_column(query: JoinSketch, query_column: str) -> None:
+        if query_column not in query.values:
+            raise KeyError(
+                f"query table {query.table_name!r} has no column "
+                f"{query_column!r}; available: {sorted(query.values)}"
+            )
+
+    def _candidate_rows(
+        self, order: np.ndarray, num_tables: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row selections for one query's joinable candidate set.
+
+        Returns ``(rank_of_table, table_rows, val_rows)``: per-table
+        joinability rank (``-1`` for filtered-out tables), the ascending
+        indicator-bank rows of joinable tables, and the ascending
+        value/square-bank rows they own.
+        """
+        rank_of_table = np.full(num_tables, -1, dtype=np.int64)
+        rank_of_table[order] = np.arange(order.size, dtype=np.int64)
+        table_rows = np.flatnonzero(rank_of_table >= 0)
+        val_rows = np.flatnonzero(rank_of_table[self.index.owner_positions()] >= 0)
+        return rank_of_table, table_rows, val_rows
+
     def search(
         self,
         query: JoinSketch,
@@ -129,70 +192,242 @@ class DatasetSearch:
         query) or ``"inner_product"`` (absolute estimated post-join
         inner product).
 
-        The six Figure 2 statistics every correlation needs — join
-        size, left/right sums, left/right second moments, and the
-        cross inner product — are each computed for the *whole lake*
-        with one ``estimate_many`` call against the index's banks.
+        The joinability pass (join size per table) is the only
+        full-lake ``estimate_many`` call; the remaining five Figure 2
+        statistics — left/right sums, left/right second moments, and
+        the cross inner product — are estimated against the joinable
+        rows only, so a selective filter makes relevance scoring scale
+        with candidates instead of lake size.
         """
-        if by not in ("correlation", "inner_product"):
-            raise ValueError(f"unknown ranking criterion {by!r}")
-        if query_column not in query.values:
-            raise KeyError(
-                f"query table {query.table_name!r} has no column "
-                f"{query_column!r}; available: {sorted(query.values)}"
-            )
-        # Per-table statistics (against the indicator bank); the same
+        self._check_criterion(by)
+        self._check_query_column(query, query_column)
+        # Per-table joinability (against the indicator bank); the same
         # join-size pass feeds both the joinability filter and the
         # correlation formula.
         names, sizes = self._join_sizes(query)
-        joinable = self._filter_joinable(names, sizes, query.num_rows)
-        if not joinable:
+        if not names:
             return []
+        order, containments = self._joinable_order(sizes, query.num_rows)
+        if order.size == 0:
+            return []
+        rank_of_table, table_rows, val_rows = self._candidate_rows(order, len(names))
+        if val_rows.size == 0:
+            return []
+
         sketcher = self.index.sketcher
-        sum_left = sketcher.estimate_many(
-            query.values[query_column], self.index.indicator_bank
+        # Gathering bank copies only pays off when the filter is
+        # selective; a candidate set covering the whole lake scores the
+        # full banks in place (same estimates, zero copies).
+        whole_lake = (
+            table_rows.size == len(names)
+            and val_rows.size == self.index.owner_positions().size
         )
-        sum_squares_left = sketcher.estimate_many(
-            query.squares[query_column], self.index.indicator_bank
+        if self.prune and not whole_lake:
+            indicator_bank = self.index.indicator_bank[table_rows]
+            value_bank = self.index.value_bank[val_rows]
+            square_bank = self.index.square_bank[val_rows]
+            # Per-table statistics, candidate rows only.
+            sum_left = sketcher.estimate_many(
+                query.values[query_column], indicator_bank
+            )
+            sum_squares_left = sketcher.estimate_many(
+                query.squares[query_column], indicator_bank
+            )
+            # Per-column statistics, candidate rows only.
+            sum_right = sketcher.estimate_many(query.indicator, value_bank)
+            sum_squares_right = sketcher.estimate_many(query.indicator, square_bank)
+            inner_products = sketcher.estimate_many(
+                query.values[query_column], value_bank
+            )
+        else:
+            sum_left = sketcher.estimate_many(
+                query.values[query_column], self.index.indicator_bank
+            )[table_rows]
+            sum_squares_left = sketcher.estimate_many(
+                query.squares[query_column], self.index.indicator_bank
+            )[table_rows]
+            sum_right = sketcher.estimate_many(
+                query.indicator, self.index.value_bank
+            )[val_rows]
+            sum_squares_right = sketcher.estimate_many(
+                query.indicator, self.index.square_bank
+            )[val_rows]
+            inner_products = sketcher.estimate_many(
+                query.values[query_column], self.index.value_bank
+            )[val_rows]
+
+        return self._score_candidates(
+            sizes,
+            containments,
+            rank_of_table,
+            table_rows,
+            val_rows,
+            sum_left,
+            sum_squares_left,
+            sum_right,
+            sum_squares_right,
+            inner_products,
+            top_k,
+            by,
         )
 
-        # Per-column statistics (against the value/square banks).
-        owners = self.index.value_owners()
-        sum_right = sketcher.estimate_many(query.indicator, self.index.value_bank)
-        sum_squares_right = sketcher.estimate_many(
-            query.indicator, self.index.square_bank
-        )
-        inner_products = sketcher.estimate_many(
-            query.values[query_column], self.index.value_bank
-        )
+    def search_many(
+        self,
+        queries: Sequence[JoinSketch],
+        query_columns: str | Sequence[str],
+        top_k: int = 10,
+        by: str = "correlation",
+    ) -> list[list[SearchHit]]:
+        """:meth:`search` for a batch of queries, serving-optimized.
 
-        joinable_rank = {name: rank for rank, (name, _, _) in enumerate(joinable)}
-        join_info = {name: (size, cont) for name, size, cont in joinable}
-
-        # Score every joinable column in one vectorized pass over the
-        # six primitive statistics (same arithmetic as _correlation).
-        table_pos = {name: i for i, name in enumerate(names)}
-        owner_pos = np.array(
-            [table_pos[table] for table, _ in owners], dtype=np.int64
-        )
-        owner_rank = np.array(
-            [joinable_rank.get(table, -1) for table, _ in owners], dtype=np.int64
-        )
-        rows = np.flatnonzero(owner_rank >= 0)
-        if rows.size == 0:
+        ``query_columns`` is one column name applied to every query, or
+        one name per query.  The whole batch is answered with **one**
+        ``estimate_cross`` call per statistic: the joinability pass
+        scores every query against the indicator bank at once, and the
+        five relevance statistics run over the *union* of the queries'
+        candidate rows, so the banks are traversed once per batch
+        instead of once per query.  Hit lists are identical to calling
+        :meth:`search` per query.
+        """
+        self._check_criterion(by)
+        queries = list(queries)
+        if isinstance(query_columns, str):
+            columns = [query_columns] * len(queries)
+        else:
+            columns = list(query_columns)
+            if len(columns) != len(queries):
+                raise ValueError(
+                    f"got {len(queries)} queries but {len(columns)} query columns"
+                )
+        for query, column in zip(queries, columns):
+            self._check_query_column(query, column)
+        if not queries:
             return []
-        pos = owner_pos[rows]
-        size = sizes[pos]
+        names = self.index.table_names()
+        if not names:
+            return [[] for _ in queries]
+
+        sketcher = self.index.sketcher
+        indicator_queries = sketcher.pack_bank([q.indicator for q in queries])
+        value_queries = sketcher.pack_bank(
+            [q.values[c] for q, c in zip(queries, columns)]
+        )
+        square_queries = sketcher.pack_bank(
+            [q.squares[c] for q, c in zip(queries, columns)]
+        )
+
+        # Joinability for every query in one pass: (Q, tables).
+        sizes_all = np.maximum(
+            sketcher.estimate_cross(indicator_queries, self.index.indicator_bank), 0.0
+        )
+
+        num_tables = len(names)
+        union_mask = np.zeros(num_tables, dtype=bool)
+        selections: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        for qi, query in enumerate(queries):
+            order, containments = self._joinable_order(
+                sizes_all[qi], query.num_rows
+            )
+            rank_of_table, table_rows, val_rows = self._candidate_rows(
+                order, num_tables
+            )
+            selections.append((containments, rank_of_table, table_rows, val_rows))
+            union_mask[table_rows] = True
+
+        union_tables = np.flatnonzero(union_mask)
+        union_vals = np.flatnonzero(union_mask[self.index.owner_positions()])
+        results: list[list[SearchHit]] = [[] for _ in queries]
+        if union_vals.size == 0:
+            return results
+
+        # The five relevance statistics for the whole batch, one
+        # estimate_cross each over the union candidate rows.  As in
+        # search(), a union covering the whole lake skips the gather.
+        whole_lake = (
+            union_tables.size == num_tables
+            and union_vals.size == self.index.owner_positions().size
+        )
+        if self.prune and not whole_lake:
+            indicator_bank = self.index.indicator_bank[union_tables]
+            value_bank = self.index.value_bank[union_vals]
+            square_bank = self.index.square_bank[union_vals]
+            table_base, val_base = union_tables, union_vals
+        else:
+            indicator_bank = self.index.indicator_bank
+            value_bank = self.index.value_bank
+            square_bank = self.index.square_bank
+            table_base = np.arange(num_tables, dtype=np.int64)
+            val_base = np.arange(len(value_bank), dtype=np.int64)
+        sum_left_all = sketcher.estimate_cross(value_queries, indicator_bank)
+        sum_squares_left_all = sketcher.estimate_cross(square_queries, indicator_bank)
+        sum_right_all = sketcher.estimate_cross(indicator_queries, value_bank)
+        sum_squares_right_all = sketcher.estimate_cross(indicator_queries, square_bank)
+        inner_products_all = sketcher.estimate_cross(value_queries, value_bank)
+
+        for qi in range(len(queries)):
+            containments, rank_of_table, table_rows, val_rows = selections[qi]
+            if val_rows.size == 0:
+                continue
+            # Each query's candidate rows are a subset of the union
+            # rows; both are ascending, so the gather is a searchsorted.
+            table_local = np.searchsorted(table_base, table_rows)
+            val_local = np.searchsorted(val_base, val_rows)
+            results[qi] = self._score_candidates(
+                sizes_all[qi],
+                containments,
+                rank_of_table,
+                table_rows,
+                val_rows,
+                sum_left_all[qi][table_local],
+                sum_squares_left_all[qi][table_local],
+                sum_right_all[qi][val_local],
+                sum_squares_right_all[qi][val_local],
+                inner_products_all[qi][val_local],
+                top_k,
+                by,
+            )
+        return results
+
+    def _score_candidates(
+        self,
+        sizes: np.ndarray,
+        containments: np.ndarray,
+        rank_of_table: np.ndarray,
+        table_rows: np.ndarray,
+        val_rows: np.ndarray,
+        sum_left: np.ndarray,
+        sum_squares_left: np.ndarray,
+        sum_right: np.ndarray,
+        sum_squares_right: np.ndarray,
+        inner_products: np.ndarray,
+        top_k: int,
+        by: str,
+    ) -> list[SearchHit]:
+        """Rank one query's candidate columns from the six statistics.
+
+        ``sizes``/``containments``/``rank_of_table`` cover every table;
+        ``sum_left``/``sum_squares_left`` align with ``table_rows`` and
+        the remaining statistics with ``val_rows``.  Scoring is one
+        vectorized pass over the candidates (same arithmetic as
+        :meth:`_correlation`), followed by an argpartition top-k cut.
+        """
+        owner_pos = self.index.owner_positions()
+        cand_owner = owner_pos[val_rows]
+        # Index into the pruned per-table arrays: table_rows is the
+        # ascending set of joinable table positions, and every
+        # candidate's owner is one of them.
+        cand_table = np.searchsorted(table_rows, cand_owner)
+        size = sizes[cand_owner]
         with np.errstate(divide="ignore", invalid="ignore"):
-            mean_left = sum_left[pos] / size
-            mean_right = sum_right[rows] / size
+            mean_left = sum_left[cand_table] / size
+            mean_right = sum_right / size
             variance_left = np.maximum(
-                sum_squares_left[pos] / size - mean_left * mean_left, 0.0
+                sum_squares_left[cand_table] / size - mean_left * mean_left, 0.0
             )
             variance_right = np.maximum(
-                sum_squares_right[rows] / size - mean_right * mean_right, 0.0
+                sum_squares_right / size - mean_right * mean_right, 0.0
             )
-            covariance = inner_products[rows] / size - mean_left * mean_right
+            covariance = inner_products / size - mean_left * mean_right
             raw = covariance / np.sqrt(variance_left * variance_right)
         correlations = np.clip(raw, -1.0, 1.0)
         correlations[
@@ -201,14 +436,14 @@ class DatasetSearch:
         if by == "correlation":
             scores = np.where(np.isnan(correlations), 0.0, np.abs(correlations))
         else:
-            scores = np.abs(inner_products[rows])
-        ranks = owner_rank[rows]
+            scores = np.abs(inner_products)
+        ranks = rank_of_table[cand_owner]
 
         # Top-k cut via argpartition instead of sorting every score in
-        # the lake; boundary ties survive the cut and the exact order —
-        # score desc, joinability rank asc, row order asc (what the old
-        # pair of stable sorts produced) — is resolved on the
-        # candidates alone.
+        # the candidate set; boundary ties survive the cut and the
+        # exact order — score desc, joinability rank asc, row order asc
+        # (what the old pair of stable sorts produced) — is resolved on
+        # the survivors alone.
         if 0 < top_k < scores.size:
             kth = np.partition(scores, scores.size - top_k)[scores.size - top_k]
             candidates = np.flatnonzero(scores >= kth)
@@ -217,17 +452,18 @@ class DatasetSearch:
         order = np.lexsort((candidates, ranks[candidates], -scores[candidates]))
         chosen = candidates[order][:top_k]
 
+        owners = self.index.value_owners()
         hits: list[SearchHit] = []
         for c in chosen.tolist():
-            table_name, column = owners[int(rows[c])]
-            join_size, containment = join_info[table_name]
+            table_name, column = owners[int(val_rows[c])]
+            owner = int(cand_owner[c])
             correlation = float(correlations[c])
             hits.append(
                 SearchHit(
                     table_name=table_name,
                     column=column,
-                    join_size=join_size,
-                    containment=containment,
+                    join_size=float(sizes[owner]),
+                    containment=float(containments[owner]),
                     score=float(scores[c]),
                     # the math.nan singleton, so hit tuples stay
                     # comparable with == (identity shortcut) like the

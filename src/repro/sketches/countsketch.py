@@ -29,6 +29,11 @@ __all__ = ["CountSketchData", "CountSketch", "DEFAULT_REPETITIONS"]
 #: The paper follows Larsen et al.: 5 repetitions, median estimate.
 DEFAULT_REPETITIONS = 5
 
+#: Cell cap for the per-chunk (queries, rows, repetitions) temporary of
+#: ``estimate_cross`` (a few MB), so batched serving never materializes
+#: a lake-sized intermediate.
+_CROSS_CELL_TARGET = 500_000
+
 
 @dataclass(frozen=True)
 class CountSketchData:
@@ -201,3 +206,33 @@ class CountSketch(Sketcher):
         if per_repetition.shape[0] == 0:
             return np.zeros(0)
         return np.median(per_repetition, axis=1)
+
+    def estimate_cross(self, query_bank: SketchBank, bank: SketchBank) -> np.ndarray:
+        """Median-of-repetitions estimates for every query/row pair.
+
+        The ``w``-contraction runs per bounded bank chunk, so the
+        ``(Q, chunk, repetitions)`` per-repetition temporary never
+        scales with the lake; einsum reduces ``w`` in the same
+        sequential order as :meth:`estimate_many` and the median is
+        per-pair, so each result row is bit-identical to the per-query
+        call.
+        """
+        self._check_bank(query_bank)
+        self._check_bank(bank)
+        num_queries = len(query_bank)
+        count = len(bank)
+        out = np.zeros((num_queries, count))
+        if num_queries == 0 or count == 0:
+            return out
+        query_tables = query_bank.columns["tables"]
+        bank_tables = bank.columns["tables"]
+        row_chunk = max(
+            1, _CROSS_CELL_TARGET // max(num_queries * self.repetitions, 1)
+        )
+        for lo in range(0, count, row_chunk):
+            hi = min(lo + row_chunk, count)
+            per_repetition = np.einsum(
+                "qrw,nrw->qnr", query_tables, bank_tables[lo:hi]
+            )
+            out[:, lo:hi] = np.median(per_repetition, axis=2)
+        return out

@@ -167,3 +167,17 @@ class JohnsonLindenstrauss(Sketcher):
         return np.einsum(
             "nm,m->n", bank.columns["projections"], query_sketch.projection
         )
+
+    def estimate_cross(self, query_bank: SketchBank, bank: SketchBank) -> np.ndarray:
+        """All pairwise projection inner products in one contraction.
+
+        einsum's sequential sum-of-products kernel reduces the shared
+        ``m`` axis in the same order as :meth:`estimate_many`'s
+        contraction, so each result row is bit-identical to the
+        per-query call.
+        """
+        self._check_bank(query_bank)
+        self._check_bank(bank)
+        return np.einsum(
+            "qm,nm->qn", query_bank.columns["projections"], bank.columns["projections"]
+        )

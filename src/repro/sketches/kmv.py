@@ -271,7 +271,9 @@ class KMinimumValues(Sketcher):
         shared coordinate), recovers the ``k``-th smallest distinct
         hash ``τ``, and Horvitz–Thompson-weights the matched products —
         the same quantities the classic ``union1d``/``intersect1d``
-        formulation produces, computed for all rows at once.
+        formulation produces.  The merge runs in row chunks so its
+        ``(rows, 2k)`` merge/argsort temporaries stay bounded on large
+        lakes; each row's value is bit-identical to the unchunked pass.
         """
         self._check_bank(bank)
         self._check_query(query_sketch)
@@ -279,11 +281,29 @@ class KMinimumValues(Sketcher):
         out = np.zeros(count)
         if count == 0 or query_sketch.hashes.size == 0:
             return out
-        bank_hashes = bank.columns["hashes"]
-        bank_values = bank.columns["values"]
-        bank_sizes = bank.columns["sizes"]
-        bank_exact = bank.columns["exact"]
+        width = bank.columns["hashes"].shape[1]
+        chunk = max(1, _BATCH_CELL_TARGET // max(width + query_sketch.hashes.size, 1))
+        for lo in range(0, count, chunk):
+            hi = min(lo + chunk, count)
+            out[lo:hi] = self._estimate_block(
+                query_sketch,
+                bank.columns["hashes"][lo:hi],
+                bank.columns["values"][lo:hi],
+                bank.columns["sizes"][lo:hi],
+                bank.columns["exact"][lo:hi],
+            )
+        return out
 
+    def _estimate_block(
+        self,
+        query_sketch: KMVSketch,
+        bank_hashes: np.ndarray,
+        bank_values: np.ndarray,
+        bank_sizes: np.ndarray,
+        bank_exact: np.ndarray,
+    ) -> np.ndarray:
+        """The merge kernel for one chunk of bank rows."""
+        count = bank_hashes.shape[0]
         query_hashes = query_sketch.hashes
         query_values = query_sketch.values
         sq = query_hashes.size

@@ -214,25 +214,88 @@ class MinHash(Sketcher):
             words_per_sketch=self.storage_words(),
         )
 
+    def _estimate_block(
+        self,
+        query_hashes: np.ndarray,
+        query_values: np.ndarray,
+        bank_hashes: np.ndarray,
+        bank_values: np.ndarray,
+    ) -> np.ndarray:
+        """Algorithm 2 for one ``(..., m)``-aligned block, fused.
+
+        Inputs broadcast on the leading axes; the trailing ``m`` axis is
+        reduced away.  A non-empty sketch's hashes are all finite, so an
+        empty row (all ``+inf``) matches nothing and its estimate comes
+        out exactly ``+0.0`` — no activity mask needed.
+        """
+        minima = np.minimum(query_hashes, bank_hashes)
+        union_estimate = self.m / minima.sum(axis=-1) - 1.0
+        matches = query_hashes == bank_hashes
+        matched_products = np.sum(
+            np.where(matches, query_values * bank_values, 0.0), axis=-1
+        )
+        return (union_estimate / self.m) * matched_products
+
     def estimate_many(self, query_sketch: MinHashSketch, bank: SketchBank) -> np.ndarray:
-        """Algorithm 2 against every bank row in one vectorized pass."""
+        """Algorithm 2 against every bank row in one fused chunked pass.
+
+        Temporaries are bounded ``(chunk, m)`` blocks (about
+        :data:`_BATCH_CELL_TARGET` elements) instead of full-lake
+        ``(rows, m)`` intermediates; each row's value is bit-identical
+        to the unchunked arithmetic.
+        """
         self._check_bank(bank)
         self._check_query(query_sketch)
-        out = np.zeros(len(bank))
-        if len(bank) == 0 or not np.isfinite(query_sketch.hashes).any():
+        count = len(bank)
+        out = np.zeros(count)
+        if count == 0 or not np.isfinite(query_sketch.hashes).any():
             return out
         bank_hashes = bank.columns["hashes"]
-        active = np.isfinite(bank_hashes).any(axis=1)
-        if not active.any():
+        bank_values = bank.columns["values"]
+        query_hashes = query_sketch.hashes[None, :]
+        query_values = query_sketch.values[None, :]
+        chunk = max(1, _BATCH_CELL_TARGET // max(self.m, 1))
+        for lo in range(0, count, chunk):
+            hi = min(lo + chunk, count)
+            out[lo:hi] = self._estimate_block(
+                query_hashes, query_values, bank_hashes[lo:hi], bank_values[lo:hi]
+            )
+        return out
+
+    def estimate_cross(self, query_bank: SketchBank, bank: SketchBank) -> np.ndarray:
+        """Algorithm 2 for every query/row pair, one bank traversal.
+
+        Row ``i`` is bit-identical to ``estimate_many`` of query ``i``.
+        Bank-chunk-outer / query-inner loop nest: each bounded
+        ``(row_chunk, m)`` bank slice stays cache-resident while the
+        whole query batch scores against it, so the bank streams
+        through memory once per batch instead of once per query.
+        """
+        self._check_bank(query_bank)
+        self._check_bank(bank)
+        num_queries = len(query_bank)
+        count = len(bank)
+        out = np.zeros((num_queries, count))
+        if num_queries == 0 or count == 0:
             return out
-        bank_hashes = bank_hashes[active]
-        bank_values = bank.columns["values"][active]
-        minima = np.minimum(query_sketch.hashes[None, :], bank_hashes)
-        union_estimate = self.m / minima.sum(axis=1) - 1.0
-        matches = query_sketch.hashes[None, :] == bank_hashes
-        matched_products = np.sum(
-            np.where(matches, query_sketch.values[None, :] * bank_values, 0.0),
-            axis=1,
-        )
-        out[active] = (union_estimate / self.m) * matched_products
+        q_hashes = query_bank.columns["hashes"]
+        q_values = query_bank.columns["values"]
+        bank_hashes = bank.columns["hashes"]
+        bank_values = bank.columns["values"]
+        row_chunk = max(1, _BATCH_CELL_TARGET // max(self.m, 1))
+        for lo in range(0, count, row_chunk):
+            hi = min(lo + row_chunk, count)
+            block_hashes = bank_hashes[lo:hi]
+            block_values = bank_values[lo:hi]
+            for qi in range(num_queries):
+                out[qi, lo:hi] = self._estimate_block(
+                    q_hashes[qi][None, :],
+                    q_values[qi][None, :],
+                    block_hashes,
+                    block_values,
+                )
+        # estimate_many short-circuits empty queries to exact +0.0; an
+        # (empty query, empty row) pair would otherwise produce -0.0
+        # through the inf min-sum.
+        out[~np.isfinite(q_hashes).any(axis=1), :] = 0.0
         return out

@@ -6,9 +6,14 @@ Commands
     Create the store if needed (``--method``/``--storage``/``--seed``
     pick the sketcher for a *new* store; an existing store keeps its
     stored configuration) and append the CSV tables as one shard.
-``query STORE CSV --column COL``
-    Sketch the CSV as the analyst's query table and print the ranked
-    joinable-and-correlated columns of the lake.
+``query STORE CSV... --column COL``
+    Sketch the CSV(s) as the analyst's query table(s) and print the
+    ranked joinable-and-correlated columns of the lake.  Several CSVs
+    are served as **one batch** (``QuerySession.search_many``): the
+    stored banks are traversed once for the whole batch, and results
+    are identical to querying the files one at a time.  ``--json``
+    always emits ``[{"query", "column", "hits": [...]}, ...]`` — one
+    entry per CSV, the same schema for one file or many.
 ``stats STORE``
     Print the catalog/footprint summary as JSON.
 ``compact STORE``
@@ -107,41 +112,65 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    table = load_csv_table(
-        args.csv, key_column=args.key_column, aggregate=args.aggregate
-    )
-    with LakeStore.open(args.store) as store:
-        session = QuerySession(store, min_containment=args.min_containment)
-        hits = session.search(table, args.column, top_k=args.top_k, by=args.by)
-    if args.json:
-        print(
-            json.dumps(
-                [
-                    {
-                        "table": hit.table_name,
-                        "column": hit.column,
-                        "score": hit.score,
-                        "correlation": hit.correlation,
-                        "join_size": hit.join_size,
-                        "containment": hit.containment,
-                    }
-                    for hit in hits
-                ],
-                indent=2,
-            )
-        )
-        return 0
+def _hit_payload(hit) -> dict:
+    return {
+        "table": hit.table_name,
+        "column": hit.column,
+        "score": hit.score,
+        "correlation": hit.correlation,
+        "join_size": hit.join_size,
+        "containment": hit.containment,
+    }
+
+
+def _print_hits(store: str, table_name: str, column: str, hits) -> None:
     if not hits:
         print("no joinable tables cleared the containment threshold")
-        return 0
-    print(f"top {len(hits)} of {args.store} for {table.name}.{args.column}:")
+        return
+    print(f"top {len(hits)} of {store} for {table_name}.{column}:")
     for rank, hit in enumerate(hits, start=1):
         print(
             f"  {rank:2d}. {hit.table_name}.{hit.column}  "
             f"score={hit.score:.4f}  corr={hit.correlation:+.4f}  "
             f"join~{hit.join_size:.0f}  containment={hit.containment:.2f}"
         )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tables = [
+        load_csv_table(path, key_column=args.key_column, aggregate=args.aggregate)
+        for path in args.csv
+    ]
+    batched = len(tables) > 1
+    with LakeStore.open(args.store) as store:
+        session = QuerySession(store, min_containment=args.min_containment)
+        if batched:
+            # One search_many call: the whole batch shares each bank
+            # traversal instead of paying it once per CSV.
+            all_hits = session.search_many(
+                tables, args.column, top_k=args.top_k, by=args.by
+            )
+        else:
+            all_hits = [
+                session.search(tables[0], args.column, top_k=args.top_k, by=args.by)
+            ]
+    if args.json:
+        # One stable schema regardless of how many CSVs were passed, so
+        # scripts globbing query files never see the shape flip.
+        payload = [
+            {
+                "query": table.name,
+                "column": args.column,
+                "hits": [_hit_payload(hit) for hit in hits],
+            }
+            for table, hits in zip(tables, all_hits)
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for i, (table, hits) in enumerate(zip(tables, all_hits)):
+        if i:
+            print()
+        _print_hits(args.store, table.name, args.column, hits)
     return 0
 
 
@@ -209,9 +238,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_csv_options(ingest)
     ingest.set_defaults(handler=_cmd_ingest)
 
-    query = commands.add_parser("query", help="rank the lake against a query CSV")
+    query = commands.add_parser("query", help="rank the lake against query CSVs")
     query.add_argument("store", help="lake directory")
-    query.add_argument("csv", help="query table CSV")
+    query.add_argument(
+        "csv",
+        nargs="+",
+        help="query table CSV(s); several files are served as one "
+        "batched search_many call",
+    )
     query.add_argument("--column", required=True, help="query value column")
     query.add_argument("--top-k", type=int, default=10)
     query.add_argument(

@@ -8,9 +8,13 @@ conveniences the raw engine deliberately lacks:
 * query tables are sketched **once per session** — repeated searches
   from the same analyst table (different columns, different ``top_k``)
   reuse the cached :class:`~repro.datasearch.join_estimates.JoinSketch`;
-* the engine is re-derived from ``store.index`` on every call, so a
-  session transparently sees tables appended or compacted after it was
-  created;
+* the engine is cached on the identity of ``store.index`` — appends
+  mutate the index in place, so the cached engine keeps seeing new
+  tables for free, while a compaction (or any event that rebuilds the
+  index object) transparently invalidates it;
+* a batch of query tables is served through
+  :meth:`~repro.datasearch.search.DatasetSearch.search_many`, which
+  traverses the stored banks once per batch instead of once per query;
 * results are plain :class:`~repro.datasearch.search.SearchHit` lists,
   identical to what the in-memory engine returns for the same lake —
   the store changes *where sketches live*, never *what they answer*.
@@ -18,7 +22,7 @@ conveniences the raw engine deliberately lacks:
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.datasearch.join_estimates import JoinSketch
 from repro.datasearch.search import DatasetSearch, SearchHit
@@ -35,11 +39,28 @@ class QuerySession:
         self.store = store
         self.min_containment = min_containment
         self._query_cache: dict[str, JoinSketch] = {}
+        self._engine: DatasetSearch | None = None
 
     @property
     def engine(self) -> DatasetSearch:
-        """A search engine over the store's *current* index."""
-        return DatasetSearch(self.store.index, self.min_containment)
+        """A search engine over the store's *current* index.
+
+        Cached on the index object's identity: in-place index growth
+        (appends) keeps the cached engine valid, while a store event
+        that rebuilds the index — compaction, reopening — swaps the
+        object and forces a fresh engine on the next access.  Mutating
+        ``session.min_containment`` also invalidates it.
+        """
+        index = self.store.index
+        engine = self._engine
+        if (
+            engine is None
+            or engine.index is not index
+            or engine.min_containment != self.min_containment
+        ):
+            engine = DatasetSearch(index, self.min_containment)
+            self._engine = engine
+        return engine
 
     # ------------------------------------------------------------------
     # querying
@@ -71,6 +92,26 @@ class QuerySession:
     ) -> list[SearchHit]:
         """Rank stored columns against ``table.query_column``."""
         return self.engine.search(self.sketch(table), query_column, top_k=top_k, by=by)
+
+    def search_many(
+        self,
+        tables: Sequence[Table],
+        query_columns: str | Sequence[str],
+        top_k: int = 10,
+        by: str = "correlation",
+    ) -> list[list[SearchHit]]:
+        """Rank stored columns against a batch of query tables.
+
+        One hit list per table, identical to calling :meth:`search` per
+        table, but the stored banks are traversed once for the whole
+        batch (``estimate_cross``) instead of once per query.
+        """
+        return self.engine.search_many(
+            [self.sketch(table) for table in tables],
+            query_columns,
+            top_k=top_k,
+            by=by,
+        )
 
     # ------------------------------------------------------------------
     # bookkeeping

@@ -1,0 +1,327 @@
+"""Query-serving fast-path tests: pruning and multi-query batching.
+
+The serving engine's two structural promises, asserted bit-for-bit
+across every registered sketcher:
+
+* **candidate pruning** — restricting the five relevance statistics to
+  joinable rows returns *identical* hits to scoring the full lake
+  (``prune=False``), for every statistic, every ranking criterion, and
+  the degenerate shapes (no candidates, all candidates, single-row
+  lake, zero-norm query column);
+* **multi-query batching** — ``search_many`` returns exactly the hit
+  lists of looping ``search``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.search import DatasetSearch
+from repro.datasearch.table import Table
+from repro.experiments.runner import method_registry
+
+REGISTRY = method_registry()
+ALL_METHODS = sorted(REGISTRY)
+
+
+def build_sketcher(name: str, storage: int = 120, seed: int = 5):
+    return REGISTRY[name].build(storage, seed)
+
+
+def make_lake(seed: int = 0, tables: int = 12, rows: int = 60) -> list[Table]:
+    """Half the tables share the query key domain, half are disjoint."""
+    rng = np.random.default_rng(seed)
+    lake = []
+    for i in range(tables):
+        if i % 2 == 0:
+            keys = [f"k{j}" for j in rng.choice(150, size=rows, replace=False)]
+        else:
+            keys = [f"only{i}-{j}" for j in range(rows)]
+        lake.append(
+            Table(
+                f"t{i}",
+                keys,
+                {"a": rng.normal(size=rows), "b": rng.normal(size=rows)},
+            )
+        )
+    return lake
+
+
+def make_queries(count: int = 4, seed: int = 99, rows: int = 50) -> list[Table]:
+    rng = np.random.default_rng(seed)
+    queries = []
+    for qi in range(count):
+        keys = [f"k{j}" for j in rng.choice(150, size=rows, replace=False)]
+        queries.append(Table(f"q{qi}", keys, {"v": rng.normal(size=rows)}))
+    return queries
+
+
+def build_index(name: str, lake) -> SketchIndex:
+    index = SketchIndex(build_sketcher(name))
+    index.add_all(lake)
+    return index
+
+
+class TestPrunedEqualsFullLake:
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    @pytest.mark.parametrize("by", ["correlation", "inner_product"])
+    def test_hits_identical(self, name, by):
+        index = build_index(name, make_lake())
+        pruned = DatasetSearch(index, min_containment=0.2)
+        full = DatasetSearch(index, min_containment=0.2, prune=False)
+        for query_table in make_queries(2):
+            query = pruned.sketch_query(query_table)
+            assert pruned.search(query, "v", top_k=5, by=by) == full.search(
+                query, "v", top_k=5, by=by
+            )
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_every_statistic_survives_row_selection(self, name):
+        """Each of the six Figure 2 statistics is bit-identical when the
+        bank is pruned to candidate rows first."""
+        index = build_index(name, make_lake())
+        engine = DatasetSearch(index, min_containment=0.0)
+        query = engine.sketch_query(make_queries(1)[0])
+        sketcher = index.sketcher
+        table_rows = np.array([0, 2, 5, 11])
+        val_rows = np.flatnonzero(np.isin(index.owner_positions(), table_rows))
+        statistics = [
+            (query.indicator, index.indicator_bank, table_rows),   # SIZE
+            (query.values["v"], index.indicator_bank, table_rows),  # SUM left
+            (query.squares["v"], index.indicator_bank, table_rows),  # E[V^2] left
+            (query.indicator, index.value_bank, val_rows),          # SUM right
+            (query.indicator, index.square_bank, val_rows),         # E[V^2] right
+            (query.values["v"], index.value_bank, val_rows),        # <Va, Vb>
+        ]
+        for sketch, bank, rows in statistics:
+            np.testing.assert_array_equal(
+                sketcher.estimate_many(sketch, bank[rows]),
+                sketcher.estimate_many(sketch, bank)[rows],
+            )
+
+    def test_empty_candidate_set(self):
+        """A lake with no joinable table returns [] on both paths."""
+        rng = np.random.default_rng(1)
+        lake = [
+            Table(f"t{i}", [f"only{i}-{j}" for j in range(30)],
+                  {"a": rng.normal(size=30)})
+            for i in range(4)
+        ]
+        index = SketchIndex(WeightedMinHash(m=32, seed=2, L=1 << 16))
+        index.add_all(lake)
+        query = make_queries(1)[0]
+        pruned = DatasetSearch(index, min_containment=0.5)
+        full = DatasetSearch(index, min_containment=0.5, prune=False)
+        sketch = pruned.sketch_query(query)
+        assert pruned.search(sketch, "v") == []
+        assert full.search(sketch, "v") == []
+        assert pruned.search_many([sketch, sketch], "v") == [[], []]
+
+    @pytest.mark.parametrize("by", ["correlation", "inner_product"])
+    def test_all_candidate_set(self, by):
+        """min_containment=0 keeps every table: pruning selects the
+        whole lake and must still match exactly."""
+        index = build_index("WMH", make_lake())
+        pruned = DatasetSearch(index, min_containment=0.0)
+        full = DatasetSearch(index, min_containment=0.0, prune=False)
+        query = pruned.sketch_query(make_queries(1)[0])
+        hits = pruned.search(query, "v", top_k=0, by=by)
+        assert hits == full.search(query, "v", top_k=0, by=by)
+
+    def test_single_row_lake(self):
+        rng = np.random.default_rng(3)
+        keys = [f"k{j}" for j in range(40)]
+        lake = [Table("only", keys, {"a": rng.normal(size=40)})]
+        index = SketchIndex(WeightedMinHash(m=32, seed=2, L=1 << 16))
+        index.add_all(lake)
+        pruned = DatasetSearch(index, min_containment=0.0)
+        full = DatasetSearch(index, min_containment=0.0, prune=False)
+        query = pruned.sketch_query(Table("q", keys[:30], {"v": rng.normal(size=30)}))
+        hits = pruned.search(query, "v")
+        assert hits == full.search(query, "v")
+        assert len(hits) == 1 and hits[0].table_name == "only"
+        assert pruned.search_many([query], "v") == [hits]
+
+    def test_zero_norm_query_column(self):
+        """An all-zero query column sketches to a zero-norm vector; the
+        pruned, full, and batched paths must agree exactly."""
+        index = build_index("WMH", make_lake())
+        pruned = DatasetSearch(index, min_containment=0.1)
+        full = DatasetSearch(index, min_containment=0.1, prune=False)
+        rng = np.random.default_rng(7)
+        keys = [f"k{j}" for j in rng.choice(150, size=40, replace=False)]
+        query = pruned.sketch_query(Table("qz", keys, {"v": np.zeros(40)}))
+        hits = pruned.search(query, "v")
+        assert hits == full.search(query, "v")
+        assert pruned.search_many([query], "v") == [hits]
+
+
+class TestSearchMany:
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    @pytest.mark.parametrize("by", ["correlation", "inner_product"])
+    def test_batch_equals_loop(self, name, by):
+        index = build_index(name, make_lake())
+        engine = DatasetSearch(index, min_containment=0.2)
+        queries = [engine.sketch_query(t) for t in make_queries(4)]
+        batched = engine.search_many(queries, "v", top_k=5, by=by)
+        loop = [engine.search(q, "v", top_k=5, by=by) for q in queries]
+        assert batched == loop
+
+    def test_batch_equals_loop_unpruned(self):
+        index = build_index("WMH", make_lake())
+        engine = DatasetSearch(index, min_containment=0.2, prune=False)
+        queries = [engine.sketch_query(t) for t in make_queries(3)]
+        assert engine.search_many(queries, "v") == [
+            engine.search(q, "v") for q in queries
+        ]
+
+    def test_per_query_columns(self):
+        """One column name per query, mixed across the batch."""
+        rng = np.random.default_rng(13)
+        index = build_index("WMH", make_lake())
+        engine = DatasetSearch(index, min_containment=0.1)
+        keys = [f"k{j}" for j in rng.choice(150, size=45, replace=False)]
+        table = Table(
+            "multi", keys,
+            {"x": rng.normal(size=45), "y": rng.normal(size=45)},
+        )
+        query = engine.sketch_query(table)
+        batched = engine.search_many([query, query], ["x", "y"], top_k=4)
+        assert batched == [
+            engine.search(query, "x", top_k=4),
+            engine.search(query, "y", top_k=4),
+        ]
+
+    def test_mismatched_column_count_rejected(self):
+        index = build_index("WMH", make_lake())
+        engine = DatasetSearch(index, min_containment=0.1)
+        query = engine.sketch_query(make_queries(1)[0])
+        with pytest.raises(ValueError, match="query columns"):
+            engine.search_many([query, query], ["v"])
+
+    def test_unknown_column_rejected(self):
+        index = build_index("WMH", make_lake())
+        engine = DatasetSearch(index, min_containment=0.1)
+        query = engine.sketch_query(make_queries(1)[0])
+        with pytest.raises(KeyError, match="no column"):
+            engine.search_many([query], "nope")
+
+    def test_empty_batch(self):
+        index = build_index("WMH", make_lake())
+        engine = DatasetSearch(index, min_containment=0.1)
+        assert engine.search_many([], "v") == []
+
+    def test_empty_index(self):
+        engine = DatasetSearch(
+            SketchIndex(WeightedMinHash(m=32, seed=2, L=1 << 16)),
+            min_containment=0.1,
+        )
+        probe = DatasetSearch(
+            build_index("WMH", make_lake()), min_containment=0.1
+        )
+        query = probe.sketch_query(make_queries(1)[0])
+        assert engine.search_many([query], "v") == [[]]
+
+    def test_mixed_joinable_and_disjoint_queries(self):
+        """Queries with disjoint candidate sets batch correctly."""
+        rng = np.random.default_rng(21)
+        index = build_index("WMH", make_lake())
+        engine = DatasetSearch(index, min_containment=0.2)
+        joinable = engine.sketch_query(make_queries(1)[0])
+        disjoint = engine.sketch_query(
+            Table("qd", [f"zz{j}" for j in range(30)],
+                  {"v": rng.normal(size=30)})
+        )
+        batched = engine.search_many([joinable, disjoint], "v")
+        assert batched[0] == engine.search(joinable, "v")
+        assert batched[1] == []
+
+
+class TestJoinableFilter:
+    def test_matches_python_reference(self):
+        """The numpy containment filter/sort reproduces the old
+        list-of-tuples implementation, stable ties included."""
+        engine = DatasetSearch(
+            build_index("WMH", make_lake()), min_containment=0.25
+        )
+        names = [f"t{i}" for i in range(6)]
+        sizes = np.array([10.0, 30.0, 30.0, 5.0, 50.0, 30.0])
+        num_rows = 100
+
+        containments = sizes / max(num_rows, 1)
+        reference = [
+            (name, float(size), float(containment))
+            for name, size, containment in zip(names, sizes, containments)
+            if containment >= engine.min_containment
+        ]
+        reference.sort(key=lambda item: item[2], reverse=True)
+
+        assert engine._filter_joinable(names, sizes, num_rows) == reference
+
+    def test_empty_lake(self):
+        engine = DatasetSearch(
+            build_index("WMH", make_lake()), min_containment=0.25
+        )
+        assert engine._filter_joinable([], np.zeros(0), 10) == []
+
+    def test_joinable_api_unchanged(self):
+        index = build_index("WMH", make_lake())
+        engine = DatasetSearch(index, min_containment=0.2)
+        query = engine.sketch_query(make_queries(1)[0])
+        joinable = engine.joinable(query)
+        assert joinable
+        for name, size, containment in joinable:
+            assert isinstance(name, str)
+            assert isinstance(size, float)
+            assert isinstance(containment, float)
+        # sorted by containment descending
+        conts = [c for _, _, c in joinable]
+        assert conts == sorted(conts, reverse=True)
+
+
+class TestOwnerPositions:
+    def test_matches_value_owners(self):
+        index = build_index("WMH", make_lake())
+        names = index.table_names()
+        owners = index.value_owners()
+        positions = index.owner_positions()
+        assert positions.shape == (len(owners),)
+        for (table, _), pos in zip(owners, positions.tolist()):
+            assert names[pos] == table
+
+    def test_append_extends_cache(self):
+        lake = make_lake()
+        index = build_index("WMH", lake[:8])
+        first = index.owner_positions()
+        assert first.size == 16
+        index.add(lake[8])
+        second = index.owner_positions()
+        assert second.size == 18
+        np.testing.assert_array_equal(second[:16], first)
+
+    def test_replacement_invalidates_cache(self):
+        rng = np.random.default_rng(17)
+        lake = make_lake()
+        index = build_index("WMH", lake[:4])
+        assert index.owner_positions().size == 8
+        # Replace table 1 with a three-column version: its value rows
+        # change while its table position stays.
+        keys = [f"k{j}" for j in range(30)]
+        index.add(
+            Table(
+                "t1",
+                keys,
+                {
+                    "a": rng.normal(size=30),
+                    "b": rng.normal(size=30),
+                    "c": rng.normal(size=30),
+                },
+            )
+        )
+        positions = index.owner_positions()
+        assert positions.size == 9
+        assert index.value_owners()[2:5] == [("t1", "a"), ("t1", "b"), ("t1", "c")]
+        np.testing.assert_array_equal(positions[2:5], [1, 1, 1])

@@ -83,6 +83,64 @@ class TestQuerySession:
         assert session.stats()["cached_query_sketches"] == 1
         store.close()
 
+    def test_engine_cached_on_index_identity(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables())
+        session = QuerySession(store)
+        assert session.engine is session.engine
+        store.close()
+
+    def test_engine_survives_appends(self, tmp_path):
+        """Appends mutate the index in place: the cached engine stays
+        valid *and* sees the new tables."""
+        tables = make_tables(3)
+        store = fresh_store(tmp_path, tables[:2])
+        session = QuerySession(store, min_containment=0.0)
+        engine = session.engine
+        store.append([tables[2]])
+        assert session.engine is engine
+        assert len(session.engine.index) == 3
+        store.close()
+
+    def test_engine_invalidated_by_compact(self, tmp_path):
+        tables = make_tables(3)
+        store = fresh_store(tmp_path, tables[:2])
+        store.append([tables[2]])  # second shard so compact rebuilds
+        session = QuerySession(store, min_containment=0.0)
+        engine = session.engine
+        store.compact()
+        fresh = session.engine
+        assert fresh is not engine
+        assert fresh.index is store.index
+        store.close()
+
+    def test_engine_tracks_min_containment_mutation(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables())
+        session = QuerySession(store, min_containment=0.0)
+        first = session.engine
+        assert first.min_containment == 0.0
+        session.min_containment = 0.5
+        second = session.engine
+        assert second is not first
+        assert second.min_containment == 0.5
+        store.close()
+
+    def test_search_many_matches_search_loop(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables(4))
+        session = QuerySession(store, min_containment=0.0)
+        queries = []
+        for s in (42, 43, 44):
+            rng = np.random.default_rng(s)
+            keys = [f"k{j}" for j in rng.choice(400, size=150, replace=False)]
+            queries.append(
+                Table(f"query{s}", keys, {"signal": rng.normal(size=150)})
+            )
+        batched = session.search_many(queries, "signal", top_k=4)
+        loop = [session.search(q, "signal", top_k=4) for q in queries]
+        assert batched == loop
+        # All query sketches landed in the session cache.
+        assert session.stats()["cached_query_sketches"] == 3
+        store.close()
+
 
 def write_csv(path, keys, columns):
     names = list(columns)
@@ -172,7 +230,9 @@ class TestCli:
             )
             == 0
         )
-        hits = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["query"] for entry in payload] == ["query"]
+        hits = payload[0]["hits"]
         assert 0 < len(hits) <= 3
         assert {"table", "column", "score", "correlation"} <= set(hits[0])
 
@@ -199,7 +259,7 @@ class TestCli:
         main(["ingest", str(lake), *map(str, tables)])
         capsys.readouterr()
         main(["query", str(lake), str(query), "--column", "demand", "--json"])
-        cli_hits = json.loads(capsys.readouterr().out)
+        cli_hits = json.loads(capsys.readouterr().out)[0]["hits"]
 
         store = LakeStore.open(lake)
         lib_hits = QuerySession(store).search(
@@ -209,3 +269,49 @@ class TestCli:
         assert [(h["table"], h["column"], h["score"]) for h in cli_hits] == [
             (h.table_name, h.column, h.score) for h in lib_hits
         ]
+
+    def test_batched_query_matches_single_queries(self, csv_lake, tmp_path, capsys):
+        """Several query CSVs serve as one batch, results identical to
+        querying each file on its own."""
+        lake, tables, query = csv_lake
+        rng = np.random.default_rng(23)
+        qkeys = [f"k{j}" for j in rng.choice(300, size=80, replace=False)]
+        query2 = tmp_path / "query2.csv"
+        write_csv(query2, qkeys, {"demand": rng.normal(size=80)})
+        main(["ingest", str(lake), *map(str, tables)])
+        capsys.readouterr()
+
+        assert (
+            main(
+                ["query", str(lake), str(query), str(query2),
+                 "--column", "demand", "--json"]
+            )
+            == 0
+        )
+        batched = json.loads(capsys.readouterr().out)
+        assert [entry["query"] for entry in batched] == ["query", "query2"]
+
+        # Single-file queries emit the same wrapped schema; their hits
+        # must equal the batched entries exactly.
+        singles = []
+        for path in (query, query2):
+            main(["query", str(lake), str(path), "--column", "demand", "--json"])
+            single = json.loads(capsys.readouterr().out)
+            assert len(single) == 1
+            singles.append(single[0]["hits"])
+        assert [entry["hits"] for entry in batched] == singles
+
+    def test_batched_query_human_output(self, csv_lake, tmp_path, capsys):
+        lake, tables, query = csv_lake
+        rng = np.random.default_rng(29)
+        qkeys = [f"k{j}" for j in rng.choice(300, size=80, replace=False)]
+        query2 = tmp_path / "query2.csv"
+        write_csv(query2, qkeys, {"demand": rng.normal(size=80)})
+        main(["ingest", str(lake), *map(str, tables)])
+        capsys.readouterr()
+        assert (
+            main(["query", str(lake), str(query), str(query2), "--column", "demand"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "for query.demand" in out and "for query2.demand" in out
