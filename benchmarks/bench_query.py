@@ -14,14 +14,23 @@ trajectory.  Three measurements justify the serving fast path:
   kernel comparison on the value bank.
 * **cold-open serve** — open a persisted lake and answer the whole
   batch, the worker-boot path a serving fleet actually pays.
+* **lake-size scaling** — single-query latency at growing lake sizes
+  (1k/4k/16k tables) for ``candidates="scan"`` (the O(lake) joinability
+  pass) versus ``candidates="lsh"`` (banded-signature shortlist,
+  re-checked exactly).  LSH hits are verified as a subset of the scan
+  hits and recall is measured *before* every timing; the LSH curve
+  should stay ~flat while the scan curve grows linearly.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_query.py [--quick] [--out BENCH_query.json]
 
 ``--quick`` shrinks the workload for CI smoke jobs; the JSON shape is
-identical.  The CI gate fails if pruned search is slower than the
-full-lake path or ``estimate_cross`` is slower than the loop.
+identical.  ``--only-index`` runs just the lake-scaling section (the
+``bench-index`` CI job).  The CI gates fail if pruned search is slower
+than the full-lake path, ``estimate_cross`` is slower than the loop,
+LSH candidate generation is slower than the scan at the top tier, or
+measured LSH recall falls below the tuned target.
 """
 
 from __future__ import annotations
@@ -50,6 +59,13 @@ ROWS_PER_TABLE = 120
 NUM_QUERIES = 32
 SKETCH_M = 200
 MIN_CONTAINMENT = 0.25
+
+#: Lake-size scaling tiers: the joinable set stays fixed while the
+#: lake grows, so the candidate-generation cost is what's measured.
+SCALING_TIERS = (1_000, 4_000, 16_000)
+SCALING_TIERS_QUICK = (300, 600, 1_200)
+#: Measured mean LSH recall must clear this at the auto-tuned banding.
+RECALL_TARGET = 0.95
 
 #: Shared key domain = 2.5x the table rows, so a joinable table holds
 #: 40% of the domain and a query's *true* containment in it is ~0.4 —
@@ -112,7 +128,109 @@ def _hit_key(hits):
     return [(h.table_name, h.column, h.score, h.correlation) for h in hits]
 
 
-def run(quick: bool = False, seed: int = 0) -> dict:
+def run_lake_scaling(quick: bool = False, seed: int = 0) -> dict:
+    """Scan-vs-LSH single-query latency across lake sizes.
+
+    Subset and recall are verified on every tier before any timing:
+    ``candidates="lsh"`` hits must be a subset of ``candidates="scan"``
+    hits with identical statistics, and the measured joinability recall
+    (LSH joinable set over scan joinable set) must be recorded.
+    """
+    tiers = SCALING_TIERS_QUICK if quick else SCALING_TIERS
+    joinable = 8 if quick else 50
+    rows = 40
+    num_queries = 8
+    sketch_m = 64 if quick else 128
+    inner = 3 if quick else 1
+    query_tables = make_queries(num_queries, rows, seed + 1)
+
+    section: dict = {
+        "joinable_tables": joinable,
+        "rows_per_table": rows,
+        "queries": num_queries,
+        "sketch_m": sketch_m,
+        "min_containment": MIN_CONTAINMENT,
+        "recall_target": RECALL_TARGET,
+        "tiers": [],
+    }
+    for tier in tiers:
+        lake = make_lake(tier, joinable, rows, 1, seed)
+        index = SketchIndex(WeightedMinHash(m=sketch_m, seed=7, L=1 << 20))
+        start = time.perf_counter()
+        index.add_all(lake)
+        ingest_s = time.perf_counter() - start
+        engine = DatasetSearch(index, min_containment=MIN_CONTAINMENT)
+        queries = [engine.sketch_query(t) for t in query_tables]
+
+        start = time.perf_counter()
+        lake_index = index.lsh_index(target_sim=MIN_CONTAINMENT)
+        index_build_s = time.perf_counter() - start
+
+        # --- verification before timing: subset + measured recall -----
+        # Subset holds on the *full* ranking (the shortlist removes
+        # rows, it never rescores them); a top-k cut could instead let
+        # a lower-scored survivor replace a missed high scorer, so the
+        # verification ranks every column.
+        recalls = []
+        shortlist_sizes = []
+        for query in queries:
+            scan_hits = _hit_key(engine.search(query, "signal", top_k=tier))
+            lsh_hits = _hit_key(
+                engine.search(query, "signal", top_k=tier, candidates="lsh")
+            )
+            if not set(lsh_hits) <= set(scan_hits):
+                raise AssertionError(
+                    f"LSH hits are not a subset of scan hits at {tier} tables"
+                )
+            scan_joinable = {n for n, _, _ in engine.joinable(query)}
+            lsh_joinable = {
+                n for n, _, _ in engine.joinable(query, candidates="lsh")
+            }
+            if not lsh_joinable <= scan_joinable:
+                raise AssertionError(
+                    f"LSH joinable set is not a subset of the scan set "
+                    f"at {tier} tables"
+                )
+            if scan_joinable:
+                recalls.append(len(lsh_joinable) / len(scan_joinable))
+            shortlist_sizes.append(
+                int(
+                    lake_index.candidate_rows(
+                        index.sketcher, query.indicator
+                    ).size
+                )
+            )
+
+        # --- timings ---------------------------------------------------
+        def run_mode(candidates):
+            return [
+                engine.search(q, "signal", top_k=10, candidates=candidates)
+                for q in queries
+            ]
+
+        scan_s, _ = _time_best(lambda: run_mode("scan"), inner=inner)
+        lsh_s, _ = _time_best(lambda: run_mode("lsh"), inner=inner)
+        section["tiers"].append(
+            {
+                "tables": tier,
+                "bands": lake_index.bands,
+                "rows_per_band": lake_index.rows_per_band,
+                "ingest_s": round(ingest_s, 3),
+                "index_build_s": round(index_build_s, 4),
+                "mean_shortlist": round(
+                    float(np.mean(shortlist_sizes)), 1
+                ),
+                "scan_s_per_query": round(scan_s / num_queries, 6),
+                "lsh_s_per_query": round(lsh_s / num_queries, 6),
+                "speedup": round(scan_s / lsh_s, 2),
+                "recall_mean": round(float(np.mean(recalls)), 4),
+                "recall_min": round(float(np.min(recalls)), 4),
+            }
+        )
+    return section
+
+
+def run(quick: bool = False, seed: int = 0, include_scaling: bool = True) -> dict:
     num_tables = 150 if quick else NUM_TABLES
     joinable = 8 if quick else JOINABLE_TABLES
     rows = 60 if quick else ROWS_PER_TABLE
@@ -221,7 +339,31 @@ def run(quick: bool = False, seed: int = 0) -> dict:
         }
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+    if include_scaling:
+        report["lake_scaling"] = run_lake_scaling(quick=quick, seed=seed)
     return report
+
+
+def check_lake_scaling(section: dict, quick: bool) -> None:
+    """CI gates for the scaling section (the ``bench-index`` job)."""
+    top = section["tiers"][-1]
+    # (a) LSH candidate generation must beat the scan at the top tier —
+    # by 5x at real scale, and at least break even at CI smoke scale.
+    floor = 1.0 if quick else 5.0
+    if top["speedup"] < floor:
+        raise SystemExit(
+            f"LSH query only {top['speedup']:.2f}x over the scan at "
+            f"{top['tables']} tables (gate: >= {floor}x) — sublinear "
+            f"candidate generation regressed"
+        )
+    # (b) measured recall must clear the tuned target on every tier.
+    for tier in section["tiers"]:
+        if tier["recall_mean"] < section["recall_target"]:
+            raise SystemExit(
+                f"LSH recall {tier['recall_mean']:.3f} at {tier['tables']} "
+                f"tables is below the tuned target "
+                f"{section['recall_target']:.2f}"
+            )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -229,14 +371,45 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--quick", action="store_true", help="CI smoke scale")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--only-index",
+        action="store_true",
+        help="run only the lake-size scaling section (bench-index CI job)",
+    )
+    parser.add_argument(
+        "--skip-index",
+        action="store_true",
+        help="skip the lake-size scaling section (the bench-query CI job "
+        "uses this so bench-index is the single owner of those gates)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_query.json",
     )
     args = parser.parse_args(argv)
-    report = run(quick=args.quick, seed=args.seed)
+    if args.only_index and args.skip_index:
+        raise SystemExit("--only-index and --skip-index are mutually exclusive")
+    if args.only_index:
+        report = {"lake_scaling": run_lake_scaling(quick=args.quick, seed=args.seed)}
+    else:
+        report = run(
+            quick=args.quick, seed=args.seed, include_scaling=not args.skip_index
+        )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+    scaling = report.get("lake_scaling")
+    if scaling is not None:
+        for tier in scaling["tiers"]:
+            print(
+                f"  lake {tier['tables']:>6} tables: scan "
+                f"{tier['scan_s_per_query'] * 1e3:.2f}ms/query vs lsh "
+                f"{tier['lsh_s_per_query'] * 1e3:.2f}ms/query "
+                f"({tier['speedup']:.1f}x, recall {tier['recall_mean']:.3f}, "
+                f"{tier['bands']}x{tier['rows_per_band']} banding)"
+            )
+    if args.only_index:
+        check_lake_scaling(scaling, quick=args.quick)
+        return
     single = report["single_query"]
     batch = report["batched_queries"]
     cross = report["estimate_cross"]
@@ -269,6 +442,8 @@ def main(argv: list[str] | None = None) -> None:
             f"estimate_cross slower than the estimate_many loop "
             f"({cross['speedup']:.2f}x) — batching regressed"
         )
+    if scaling is not None:
+        check_lake_scaling(scaling, quick=args.quick)
 
 
 if __name__ == "__main__":

@@ -14,7 +14,11 @@ example shows the durable version of that promise with
    stored banks are traversed once for the whole batch
    (``estimate_cross``), and each hit list is identical to the
    corresponding single ``search``;
-6. append one new table — only the new table is sketched — and compact.
+6. append one new table — only the new table is sketched — and compact;
+7. serve the same query with ``candidates="lsh"`` — the persisted
+   banded-signature index shortlists candidate tables in ~constant
+   time and the exact joinability filter re-checks the shortlist, so
+   the hits are a (here: identical) subset of the full-scan hits.
 
 Run:  python examples/persistent_lake.py
 """
@@ -123,6 +127,28 @@ def main() -> None:
                 f"compacted {result['shards_before']} -> "
                 f"{result['shards_after']} shard(s)"
             )
+
+            # --- sublinear serving: LSH candidate generation -------------
+            # The compacted store persisted an LSH index over the
+            # indicator signatures (see stats()['lsh_index']).  An
+            # LSH-served query shortlists tables by banded signature
+            # collisions instead of scanning every stored sketch; the
+            # exact joinability filter re-checks the shortlist, so hits
+            # are always a subset of the scan path.
+            lsh_info = store.stats()["lsh_index"]
+            print(
+                f"\npersisted LSH index: {lsh_info['tables']} tables, "
+                f"{lsh_info['bands']} bands x {lsh_info['rows_per_band']} rows"
+            )
+            lsh_hits = session.search(taxi, "rides", top_k=3, candidates="lsh")
+            scan_hits = session.search(taxi, "rides", top_k=3)
+            print("LSH-served top columns:")
+            for hit in lsh_hits:
+                print(f"  {hit!r}")
+            assert set(
+                (h.table_name, h.column, h.score) for h in lsh_hits
+            ) <= set((h.table_name, h.column, h.score) for h in scan_hits)
+            print(f"identical to the full scan: {lsh_hits == scan_hits}")
 
 
 if __name__ == "__main__":

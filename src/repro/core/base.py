@@ -152,6 +152,43 @@ class Sketcher(abc.ABC):
             ]
         )
 
+    # ------------------------------------------------------------------
+    # signature keys (LSH candidate generation; sampling methods only)
+    # ------------------------------------------------------------------
+
+    def signature_length(self) -> int | None:
+        """Entries in this method's per-repetition signature, or ``None``.
+
+        Sampling sketchers whose repetitions certify matches by key
+        equality (WMH/MinHash hash values, ICWS sample keys) expose
+        their signatures for banded LSH candidate generation
+        (:mod:`repro.mips.lsh`); linear sketches return ``None``.
+        """
+        return None
+
+    def signature_key(self, sketch: Any) -> np.ndarray | None:
+        """One sketch's signature keys (1-D, ``signature_length`` long)."""
+        return None
+
+    def signature_keys(self, bank: SketchBank) -> np.ndarray | None:
+        """Signature keys for every bank row (2-D, one row per sketch).
+
+        The default stacks :meth:`signature_key` over the bank's scalar
+        sketches; columnar sketchers override this with a zero-copy
+        column view.  Returns ``None`` when the method has no signature.
+        """
+        if self.signature_length() is None:
+            return None
+        self._check_bank(bank)
+        if len(bank) == 0:
+            return np.empty((0, self.signature_length()), dtype=np.uint64)
+        return np.stack(
+            [
+                self.signature_key(self.bank_row(bank, i))
+                for i in range(len(bank))
+            ]
+        )
+
     def pack_bank(self, sketches: Sequence[Any]) -> SketchBank:
         """Stack scalar sketch objects into a bank.
 

@@ -644,6 +644,19 @@ class WeightedMinHash(Sketcher):
             words_per_sketch=self.storage_words(),
         )
 
+    def signature_length(self) -> int:
+        return self.m
+
+    def signature_key(self, sketch: WMHSketch) -> np.ndarray:
+        """Per-repetition minimum hashes — equal entries certify
+        collisions, which is exactly what banded LSH buckets on."""
+        self._check_query(sketch)
+        return sketch.hashes
+
+    def signature_keys(self, bank: SketchBank) -> np.ndarray:
+        self._check_bank(bank)
+        return bank.columns["hashes"]
+
     def bank_row(self, bank: SketchBank, i: int) -> WMHSketch:
         self._check_bank(bank)
         return WMHSketch(

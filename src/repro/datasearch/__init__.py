@@ -6,6 +6,7 @@ post-join statistics, joinability filters, and ranked search.
 
 from repro.datasearch.index import SketchIndex
 from repro.datasearch.join_estimates import JoinSketch, JoinStatisticsEstimator
+from repro.datasearch.lshindex import LakeIndex
 from repro.datasearch.search import DatasetSearch, SearchHit
 from repro.datasearch.table import AGGREGATORS, JoinResult, Table
 from repro.datasearch.vectorize import (
@@ -22,6 +23,7 @@ __all__ = [
     "JoinResult",
     "JoinSketch",
     "JoinStatisticsEstimator",
+    "LakeIndex",
     "SearchHit",
     "SketchIndex",
     "Table",

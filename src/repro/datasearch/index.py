@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.join_estimates import JoinSketch
+from repro.datasearch.lshindex import DEFAULT_TARGET_RECALL, LakeIndex
 from repro.datasearch.table import Table
 from repro.datasearch.vectorize import (
     indicator_vector,
@@ -71,6 +72,10 @@ class SketchIndex:
         self._owners: list[tuple[str, str]] | None = None
         self._owner_pos: np.ndarray | None = None
         self._owners_count = 0
+        # Attached LSH candidate index over the indicator rows; same
+        # staleness rules (appends extend lazily, replacement drops).
+        self._lsh: LakeIndex | None = None
+        self._lsh_count = 0
 
     # ------------------------------------------------------------------
     # building
@@ -106,13 +111,21 @@ class SketchIndex:
 
     def _set_entry(self, entry: _TableEntry) -> None:
         if entry.name in self._entries:
-            # Same-name replacement rewrites a row inside the cached
-            # prefix (dict order keeps the old position) — drop it.
+            # Same-name replacement: drop the cached prefixes and move
+            # the entry to the *end* of the insertion order.  That
+            # matches the persistent store's live-span order (a
+            # replaced table's new span lives in the newest shard), so
+            # an index mutated in place and one rebuilt from storage
+            # agree on table order — and the LSH index can always be
+            # persisted straight from the in-memory rows.
+            del self._entries[entry.name]
             self._banks = None
             self._banks_count = 0
             self._owners = None
             self._owner_pos = None
             self._owners_count = 0
+            self._lsh = None
+            self._lsh_count = 0
         self._entries[entry.name] = entry
 
     def add(self, table: Table) -> JoinSketch:
@@ -298,6 +311,87 @@ class SketchIndex:
         """
         self._refresh_owners()
         return self._owner_pos
+
+    # ------------------------------------------------------------------
+    # LSH candidate generation
+    # ------------------------------------------------------------------
+
+    def attach_lsh(self, lake_index: LakeIndex) -> None:
+        """Adopt a pre-built :class:`LakeIndex` (e.g. loaded from disk).
+
+        ``lake_index`` must cover exactly the current tables, one row
+        per table in :meth:`table_names` order; later appends extend it
+        lazily like a freshly built one.
+        """
+        if len(lake_index) != len(self._entries):
+            raise ValueError(
+                f"LSH index covers {len(lake_index)} tables, the sketch "
+                f"index holds {len(self._entries)}"
+            )
+        self._lsh = lake_index
+        self._lsh_count = len(self._entries)
+
+    def drop_lsh(self) -> None:
+        """Discard the LSH index; the next use rebuilds it.
+
+        The escape hatch for an owner (the persistent store) that needs
+        the index at a *specific* banding after a query path already
+        built it with different tuning.
+        """
+        self._lsh = None
+        self._lsh_count = 0
+
+    def lsh_index(
+        self,
+        bands: int | None = None,
+        rows_per_band: int | None = None,
+        target_sim: float = 0.05,
+        target_recall: float = DEFAULT_TARGET_RECALL,
+    ) -> LakeIndex | None:
+        """The LSH candidate index over the indicator rows, or ``None``.
+
+        Returns ``None`` when the sketcher has no signature keys.
+        Built lazily on first call (banding fixed explicitly or
+        auto-tuned for ``target_recall`` expected recall at similarity
+        ``target_sim``); appends extend the existing index with only
+        the new rows.  An existing index is reused as long as it is
+        *good enough for the caller*: a tuned call whose recall target
+        the current banding cannot meet at ``target_sim`` rebuilds the
+        index at the caller's (shallower) banding — otherwise a deep
+        banding built for one serving threshold would silently collapse
+        recall for a lower-threshold caller.  Explicit ``bands`` /
+        ``rows_per_band`` calls never rebuild; owners that require an
+        exact banding use :meth:`drop_lsh` first.
+        """
+        if not LakeIndex.supports(self.sketcher):
+            return None
+        if self._lsh is not None and bands is None:
+            recall = self._lsh.expected_recall(min(max(target_sim, 0.0), 1.0))
+            if recall < target_recall:
+                from repro.mips.lsh import tune
+
+                desired = tune(
+                    self.sketcher.signature_length(), target_sim, target_recall
+                )
+                if desired != (self._lsh.bands, self._lsh.rows_per_band):
+                    self.drop_lsh()
+        if self._lsh is None:
+            bank = self.indicator_bank if self._entries else None
+            self._lsh = LakeIndex.build(
+                self.sketcher,
+                bank,
+                bands=bands,
+                rows_per_band=rows_per_band,
+                target_sim=target_sim,
+                target_recall=target_recall,
+            )
+            self._lsh_count = len(self._entries)
+        elif self._lsh_count < len(self._entries):
+            self._lsh.extend(
+                self.sketcher, self.indicator_bank[self._lsh_count :]
+            )
+            self._lsh_count = len(self._entries)
+        return self._lsh
 
     def num_rows(self, name: str) -> int:
         return self._entry(name).num_rows

@@ -1,0 +1,151 @@
+"""``LakeIndex`` — sublinear candidate generation for dataset search.
+
+``DatasetSearch``'s joinability pass is the one remaining full-lake
+scan: every query estimates its join size against *every* indicator
+sketch, so serving latency grows linearly with the number of ingested
+tables.  The same signatures those estimates run on can *index*
+joinability: band the per-repetition keys (WMH/MinHash hash values,
+ICWS sample keys) and two tables whose key sets have weighted Jaccard
+similarity ``J`` collide in some band with probability
+``1 - (1 - J^r)^b`` — the classic LSH S-curve.
+
+``LakeIndex`` wraps an array-backed :class:`~repro.mips.lsh.SignatureLSH`
+over the lake's **indicator** signatures, one row per table, aligned
+with ``SketchIndex.table_names()``.  Candidate generation becomes a
+handful of binary searches per query; the exact joinability filter then
+re-checks only the shortlist, so LSH hits are always a *subset* of the
+full-scan hits, with recall governed by the banding (auto-tuned via
+:func:`repro.mips.lsh.tune` to clear a recall target at the serving
+containment threshold).
+
+The index is incremental (``extend`` digests only new rows, and a row's
+digests depend only on that row — so incremental and from-scratch
+builds are byte-identical) and persists losslessly through the digest
+matrix (see :func:`repro.io.serialize.pack_lsh_index`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.bank import SketchBank
+from repro.core.base import Sketcher
+from repro.mips.lsh import SignatureLSH, tune
+
+__all__ = ["LakeIndex", "DEFAULT_TARGET_RECALL"]
+
+#: Recall floor the auto-tuner targets at the containment threshold.
+DEFAULT_TARGET_RECALL = 0.95
+
+
+class LakeIndex:
+    """Banded LSH over a lake's per-table indicator signatures."""
+
+    def __init__(self, lsh: SignatureLSH) -> None:
+        self.lsh = lsh
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def supports(sketcher: Sketcher) -> bool:
+        """True if ``sketcher`` exposes per-repetition signature keys."""
+        return sketcher.signature_length() is not None
+
+    @classmethod
+    def build(
+        cls,
+        sketcher: Sketcher,
+        indicator_bank: SketchBank | None,
+        bands: int | None = None,
+        rows_per_band: int | None = None,
+        target_sim: float = 0.05,
+        target_recall: float = DEFAULT_TARGET_RECALL,
+    ) -> "LakeIndex":
+        """Index a lake's indicator bank (``None`` for an empty lake).
+
+        ``bands``/``rows_per_band`` fix the banding explicitly (both or
+        neither); otherwise :func:`~repro.mips.lsh.tune` picks the most
+        selective split of the sketcher's signature that still reaches
+        ``target_recall`` expected recall at similarity ``target_sim``.
+        """
+        length = sketcher.signature_length()
+        if length is None:
+            raise TypeError(
+                f"sketcher {sketcher.name!r} does not expose signature keys; "
+                f"LSH candidate generation needs a sampling sketch "
+                f"(WMH, MH, or ICWS)"
+            )
+        if (bands is None) != (rows_per_band is None):
+            raise ValueError(
+                "pass both bands and rows_per_band, or neither (auto-tune)"
+            )
+        if bands is None:
+            bands, rows_per_band = tune(length, target_sim, target_recall)
+        index = cls(SignatureLSH(bands, rows_per_band))
+        if indicator_bank is not None and len(indicator_bank):
+            index.extend(sketcher, indicator_bank)
+        return index
+
+    def extend(self, sketcher: Sketcher, indicator_bank: SketchBank) -> None:
+        """Append the signatures of new indicator rows to the index."""
+        keys = sketcher.signature_keys(indicator_bank)
+        if keys is None:
+            raise TypeError(
+                f"sketcher {sketcher.name!r} does not expose signature keys"
+            )
+        self.lsh.insert_signatures(keys)
+
+    # ------------------------------------------------------------------
+    # candidate generation
+    # ------------------------------------------------------------------
+
+    def candidate_rows(self, sketcher: Sketcher, sketch: Any) -> np.ndarray:
+        """Ascending indicator-bank rows colliding with one query sketch."""
+        key = sketcher.signature_key(sketch)
+        if key is None:
+            raise TypeError(
+                f"sketcher {sketcher.name!r} does not expose signature keys"
+            )
+        return self.lsh.candidate_rows(key)
+
+    def candidates_many(
+        self, sketcher: Sketcher, sketches: Sequence[Any]
+    ) -> list[np.ndarray]:
+        """Candidate rows per query sketch, one batched lookup."""
+        if not sketches:
+            return []
+        keys = [sketcher.signature_key(sketch) for sketch in sketches]
+        if any(key is None for key in keys):
+            raise TypeError(
+                f"sketcher {sketcher.name!r} does not expose signature keys"
+            )
+        return self.lsh.candidates_many(np.stack(keys))
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def bands(self) -> int:
+        return self.lsh.bands
+
+    @property
+    def rows_per_band(self) -> int:
+        return self.lsh.rows_per_band
+
+    def __len__(self) -> int:
+        return len(self.lsh)
+
+    def expected_recall(self, similarity: float | np.ndarray) -> float | np.ndarray:
+        """S-curve collision probability at the given similarity."""
+        return self.lsh.expected_recall(similarity)
+
+    def __repr__(self) -> str:
+        return (
+            f"LakeIndex(tables={len(self)}, bands={self.bands}, "
+            f"rows_per_band={self.rows_per_band})"
+        )

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.datasearch.index import SketchIndex
 from repro.datasearch.join_estimates import JoinSketch
+from repro.datasearch.lshindex import DEFAULT_TARGET_RECALL
 from repro.datasearch.table import Table
 
 __all__ = ["SearchHit", "DatasetSearch"]
@@ -70,37 +71,110 @@ class DatasetSearch:
         index: SketchIndex,
         min_containment: float = 0.05,
         prune: bool = True,
+        candidates: str = "scan",
+        lsh_target_recall: float = DEFAULT_TARGET_RECALL,
     ) -> None:
         """``min_containment``: minimum estimated fraction of query keys
         that must appear in a candidate table for it to be considered
         joinable.  ``prune``: restrict the relevance statistics to
         joinable rows (the serving fast path); ``False`` scores the full
         lake per statistic — same results, more work — and exists for
-        verification and benchmarking."""
+        verification and benchmarking.  ``candidates`` picks the
+        joinability candidate generator: ``"scan"`` estimates against
+        every indicator row (exact, O(lake)), ``"lsh"`` shortlists rows
+        via the banded signature index (sublinear; the exact filter
+        re-checks the shortlist, so the *full ranking* is a subset of
+        the scan path's with identical statistics per surviving hit —
+        under a ``top_k`` cut, a shortlist miss can promote the next
+        lower-scored survivor — with expected recall ≥
+        ``lsh_target_recall`` at ``min_containment`` for the auto-tuned
+        banding)."""
         if not 0.0 <= min_containment <= 1.0:
             raise ValueError(
                 f"min_containment must be in [0, 1], got {min_containment}"
             )
+        self._check_candidates(candidates)
         self.index = index
         self.min_containment = min_containment
         self.prune = bool(prune)
+        self.candidates = candidates
+        self.lsh_target_recall = lsh_target_recall
 
     def sketch_query(self, table: Table) -> JoinSketch:
         """Sketch the analyst's query table with the index's method."""
         return JoinSketch.build(table, self.index.sketcher)
 
-    def _join_sizes(self, query: JoinSketch) -> tuple[list[str], np.ndarray]:
-        """Estimated join size per indexed table, one batched call."""
+    def _check_candidates(self, candidates: str) -> None:
+        if candidates not in ("scan", "lsh"):
+            raise ValueError(
+                f"unknown candidate generator {candidates!r}; "
+                f"choose 'scan' or 'lsh'"
+            )
+
+    def _resolve_candidates(self, candidates: str | None) -> str:
+        if candidates is None:
+            return self.candidates
+        self._check_candidates(candidates)
+        return candidates
+
+    def _shortlists(
+        self, queries: Sequence[JoinSketch], candidates: str
+    ) -> list[np.ndarray] | None:
+        """Per-query candidate table rows, or ``None`` for the scan path.
+
+        ``"lsh"`` probes the index's banded signature index; a sketcher
+        without signature keys cannot serve LSH candidates and raises.
+        """
+        if candidates == "scan":
+            return None
+        lake_index = self.index.lsh_index(
+            target_sim=self.min_containment,
+            target_recall=self.lsh_target_recall,
+        )
+        if lake_index is None:
+            raise ValueError(
+                f"candidates='lsh' needs a sketcher with signature keys "
+                f"(WMH, MH, or ICWS); {self.index.sketcher.name!r} has none "
+                f"— use candidates='scan'"
+            )
+        return lake_index.candidates_many(
+            self.index.sketcher, [query.indicator for query in queries]
+        )
+
+    def _join_sizes(
+        self, query: JoinSketch, shortlist: np.ndarray | None = None
+    ) -> tuple[list[str], np.ndarray]:
+        """Estimated join size per indexed table.
+
+        With a ``shortlist`` (LSH candidate rows), only those indicator
+        rows are estimated — sizes of non-candidates stay 0 and are
+        masked out of the joinable set by the caller.  Estimates on the
+        shortlisted rows are bit-identical to the full scan because
+        every bank row's estimate depends only on that row.
+        """
         names = self.index.table_names()
         if not names:
             return [], np.zeros(0)
-        sizes = self.index.sketcher.estimate_many(
-            query.indicator, self.index.indicator_bank
-        )
-        return names, np.maximum(sizes, 0.0)
+        if shortlist is None:
+            sizes = self.index.sketcher.estimate_many(
+                query.indicator, self.index.indicator_bank
+            )
+            return names, np.maximum(sizes, 0.0)
+        sizes = np.zeros(len(names))
+        if shortlist.size:
+            sizes[shortlist] = np.maximum(
+                self.index.sketcher.estimate_many(
+                    query.indicator, self.index.indicator_bank[shortlist]
+                ),
+                0.0,
+            )
+        return names, sizes
 
     def _joinable_order(
-        self, sizes: np.ndarray, num_rows: int
+        self,
+        sizes: np.ndarray,
+        num_rows: int,
+        shortlist: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Positions of joinable tables plus the containment array.
 
@@ -108,17 +182,29 @@ class DatasetSearch:
         table positions clearing ``min_containment``, sorted by
         containment descending with ties in table order (the stable
         order the tuple API has always produced), and ``containments``
-        covers every table.
+        covers every table.  A ``shortlist`` restricts the joinable set
+        to those positions (the LSH candidate path), which is what
+        keeps LSH hits a strict subset of the scan hits even at
+        ``min_containment == 0``.
         """
         containments = sizes / max(num_rows, 1)
-        keep = np.flatnonzero(containments >= self.min_containment)
+        keep_mask = containments >= self.min_containment
+        if shortlist is not None:
+            allowed = np.zeros(sizes.size, dtype=bool)
+            allowed[shortlist] = True
+            keep_mask &= allowed
+        keep = np.flatnonzero(keep_mask)
         order = keep[np.argsort(-containments[keep], kind="stable")]
         return order, containments
 
     def _filter_joinable(
-        self, names: list[str], sizes: np.ndarray, num_rows: int
+        self,
+        names: list[str],
+        sizes: np.ndarray,
+        num_rows: int,
+        shortlist: np.ndarray | None = None,
     ) -> list[tuple[str, float, float]]:
-        order, containments = self._joinable_order(sizes, num_rows)
+        order, containments = self._joinable_order(sizes, num_rows, shortlist)
         return [
             (names[i], float(sizes[i]), float(containments[i]))
             for i in order.tolist()
@@ -130,6 +216,7 @@ class DatasetSearch:
         query_column: str,
         top_k: int = 10,
         by: str = "correlation",
+        candidates: str | None = None,
     ) -> list[SearchHit]:
         """:meth:`search` for a raw table: sketch, then rank.
 
@@ -137,17 +224,31 @@ class DatasetSearch:
         :class:`~repro.store.session.QuerySession`, the CLI) that hold
         tables rather than pre-built :class:`JoinSketch` objects.
         """
-        return self.search(self.sketch_query(table), query_column, top_k=top_k, by=by)
+        return self.search(
+            self.sketch_query(table),
+            query_column,
+            top_k=top_k,
+            by=by,
+            candidates=candidates,
+        )
 
-    def joinable(self, query: JoinSketch) -> list[tuple[str, float, float]]:
+    def joinable(
+        self, query: JoinSketch, candidates: str | None = None
+    ) -> list[tuple[str, float, float]]:
         """Tables passing the joinability filter.
 
         Returns ``(name, estimated_join_size, estimated_containment)``
         sorted by containment, where containment is the estimated join
-        size divided by the query's row count.
+        size divided by the query's row count.  ``candidates`` overrides
+        the engine's candidate generator for this call.
         """
-        names, sizes = self._join_sizes(query)
-        return self._filter_joinable(names, sizes, query.num_rows)
+        mode = self._resolve_candidates(candidates)
+        if not self.index.table_names():
+            return []
+        shortlists = self._shortlists([query], mode)
+        shortlist = None if shortlists is None else shortlists[0]
+        names, sizes = self._join_sizes(query, shortlist)
+        return self._filter_joinable(names, sizes, query.num_rows, shortlist)
 
     @staticmethod
     def _check_criterion(by: str) -> None:
@@ -184,6 +285,7 @@ class DatasetSearch:
         query_column: str,
         top_k: int = 10,
         by: str = "correlation",
+        candidates: str | None = None,
     ) -> list[SearchHit]:
         """Rank all indexed columns by estimated relationship strength.
 
@@ -192,22 +294,30 @@ class DatasetSearch:
         query) or ``"inner_product"`` (absolute estimated post-join
         inner product).
 
-        The joinability pass (join size per table) is the only
-        full-lake ``estimate_many`` call; the remaining five Figure 2
-        statistics — left/right sums, left/right second moments, and
-        the cross inner product — are estimated against the joinable
-        rows only, so a selective filter makes relevance scoring scale
-        with candidates instead of lake size.
+        With ``candidates="scan"`` the joinability pass (join size per
+        table) is the only full-lake ``estimate_many`` call;
+        ``candidates="lsh"`` replaces even that with a banded-signature
+        shortlist, so the whole query scales with the candidate set.
+        Either way the remaining five Figure 2 statistics — left/right
+        sums, left/right second moments, and the cross inner product —
+        are estimated against the joinable rows only.
         """
         self._check_criterion(by)
         self._check_query_column(query, query_column)
+        mode = self._resolve_candidates(candidates)
         # Per-table joinability (against the indicator bank); the same
         # join-size pass feeds both the joinability filter and the
         # correlation formula.
-        names, sizes = self._join_sizes(query)
+        if not self.index.table_names():
+            return []
+        shortlists = self._shortlists([query], mode)
+        shortlist = None if shortlists is None else shortlists[0]
+        names, sizes = self._join_sizes(query, shortlist)
         if not names:
             return []
-        order, containments = self._joinable_order(sizes, query.num_rows)
+        order, containments = self._joinable_order(
+            sizes, query.num_rows, shortlist
+        )
         if order.size == 0:
             return []
         rank_of_table, table_rows, val_rows = self._candidate_rows(order, len(names))
@@ -277,6 +387,7 @@ class DatasetSearch:
         query_columns: str | Sequence[str],
         top_k: int = 10,
         by: str = "correlation",
+        candidates: str | None = None,
     ) -> list[list[SearchHit]]:
         """:meth:`search` for a batch of queries, serving-optimized.
 
@@ -287,9 +398,12 @@ class DatasetSearch:
         five relevance statistics run over the *union* of the queries'
         candidate rows, so the banks are traversed once per batch
         instead of once per query.  Hit lists are identical to calling
-        :meth:`search` per query.
+        :meth:`search` per query — in either candidate mode: the LSH
+        shortlist is computed per query, so batching never changes a
+        query's candidate set.
         """
         self._check_criterion(by)
+        mode = self._resolve_candidates(candidates)
         queries = list(queries)
         if isinstance(query_columns, str):
             columns = [query_columns] * len(queries)
@@ -316,17 +430,43 @@ class DatasetSearch:
             [q.squares[c] for q, c in zip(queries, columns)]
         )
 
-        # Joinability for every query in one pass: (Q, tables).
-        sizes_all = np.maximum(
-            sketcher.estimate_cross(indicator_queries, self.index.indicator_bank), 0.0
-        )
-
+        # Joinability for every query in one pass: (Q, tables).  The
+        # LSH path estimates only the union of the per-query shortlists
+        # and scatters each query's rows back, so non-candidates keep
+        # size 0 and are masked out per query below.
         num_tables = len(names)
+        shortlists = self._shortlists(queries, mode)
+        if shortlists is None:
+            sizes_all = np.maximum(
+                sketcher.estimate_cross(
+                    indicator_queries, self.index.indicator_bank
+                ),
+                0.0,
+            )
+        else:
+            sizes_all = np.zeros((len(queries), num_tables))
+            union_short = np.unique(np.concatenate(shortlists))
+            if union_short.size:
+                cross = np.maximum(
+                    sketcher.estimate_cross(
+                        indicator_queries,
+                        self.index.indicator_bank[union_short],
+                    ),
+                    0.0,
+                )
+                for qi, rows in enumerate(shortlists):
+                    if rows.size:
+                        sizes_all[qi, rows] = cross[
+                            qi, np.searchsorted(union_short, rows)
+                        ]
+
         union_mask = np.zeros(num_tables, dtype=bool)
         selections: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
         for qi, query in enumerate(queries):
             order, containments = self._joinable_order(
-                sizes_all[qi], query.num_rows
+                sizes_all[qi],
+                query.num_rows,
+                None if shortlists is None else shortlists[qi],
             )
             rank_of_table, table_rows, val_rows = self._candidate_rows(
                 order, num_tables

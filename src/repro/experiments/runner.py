@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.base import Sketcher
 from repro.core.wmh import WeightedMinHash
 from repro.experiments.metrics import ErrorRecord, normalized_error
@@ -92,6 +94,9 @@ def run_sweep(
     seed: int = 0,
     registry: Mapping[str, MethodSpec] | None = None,
     workers: int | None = None,
+    candidates: str = "scan",
+    lsh_target_sim: float = 0.5,
+    lsh_target_recall: float = 0.95,
 ) -> list[ErrorRecord]:
     """Evaluate methods over pairs x storages x trials.
 
@@ -103,7 +108,19 @@ def run_sweep(
     ``workers`` fans each cell's ``sketch_batch`` out over that many
     processes (:mod:`repro.parallel`); records are bit-identical for
     any worker count.
+
+    ``candidates`` mirrors the serving-side knob: ``"scan"`` (default)
+    estimates every pair; ``"lsh"`` estimates only the pairs that
+    collide in a banded signature index tuned for ``lsh_target_recall``
+    expected recall at similarity ``lsh_target_sim`` — i.e. the error
+    distribution *conditioned on LSH candidate generation*, the pairs a
+    sublinear serving path would actually score.  Methods without
+    signature keys (JL, CS, ...) always estimate every pair.
     """
+    if candidates not in ("scan", "lsh"):
+        raise ValueError(
+            f"unknown candidate generator {candidates!r}; choose 'scan' or 'lsh'"
+        )
     if registry is None:
         registry = method_registry()
     unknown = set(methods) - set(registry)
@@ -130,7 +147,28 @@ def run_sweep(
                 sketcher = spec.build(storage, seed * 7919 + trial)
                 bank = sketcher.sketch_batch(unique_vectors, workers=workers)
                 sketches = sketcher.bank_to_sketches(bank)
+                shortlists = None
+                if candidates == "lsh" and sketcher.signature_length() is not None:
+                    from repro.mips.lsh import SignatureLSH, tune
+
+                    lsh = SignatureLSH(
+                        *tune(
+                            sketcher.signature_length(),
+                            lsh_target_sim,
+                            lsh_target_recall,
+                        )
+                    )
+                    keys = sketcher.signature_keys(bank)
+                    lsh.insert_signatures(keys)
+                    shortlists = lsh.candidates_many(keys)
                 for pair_id, (a, b) in enumerate(pairs):
+                    if shortlists is not None:
+                        pos_a = position[id(a)]
+                        pos_b = position[id(b)]
+                        rows = shortlists[pos_a]
+                        at = int(np.searchsorted(rows, pos_b))
+                        if at >= rows.size or rows[at] != pos_b:
+                            continue
                     estimate = sketcher.estimate(
                         sketches[position[id(a)]], sketches[position[id(b)]]
                     )

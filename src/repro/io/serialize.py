@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.bank import SketchBank
 from repro.core.wmh import WMHSketch
+from repro.mips.lsh import SignatureLSH
 from repro.sketches.bbit import BbitSketch
 from repro.sketches.countsketch import CountSketchData
 from repro.sketches.icws import ICWSSketch
@@ -55,6 +56,8 @@ __all__ = [
     "unpack_bank",
     "pack_shard",
     "unpack_shard",
+    "pack_lsh_index",
+    "unpack_lsh_index",
     "packed_size_words",
 ]
 
@@ -71,6 +74,7 @@ _KIND_PRIORITY = 7
 _KIND_BBIT = 8
 _KIND_BANK = 9
 _KIND_SHARD = 10
+_KIND_LSHINDEX = 11
 
 #: 2**32, the fixed-point scale of quantized hashes.
 _HASH_SCALE = float(1 << 32)
@@ -436,23 +440,52 @@ def unpack_bank(payload: bytes | memoryview, copy: bool = True) -> SketchBank:
 # ----------------------------------------------------------------------
 
 
+def _pack_envelope(kind: int, payload: bytes) -> bytes:
+    """The checksummed file container: header, length, CRC-32, payload.
+
+    Length + checksum let :func:`_unpack_envelope` reject truncated or
+    bit-rotted files before any array is interpreted.
+    """
+    return b"".join(
+        [
+            _header(kind),
+            struct.pack("<QI", len(payload), zlib.crc32(payload)),
+            payload,
+        ]
+    )
+
+
+def _unpack_envelope(
+    buffer: bytes | memoryview, kind: int, what: str, article: str
+) -> memoryview:
+    """Validate an envelope of the given kind; returns the payload view."""
+    found, body = _check_header(buffer)
+    if found != kind:
+        raise SerializationError(
+            f"payload is not {article} {what} (kind {found})"
+        )
+    prefix = struct.calcsize("<QI")
+    if len(body) < prefix:
+        raise SerializationError(f"truncated {what}: missing length/checksum")
+    length, checksum = struct.unpack_from("<QI", body, 0)
+    payload = body[prefix : prefix + length]
+    if len(payload) < length:
+        raise SerializationError(
+            f"truncated {what}: payload has {len(payload)} of {length} bytes"
+        )
+    if zlib.crc32(payload) != checksum:
+        raise SerializationError(f"{what} checksum mismatch (corrupt payload)")
+    return payload
+
+
 def pack_shard(bank: SketchBank) -> bytes:
     """Wrap a packed bank in the shard container format.
 
     A shard is what :class:`repro.store.LakeStore` writes as one file:
     the standard ``RPRO`` header with the shard kind, the payload
     length, a CRC-32 of the payload, then the :func:`pack_bank` bytes.
-    Length + checksum let :func:`unpack_shard` reject truncated or
-    bit-rotted files before any array is interpreted.
     """
-    payload = pack_bank(bank)
-    return b"".join(
-        [
-            _header(_KIND_SHARD),
-            struct.pack("<QI", len(payload), zlib.crc32(payload)),
-            payload,
-        ]
-    )
+    return _pack_envelope(_KIND_SHARD, pack_bank(bank))
 
 
 def unpack_shard(buffer: bytes | memoryview, copy: bool = True) -> SketchBank:
@@ -462,21 +495,55 @@ def unpack_shard(buffer: bytes | memoryview, copy: bool = True) -> SketchBank:
     bank's columns are views into ``buffer`` (which must then outlive
     the bank — e.g. an ``mmap`` kept open by the store).
     """
-    kind, body = _check_header(buffer)
-    if kind != _KIND_SHARD:
-        raise SerializationError(f"payload is not a shard (kind {kind})")
-    prefix = struct.calcsize("<QI")
-    if len(body) < prefix:
-        raise SerializationError("truncated shard: missing length/checksum")
-    length, checksum = struct.unpack_from("<QI", body, 0)
-    payload = body[prefix : prefix + length]
-    if len(payload) < length:
-        raise SerializationError(
-            f"truncated shard: payload has {len(payload)} of {length} bytes"
+    return unpack_bank(
+        _unpack_envelope(buffer, _KIND_SHARD, "shard", "a"), copy=copy
+    )
+
+
+# ----------------------------------------------------------------------
+# LSH candidate indexes (the persisted lake-index section)
+# ----------------------------------------------------------------------
+
+
+def pack_lsh_index(lsh: SignatureLSH) -> bytes:
+    """Serialize a :class:`~repro.mips.lsh.SignatureLSH` losslessly.
+
+    The payload carries the banding and the consolidated ``(rows,
+    bands)`` uint64 digest matrix — everything needed to rebuild the
+    sorted lookup arrays — wrapped like a shard: standard ``RPRO``
+    header, payload length, CRC-32, then the body.  Because a row's
+    digests depend only on that row's signature, an incrementally
+    extended index and a from-scratch build over the same rows pack to
+    byte-identical files.
+    """
+    digests = lsh.digest_matrix()
+    body = (
+        struct.pack("<IIQ", lsh.bands, lsh.rows_per_band, digests.shape[0])
+        + np.ascontiguousarray(digests, dtype="<u8").tobytes()
+    )
+    return _pack_envelope(_KIND_LSHINDEX, body)
+
+
+def unpack_lsh_index(payload: bytes | memoryview) -> SignatureLSH:
+    """Validate and deserialize a payload from :func:`pack_lsh_index`.
+
+    Length and checksum are verified before any array is interpreted;
+    truncation or bit rot raises :class:`SerializationError`.
+    """
+    content = _unpack_envelope(payload, _KIND_LSHINDEX, "LSH index", "an")
+    head = struct.calcsize("<IIQ")
+    try:
+        bands, rows_per_band, count = struct.unpack_from("<IIQ", content, 0)
+        digests = (
+            np.frombuffer(content, dtype="<u8", count=count * bands, offset=head)
+            .reshape(count, bands)
+            .copy()
         )
-    if zlib.crc32(payload) != checksum:
-        raise SerializationError("shard checksum mismatch (corrupt payload)")
-    return unpack_bank(payload, copy=copy)
+        return SignatureLSH.from_digests(bands, rows_per_band, digests)
+    except (struct.error, ValueError) as exc:
+        raise SerializationError(
+            f"truncated or corrupt LSH index payload: {exc}"
+        ) from exc
 
 
 def packed_size_words(sketch: Any) -> float:

@@ -5,6 +5,12 @@ work cites: banded LSH over signature keys for candidate generation,
 Algorithm 5 estimates for ranking.
 """
 
-from repro.mips.lsh import MIPSIndex, SignatureLSH, collision_probability
+from repro.mips.lsh import (
+    MIPSHit,
+    MIPSIndex,
+    SignatureLSH,
+    collision_probability,
+    tune,
+)
 
-__all__ = ["MIPSIndex", "SignatureLSH", "collision_probability"]
+__all__ = ["MIPSHit", "MIPSIndex", "SignatureLSH", "collision_probability", "tune"]

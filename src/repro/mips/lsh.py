@@ -1,4 +1,4 @@
-"""Locality-sensitive retrieval over Weighted MinHash signatures.
+"""Locality-sensitive retrieval over MinHash-style signatures.
 
 The paper's related-work section connects inner-product sketching to
 locality sensitive hashing and maximum inner product search (MIPS):
@@ -10,16 +10,25 @@ is their (weighted) Jaccard similarity, ``r`` the rows per band and
 Broder 1997).
 
 :class:`SignatureLSH` implements the banding scheme over any per-
-repetition sample keys — WMH hash values or ICWS sample keys — so the
-same sketches that estimate inner products also power candidate
-generation.  :class:`MIPSIndex` combines the two: LSH shortlists
-candidates, the Algorithm 5 estimator scores them, giving sketch-only
-approximate maximum-inner-product search.
+repetition sample keys — WMH/MinHash hash values or ICWS sample keys —
+**array-backed**: every indexed row contributes one uint64 digest per
+band (the band index is mixed into the digest, so all bands share one
+sorted array), and candidate lookup is a batched ``np.searchsorted``
+with no Python loop over rows.  The same structure powers
+
+* :class:`MIPSIndex` — LSH shortlists candidates, the Algorithm 5
+  estimator scores them (sketch-only approximate MIPS), and
+* the lake-wide candidate generator of
+  :class:`repro.datasearch.lshindex.LakeIndex`, which makes
+  ``DatasetSearch`` joinability sublinear in lake size.
+
+:func:`tune` picks the ``(bands, rows_per_band)`` split of an
+``m``-entry signature that meets a recall target at a given similarity
+while staying as selective as possible.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
@@ -27,29 +36,104 @@ import numpy as np
 
 from repro.core.bank import SketchBank
 from repro.core.wmh import WeightedMinHash, WMHSketch
+from repro.hashing.splitmix import GOLDEN_GAMMA, mix64
 from repro.vectors.sparse import SparseVector
 
-__all__ = ["SignatureLSH", "MIPSIndex", "collision_probability"]
+__all__ = ["SignatureLSH", "MIPSIndex", "MIPSHit", "collision_probability", "tune"]
 
 
-def collision_probability(similarity: float, rows_per_band: int, bands: int) -> float:
-    """The LSH S-curve: ``1 - (1 - J^r)^b``."""
-    if not 0.0 <= similarity <= 1.0:
+def collision_probability(
+    similarity: float | np.ndarray, rows_per_band: int, bands: int
+) -> float | np.ndarray:
+    """The LSH S-curve ``1 - (1 - J^r)^b``, vectorized over ``similarity``.
+
+    ``similarity`` may be a scalar or any array of values in ``[0, 1]``;
+    the result matches the input's shape (a Python float for scalar
+    input).
+    """
+    sims = np.asarray(similarity, dtype=np.float64)
+    # The inverted comparison also rejects NaN, like the scalar
+    # ``0 <= s <= 1`` check always did.
+    if not np.all((sims >= 0.0) & (sims <= 1.0)):
         raise ValueError(f"similarity must be in [0, 1], got {similarity}")
-    return 1.0 - (1.0 - similarity**rows_per_band) ** bands
+    out = 1.0 - (1.0 - sims**rows_per_band) ** bands
+    if np.isscalar(similarity) or np.ndim(similarity) == 0:
+        return float(out)
+    return out
+
+
+def tune(
+    m: int, target_sim: float, target_recall: float = 0.95
+) -> tuple[int, int]:
+    """Best ``(bands, rows_per_band)`` split of an ``m``-entry signature.
+
+    Among all bandings with ``bands * rows_per_band <= m``, picks the
+    **most selective** one (largest ``rows_per_band``, with
+    ``bands = m // rows_per_band``) whose expected recall at
+    ``target_sim`` — ``collision_probability(target_sim, r, m // r)`` —
+    still clears ``target_recall``.  Larger ``r`` suppresses low-
+    similarity collisions faster, so this maximizes pruning subject to
+    the recall floor.  If no split reaches the target (tiny ``m`` or a
+    very low ``target_sim``), the maximum-recall banding ``(m, 1)`` is
+    returned.
+    """
+    if m <= 0:
+        raise ValueError(f"signature length m must be positive, got {m}")
+    if not 0.0 <= target_sim <= 1.0:
+        raise ValueError(f"target_sim must be in [0, 1], got {target_sim}")
+    if not 0.0 < target_recall < 1.0:
+        raise ValueError(
+            f"target_recall must be in (0, 1), got {target_recall}"
+        )
+    rows = np.arange(1, m + 1)
+    bands = m // rows
+    recalls = 1.0 - (1.0 - float(target_sim) ** rows.astype(np.float64)) ** bands
+    feasible = np.flatnonzero(recalls >= target_recall)
+    if feasible.size == 0:
+        return int(m), 1
+    r = int(rows[feasible[-1]])
+    return int(m // r), r
+
+
+def _as_key_matrix(signatures: np.ndarray) -> np.ndarray:
+    """2-D uint64 key matrix from raw signatures (one row per item).
+
+    Float signatures (WMH/MinHash hash values) are reinterpreted as
+    their IEEE-754 bit patterns — hash values live in ``(0, 1)`` or are
+    the ``+inf`` empty-sketch sentinel, so float equality coincides
+    with bit equality.  Integer signatures (ICWS sample keys) are used
+    as-is.
+    """
+    array = np.asarray(signatures)
+    if array.ndim == 1:
+        array = array[None, :]
+    if array.ndim != 2:
+        raise ValueError(
+            f"signatures must be 1-D or 2-D, got shape {array.shape}"
+        )
+    if np.issubdtype(array.dtype, np.floating):
+        return np.ascontiguousarray(array, dtype=np.float64).view(np.uint64)
+    if np.issubdtype(array.dtype, np.integer):
+        return np.ascontiguousarray(array).astype(np.uint64, copy=False)
+    raise TypeError(f"cannot band signatures of dtype {array.dtype}")
 
 
 class SignatureLSH:
-    """Banded LSH over per-repetition signature keys.
+    """Banded LSH over per-repetition signature keys, array-backed.
 
-    Parameters
-    ----------
-    bands, rows_per_band:
-        The signature is split into ``bands`` groups of ``rows_per_band``
-        consecutive entries; each group is hashed to a bucket.  Two
-        signatures become candidates if any band's bucket matches.
-        ``bands * rows_per_band`` entries of the signature are used
-        (the signature must be at least that long).
+    The signature is split into ``bands`` groups of ``rows_per_band``
+    consecutive entries; each group is folded into one uint64 digest
+    (splitmix64 mixing, with the band index as salt so distinct bands
+    cannot collide).  All digests of all rows live in **one** sorted
+    uint64 array, so a query is ``bands`` binary searches — batched
+    across queries with a single ``np.searchsorted`` call — instead of
+    a dict probe per band.  Two signatures become candidates if any
+    band's digest matches (spurious uint64 digest collisions occur with
+    probability ~2^-64 per band pair, far below the sketch noise floor).
+
+    ``insert_bank`` / ``candidates_many`` index and probe whole
+    signature matrices with no Python loop over rows; the scalar
+    ``insert`` / ``candidates`` keep the original per-item API.
     """
 
     def __init__(self, bands: int, rows_per_band: int) -> None:
@@ -57,85 +141,255 @@ class SignatureLSH:
             raise ValueError("bands and rows_per_band must be positive")
         self.bands = int(bands)
         self.rows_per_band = int(rows_per_band)
-        self._buckets: list[dict[bytes, list[Hashable]]] = [
-            defaultdict(list) for _ in range(bands)
-        ]
+        # Per-band digest salts: mixing the band index into the digest
+        # lets every band share one sorted lookup array.
+        with np.errstate(over="ignore"):
+            self._band_salt = mix64(
+                np.arange(self.bands, dtype=np.uint64) + GOLDEN_GAMMA
+            )
+        #: Appended digest blocks, each of shape (rows, bands); kept as
+        #: chunks so inserts are O(chunk) and consolidation is lazy.
+        self._chunks: list[np.ndarray] = []
         self._size = 0
+        #: Sorted lookup state: (sorted flattened digests, owning row
+        #: per sorted position), covering the first ``_sorted_count``
+        #: rows.  Extended lazily after inserts by sorting only the new
+        #: rows and merging into the existing array (O(n) instead of a
+        #: full re-sort).
+        self._sorted: tuple[np.ndarray, np.ndarray] | None = None
+        self._sorted_count = 0
+        #: Position -> caller item id; ``None`` means identity (ids are
+        #: the 0-based insert positions), the mode lake indexes use.
+        self._ids: list[Hashable] | None = None
+
+    # ------------------------------------------------------------------
+    # construction / persistence hooks
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_digests(
+        cls, bands: int, rows_per_band: int, digests: np.ndarray
+    ) -> "SignatureLSH":
+        """Rebuild an index from a stored ``(rows, bands)`` digest matrix.
+
+        The inverse of :meth:`digest_matrix`; used by the persistent
+        lake store to reload an index without re-deriving digests from
+        signatures.  Item ids are the row positions.
+        """
+        digests = np.ascontiguousarray(digests, dtype=np.uint64)
+        if digests.ndim != 2 or digests.shape[1] != bands:
+            raise ValueError(
+                f"digest matrix must be (rows, {bands}), got {digests.shape}"
+            )
+        lsh = cls(bands, rows_per_band)
+        if digests.shape[0]:
+            lsh._chunks.append(digests)
+            lsh._size = digests.shape[0]
+        return lsh
+
+    def digest_matrix(self) -> np.ndarray:
+        """The consolidated ``(rows, bands)`` uint64 digest matrix.
+
+        Row order is insertion order, and each row's digests depend only
+        on that row's signature — so incrementally built and from-
+        scratch indexes over the same signatures are byte-identical.
+        """
+        if not self._chunks:
+            return np.empty((0, self.bands), dtype=np.uint64)
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks, axis=0)]
+        return self._chunks[0]
+
+    # ------------------------------------------------------------------
+    # digesting
+    # ------------------------------------------------------------------
 
     @property
     def signature_length(self) -> int:
         return self.bands * self.rows_per_band
 
-    def _band_digests(self, signature: np.ndarray) -> list[bytes]:
-        if signature.size < self.signature_length:
+    def _band_digests(self, keys: np.ndarray) -> np.ndarray:
+        """Fold a ``(rows, >= signature_length)`` key matrix to digests.
+
+        Returns a ``(rows, bands)`` uint64 matrix: each band's
+        ``rows_per_band`` keys are chained through the splitmix64
+        finalizer, seeded with the band's salt.
+        """
+        if keys.shape[1] < self.signature_length:
             raise ValueError(
-                f"signature has {signature.size} entries; banding needs "
+                f"signature has {keys.shape[1]} entries; banding needs "
                 f"{self.signature_length}"
             )
-        used = signature[: self.signature_length]
-        return [
-            used[band * self.rows_per_band : (band + 1) * self.rows_per_band].tobytes()
-            for band in range(self.bands)
-        ]
+        used = keys[:, : self.signature_length].reshape(
+            keys.shape[0], self.bands, self.rows_per_band
+        )
+        digests = np.broadcast_to(
+            self._band_salt[None, :], used.shape[:2]
+        ).copy()
+        with np.errstate(over="ignore"):
+            for j in range(self.rows_per_band):
+                digests = mix64(digests + used[:, :, j] + GOLDEN_GAMMA)
+        return digests
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+
+    def _append_digests(self, digests: np.ndarray) -> None:
+        if digests.shape[0] == 0:
+            return
+        self._chunks.append(digests)
+        self._size += digests.shape[0]
+
+    def insert_signatures(self, signatures: np.ndarray) -> None:
+        """Batch-index raw signatures (one row per item, position ids).
+
+        Rows are assigned consecutive positions continuing from the
+        current size; ids stay in identity mode unless explicit ids were
+        registered earlier.
+        """
+        keys = _as_key_matrix(signatures)
+        if self._ids is not None:
+            self._ids.extend(range(self._size, self._size + keys.shape[0]))
+        self._append_digests(self._band_digests(keys))
+
+    def _materialize_ids(self) -> list[Hashable]:
+        if self._ids is None:
+            self._ids = list(range(self._size))
+        return self._ids
 
     def insert(self, item_id: Hashable, signature: np.ndarray) -> None:
         """Index one signature under ``item_id``."""
-        for band, digest in enumerate(self._band_digests(signature)):
-            self._buckets[band][digest].append(item_id)
-        self._size += 1
+        keys = _as_key_matrix(signature)
+        digests = self._band_digests(keys)
+        self._materialize_ids().append(item_id)
+        self._append_digests(digests)
 
     def insert_bank(
         self,
-        ids: Sequence[Hashable],
+        ids: Sequence[Hashable] | None,
         bank: "SketchBank",
         column: str = "hashes",
     ) -> None:
         """Batch-index signatures straight from a :class:`SketchBank`.
 
         ``bank.column(column)`` must be a 2-D array with one signature
-        per row, aligned with ``ids`` — e.g. the ``hashes`` column a
-        vectorized ``sketch_batch`` produces.  Buckets are identical to
-        ``insert``-ing each row: band digests are the raw bytes of the
-        row's band slice, extracted here with one ``tobytes`` per band
-        instead of per (row, band).
+        per row, aligned with ``ids`` (``None`` keeps position ids).
+        The resulting candidate sets are identical to ``insert``-ing
+        each row in order, but digesting and appending are single
+        vectorized passes.
         """
-        signatures = np.ascontiguousarray(bank.column(column))
+        signatures = bank.column(column)
         if signatures.ndim != 2:
             raise ValueError(
                 f"bank column {column!r} must be 2-D (rows x signature), "
                 f"got shape {signatures.shape}"
             )
-        if len(ids) != signatures.shape[0]:
+        if ids is not None and len(ids) != signatures.shape[0]:
             raise ValueError(
                 f"{len(ids)} ids for {signatures.shape[0]} bank rows"
             )
-        if signatures.shape[1] < self.signature_length:
-            raise ValueError(
-                f"signatures have {signatures.shape[1]} entries; banding "
-                f"needs {self.signature_length}"
+        keys = _as_key_matrix(signatures)
+        digests = self._band_digests(keys)
+        if ids is not None:
+            self._materialize_ids().extend(ids)
+        elif self._ids is not None:
+            self._ids.extend(
+                range(self._size, self._size + signatures.shape[0])
             )
-        band_bytes = self.rows_per_band * signatures.dtype.itemsize
-        for band in range(self.bands):
-            block = np.ascontiguousarray(
-                signatures[:, band * self.rows_per_band : (band + 1) * self.rows_per_band]
-            )
-            raw = block.tobytes()
-            buckets = self._buckets[band]
-            for i, item_id in enumerate(ids):
-                buckets[raw[i * band_bytes : (i + 1) * band_bytes]].append(item_id)
-        self._size += len(ids)
-
-    def candidates(self, signature: np.ndarray) -> set[Hashable]:
-        """All items sharing at least one band bucket with the query."""
-        found: set[Hashable] = set()
-        for band, digest in enumerate(self._band_digests(signature)):
-            found.update(self._buckets[band].get(digest, ()))
-        return found
+        self._append_digests(digests)
 
     def __len__(self) -> int:
         return self._size
 
-    def expected_recall(self, similarity: float) -> float:
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def _ensure_sorted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._sorted is not None and self._sorted_count == self._size:
+            return self._sorted
+        matrix = self.digest_matrix()
+        if self._sorted is None or self._sorted_count == 0:
+            flat = matrix.ravel()
+            order = np.argsort(flat, kind="stable")
+            # Row-major ravel: flattened position p belongs to row
+            # p // bands.
+            self._sorted = (flat[order], (order // self.bands).astype(np.int64))
+        else:
+            # Incremental merge: sort only the newly appended rows and
+            # splice them into the existing sorted array — O(tail log
+            # tail + n) instead of re-sorting all n*bands digests after
+            # every append.
+            tail = matrix[self._sorted_count :].ravel()
+            order = np.argsort(tail, kind="stable")
+            tail_digests = tail[order]
+            tail_rows = (order // self.bands).astype(np.int64) + self._sorted_count
+            digests, rows = self._sorted
+            at = np.searchsorted(digests, tail_digests)
+            self._sorted = (
+                np.insert(digests, at, tail_digests),
+                np.insert(rows, at, tail_rows),
+            )
+        self._sorted_count = self._size
+        return self._sorted
+
+    def candidates_many(self, signatures: np.ndarray) -> list[np.ndarray]:
+        """Candidate row positions for every query signature.
+
+        ``signatures`` is a ``(queries, >= signature_length)`` matrix;
+        returns one ascending, deduplicated int64 position array per
+        query.  The whole batch is answered with one ``searchsorted``
+        against the flattened sorted digest array — no Python loop over
+        bands or rows.
+        """
+        keys = _as_key_matrix(signatures)
+        num_queries = keys.shape[0]
+        empty = [np.empty(0, dtype=np.int64) for _ in range(num_queries)]
+        if num_queries == 0 or self._size == 0:
+            self._band_digests(keys)  # still validate the length
+            return empty
+        query_digests = self._band_digests(keys).ravel()
+        sorted_digests, sorted_rows = self._ensure_sorted()
+        lo = np.searchsorted(sorted_digests, query_digests, side="left")
+        hi = np.searchsorted(sorted_digests, query_digests, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return empty
+        # Expand every [lo, hi) run into explicit sorted-array offsets.
+        starts = np.repeat(lo, counts)
+        run_starts = np.cumsum(counts) - counts
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+        rows = sorted_rows[starts + offsets]
+        owners = np.repeat(
+            np.arange(num_queries * self.bands, dtype=np.int64) // self.bands,
+            counts,
+        )
+        # Per-query dedup in one pass: unique (owner, row) pairs.
+        combined = owners * np.int64(self._size) + rows
+        unique = np.unique(combined)
+        unique_owner = unique // self._size
+        unique_row = unique % self._size
+        bounds = np.searchsorted(
+            unique_owner, np.arange(num_queries + 1, dtype=np.int64)
+        )
+        return [
+            unique_row[bounds[q] : bounds[q + 1]] for q in range(num_queries)
+        ]
+
+    def candidate_rows(self, signature: np.ndarray) -> np.ndarray:
+        """Ascending positions sharing at least one band with the query."""
+        return self.candidates_many(np.asarray(signature)[None, :])[0]
+
+    def candidates(self, signature: np.ndarray) -> set[Hashable]:
+        """All item ids sharing at least one band bucket with the query."""
+        rows = self.candidate_rows(signature)
+        if self._ids is None:
+            return set(rows.tolist())
+        return {self._ids[row] for row in rows.tolist()}
+
+    def expected_recall(self, similarity: float | np.ndarray) -> float | np.ndarray:
         """Probability this table surfaces an item of given similarity."""
         return collision_probability(similarity, self.rows_per_band, self.bands)
 
@@ -152,9 +406,10 @@ class MIPSIndex:
     """Approximate maximum-inner-product search over WMH sketches.
 
     Vectors are sketched once; retrieval shortlists candidates via
-    banded LSH on the hash signature and ranks them by the Algorithm 5
-    inner-product estimate.  ``probe_all=True`` skips the LSH filter
-    (exhaustive sketch scan) — useful as a recall reference.
+    banded LSH on the hash signature and ranks them with **one**
+    ``estimate_many`` call over the candidate rows (bit-identical to
+    the scalar ``estimate`` loop).  ``probe_all=True`` skips the LSH
+    filter (exhaustive sketch scan) — useful as a recall reference.
     """
 
     def __init__(
@@ -206,19 +461,23 @@ class MIPSIndex:
     ) -> list[MIPSHit]:
         query_sketch = self.sketcher.sketch(vector)
         if probe_all:
-            candidate_ids: Sequence[Hashable] = list(self._sketches)
+            candidate_ids: list[Hashable] = list(self._sketches)
         else:
             candidate_ids = sorted(
                 self._lsh.candidates(query_sketch.hashes), key=repr
             )
+        if not candidate_ids:
+            return []
+        # One estimate_many over the candidate rows instead of a scalar
+        # estimate per candidate; WMH's batch estimator is bit-identical
+        # to the scalar loop, so the ranking cannot change.
+        bank = self.sketcher.pack_bank(
+            [self._sketches[item_id] for item_id in candidate_ids]
+        )
+        scores = self.sketcher.estimate_many(query_sketch, bank)
         hits = [
-            MIPSHit(
-                item_id=item_id,
-                score=self.sketcher.estimate(
-                    query_sketch, self._sketches[item_id]
-                ),
-            )
-            for item_id in candidate_ids
+            MIPSHit(item_id=item_id, score=float(score))
+            for item_id, score in zip(candidate_ids, scores.tolist())
         ]
         hits.sort(key=lambda hit: hit.score, reverse=True)
         return hits[:top_k]

@@ -134,6 +134,22 @@ class ICWS(Sketcher):
     def _bank_params(self) -> dict[str, Any]:
         return {"m": self.m, "seed": self.seed}
 
+    def signature_length(self) -> int:
+        return self.m
+
+    def signature_key(self, sketch: ICWSSketch) -> np.ndarray:
+        """ICWS sample keys — equality certifies a repetition match.
+
+        The generic :meth:`~repro.core.base.Sketcher.signature_keys`
+        stacks these per bank row (ICWS banks are object banks).
+        """
+        self._require(
+            sketch.m == self.m and sketch.seed == self.seed,
+            f"query sketch (m={sketch.m}, seed={sketch.seed}) does not match "
+            f"sketcher (m={self.m}, seed={self.seed})",
+        )
+        return sketch.keys
+
     def estimate(self, sketch_a: ICWSSketch, sketch_b: ICWSSketch) -> float:
         self._require(
             sketch_a.m == sketch_b.m and sketch_a.seed == sketch_b.seed,

@@ -137,6 +137,18 @@ class MinHash(Sketcher):
             words_per_sketch=self.storage_words(),
         )
 
+    def signature_length(self) -> int:
+        return self.m
+
+    def signature_key(self, sketch: MinHashSketch) -> np.ndarray:
+        """Per-repetition minimum hashes, the banded-LSH signature."""
+        self._check_query(sketch)
+        return sketch.hashes
+
+    def signature_keys(self, bank: SketchBank) -> np.ndarray:
+        self._check_bank(bank)
+        return bank.columns["hashes"]
+
     def bank_row(self, bank: SketchBank, i: int) -> MinHashSketch:
         self._check_bank(bank)
         return MinHashSketch(

@@ -103,7 +103,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         for path in args.csv
     ]
     with _open_or_create(args) as store:
-        shard_id = store.append(tables, workers=args.workers)
+        shard_id = store.append(tables, workers=args.workers, index=args.index)
         stats = store.stats()
     print(
         f"ingested {len(tables)} table(s) into shard {shard_id} of {args.store} "
@@ -143,7 +143,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     ]
     batched = len(tables) > 1
     with LakeStore.open(args.store) as store:
-        session = QuerySession(store, min_containment=args.min_containment)
+        session = QuerySession(
+            store,
+            min_containment=args.min_containment,
+            candidates=args.candidates,
+        )
         if batched:
             # One search_many call: the whole batch shares each bank
             # traversal instead of paying it once per CSV.
@@ -235,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sketch the batch across this many processes "
         "(results are bit-identical for any worker count)",
     )
+    ingest.add_argument(
+        "--no-index",
+        dest="index",
+        action="store_false",
+        help="skip maintaining the persisted LSH candidate index "
+        "(queries then fall back to full scans or an in-memory rebuild)",
+    )
     _add_csv_options(ingest)
     ingest.set_defaults(handler=_cmd_ingest)
 
@@ -252,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--by", default="correlation", choices=("correlation", "inner_product")
     )
     query.add_argument("--min-containment", type=float, default=0.05)
+    query.add_argument(
+        "--candidates",
+        default="scan",
+        choices=("scan", "lsh"),
+        help="joinability candidate generator: exact full scan, or the "
+        "sublinear LSH shortlist re-checked exactly (default: scan)",
+    )
     query.add_argument("--json", action="store_true", help="machine-readable output")
     _add_csv_options(query)
     query.set_defaults(handler=_cmd_query)

@@ -33,7 +33,9 @@ from __future__ import annotations
 import contextlib
 import mmap
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+
+import numpy as np
+from typing import Any, Iterable, Iterator, Sequence
 
 try:  # advisory inter-process write locking (POSIX only)
     import fcntl
@@ -43,10 +45,30 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.index import SketchIndex
+from repro.datasearch.lshindex import DEFAULT_TARGET_RECALL, LakeIndex
 from repro.datasearch.table import Table
+from repro.io.serialize import (
+    SerializationError,
+    pack_lsh_index,
+    unpack_lsh_index,
+)
+from repro.mips.lsh import SignatureLSH, tune
 from repro.store.config import build_sketcher, check_sketcher_config, sketcher_config
-from repro.store.manifest import Manifest, ManifestError, ShardRecord, TableSpan
-from repro.store.shard import SHARD_SUFFIX, read_shard, shard_filename, write_shard
+from repro.store.manifest import (
+    IndexRecord,
+    Manifest,
+    ManifestError,
+    ShardRecord,
+    TableSpan,
+)
+from repro.store.shard import (
+    SHARD_SUFFIX,
+    index_filename,
+    read_shard,
+    shard_filename,
+    write_bytes_atomic,
+    write_shard,
+)
 
 __all__ = ["StoreError", "LakeStore", "is_lake_store"]
 
@@ -69,6 +91,14 @@ class LakeStore:
             hits = QuerySession(store).search(my_table, "price")
     """
 
+    #: Auto-tuner defaults for the persisted LSH candidate index: the
+    #: banding targets this expected recall at this (weighted Jaccard)
+    #: similarity.  ``LSH_TARGET_SIM`` matches the default serving
+    #: ``min_containment`` (containment upper-bounds Jaccard, so the
+    #: S-curve is evaluated at the conservative end).
+    LSH_TARGET_SIM = 0.05
+    LSH_TARGET_RECALL = DEFAULT_TARGET_RECALL
+
     def __init__(
         self,
         path: Path,
@@ -77,6 +107,7 @@ class LakeStore:
         banks: dict[int, SketchBank],
         buffers: dict[int, mmap.mmap | None],
         zero_copy: bool,
+        lake_index: LakeIndex | None = None,
     ) -> None:
         self.path = path
         self.sketcher = sketcher
@@ -86,6 +117,8 @@ class LakeStore:
         self._zero_copy = zero_copy
         self._closed = False
         self._index = self._build_index()
+        if lake_index is not None:
+            self._index.attach_lsh(lake_index)
 
     # ------------------------------------------------------------------
     # constructors
@@ -140,7 +173,54 @@ class LakeStore:
             sketcher._check_bank(bank)
             banks[shard.shard_id] = bank
             buffers[shard.shard_id] = buffer
-        return cls(path, sketcher, manifest, banks, buffers, zero_copy=zero_copy)
+        lake_index = cls._load_lsh_index(path, manifest)
+        return cls(
+            path,
+            sketcher,
+            manifest,
+            banks,
+            buffers,
+            zero_copy=zero_copy,
+            lake_index=lake_index,
+        )
+
+    @staticmethod
+    def _load_lsh_index(path: Path, manifest: Manifest) -> LakeIndex | None:
+        """Read and validate the persisted LSH index, if the manifest
+        records one.
+
+        Manifests without an index section (older stores, sketchers
+        without signature keys) return ``None`` — queries then rebuild
+        the index lazily in memory.  A recorded index that is missing,
+        fails its checksum, or disagrees with the catalog raises
+        :class:`StoreError` (corruption is rejected, never served).
+        """
+        record = manifest.index
+        if record is None:
+            return None
+        index_path = path / record.filename
+        if not index_path.is_file():
+            raise StoreError(
+                f"manifest references missing LSH index {record.filename}"
+            )
+        try:
+            lsh = unpack_lsh_index(index_path.read_bytes())
+        except SerializationError as exc:
+            raise StoreError(
+                f"corrupt LSH index {record.filename}: {exc}"
+            ) from exc
+        live_count = sum(1 for _ in manifest.live_spans())
+        if (
+            lsh.bands != record.bands
+            or lsh.rows_per_band != record.rows_per_band
+            or len(lsh) != record.tables
+            or record.tables != live_count
+        ):
+            raise StoreError(
+                f"LSH index {record.filename} does not match the manifest "
+                f"catalog ({len(lsh)} indexed rows for {live_count} live tables)"
+            )
+        return LakeIndex(lsh)
 
     def _build_index(self) -> SketchIndex:
         return SketchIndex.from_banks(
@@ -213,7 +293,10 @@ class LakeStore:
             handle.close()  # closing the fd releases the flock
 
     def append(
-        self, tables: Iterable[Table], workers: int | None = None
+        self,
+        tables: Iterable[Table],
+        workers: int | None = None,
+        index: bool = True,
     ) -> int | None:
         """Sketch and persist a batch of new tables as one shard.
 
@@ -227,6 +310,14 @@ class LakeStore:
         ``workers`` fans the sketching out over that many processes via
         :mod:`repro.parallel`; the shard bytes, manifest, and index are
         bit-identical for any worker count.
+
+        ``index`` maintains the persisted LSH candidate index alongside
+        the shard (sketchers with signature keys only): the new tables'
+        digests are appended incrementally — existing rows are never
+        re-digested — and the index file plus manifest section commit
+        with the same shard-first/manifest-last crash safety as the
+        data.  ``index=False`` drops the persisted index for this
+        store; the next indexing append or :meth:`compact` rebuilds it.
         """
         self._check_open()
         tables = list(tables)
@@ -271,14 +362,26 @@ class LakeStore:
                 ShardRecord(shard_id=shard_id, filename=filename, tables=tuple(spans))
             )
             self._manifest.next_shard_id = shard_id + 1
+
+            if index:
+                # The persisted snapshot extends a copy of the
+                # committed-tables index with the new rows — the served
+                # in-memory state is only mutated after the commit, so
+                # a failed save never leaves phantom tables.
+                stale_index = self._write_append_index_locked(bank, spans)
+            else:
+                stale_index = self._drop_index_record()
             self._manifest.save(self.path / _MANIFEST_NAME)
 
+        # Post-commit in-memory updates (what the old manifest already
+        # served stays untouched if anything above raised).
         self._banks[shard_id] = bank
         self._buffers[shard_id] = None
         for span in spans:
             self._index.attach(
                 span.name, span.num_rows, span.columns, bank[span.lo : span.hi]
             )
+        self._remove_stale_index(stale_index)
         return shard_id
 
     def compact(self) -> dict[str, Any]:
@@ -332,21 +435,160 @@ class LakeStore:
             ]
             self._manifest.tombstones = set()
             self._manifest.next_shard_id = shard_id + 1
+            # The LSH index is rebuilt from the merged bank directly —
+            # the served in-memory state is swapped only post-commit.
+            stale_index, lsh_snapshot = self._write_compact_index_locked(
+                merged, merged_spans
+            )
             self._manifest.save(self.path / _MANIFEST_NAME)
 
+        # Post-commit: swap the in-memory view to the merged shard.
         self._release_buffers()
         self._banks = {shard_id: merged}
         self._buffers = {shard_id: None}
         self._index = self._build_index()
+        if lsh_snapshot is not None:
+            self._index.attach_lsh(lsh_snapshot)
         for old in old_files:
             if old != filename:
                 with contextlib.suppress(OSError):
                     (self.path / old).unlink()
+        self._remove_stale_index(stale_index)
         return {
             "shards_before": shards_before,
             "shards_after": 1,
             "rows_reclaimed": rows_dead,
         }
+
+    # ------------------------------------------------------------------
+    # LSH index persistence
+    # ------------------------------------------------------------------
+
+    def _desired_banding(self) -> tuple[int, int]:
+        """The **store-owned** banding for the persisted index.
+
+        The existing record's split, or the auto-tuned split at the
+        store's recall target.  Query sessions may build the in-memory
+        index with their own tuning, but persistence never adopts it —
+        otherwise a session-specific deep banding would become every
+        future reader's default, silently collapsing their recall.
+        """
+        record = self._manifest.index
+        if record is not None:
+            return (record.bands, record.rows_per_band)
+        return tune(
+            self.sketcher.signature_length(),
+            self.LSH_TARGET_SIM,
+            self.LSH_TARGET_RECALL,
+        )
+
+    def _committed_lake_index(self, desired: tuple[int, int]) -> LakeIndex:
+        """The in-memory index over committed tables, at ``desired``
+        banding (rebuilt if a query path tuned it differently)."""
+        lake = self._index.lsh_index(bands=desired[0], rows_per_band=desired[1])
+        if (lake.bands, lake.rows_per_band) != desired:
+            self._index.drop_lsh()
+            lake = self._index.lsh_index(
+                bands=desired[0], rows_per_band=desired[1]
+            )
+        return lake
+
+    def _emit_index_locked(self, lsh: SignatureLSH, tables: int) -> str | None:
+        """Write one index generation + repoint the manifest record.
+
+        Must run under the writer lock, before the manifest is saved:
+        the index file lands first (a crash leaves an orphan the old
+        manifest never references), then the manifest repoints, then
+        the caller deletes the stale generation after the commit.
+        Returns the superseded filename, if any.
+        """
+        payload = pack_lsh_index(lsh)
+        filename = index_filename(self._manifest.next_index_id)
+        write_bytes_atomic(self.path / filename, payload)
+        old = self._manifest.index
+        self._manifest.index = IndexRecord(
+            filename=filename,
+            bands=lsh.bands,
+            rows_per_band=lsh.rows_per_band,
+            tables=tables,
+        )
+        self._manifest.next_index_id += 1
+        return old.filename if old is not None else None
+
+    def _write_append_index_locked(
+        self, bank: SketchBank, spans: Sequence[TableSpan]
+    ) -> str | None:
+        """Persist the index for an append batch; no served-state writes.
+
+        Extends a *copy* of the committed-tables index with the new
+        spans' indicator rows (digests are row-independent, so the copy
+        is byte-identical to a from-scratch build over the post-append
+        live-span order — ``SketchIndex`` moves replaced entries to the
+        end, exactly where the replacing span lands).  The in-memory
+        index picks the same rows up lazily after the commit.
+        """
+        if not LakeIndex.supports(self.sketcher):
+            return None
+        desired = self._desired_banding()
+        lake = self._committed_lake_index(desired)
+        matrix = lake.lsh.digest_matrix()
+        # A replacing append tombstones the old span: its digest row is
+        # dropped and the replacement lands at the end with the rest of
+        # the batch — exactly the post-append live-span order.
+        batch_names = {span.name for span in spans}
+        keep = np.array(
+            [name not in batch_names for name in self._index.table_names()],
+            dtype=bool,
+        )
+        if not keep.all():
+            matrix = matrix[keep]
+        snapshot = LakeIndex(
+            SignatureLSH.from_digests(desired[0], desired[1], matrix)
+        )
+        snapshot.extend(self.sketcher, bank[[span.lo for span in spans]])
+        return self._emit_index_locked(
+            snapshot.lsh, int(matrix.shape[0]) + len(spans)
+        )
+
+    def _write_compact_index_locked(
+        self, merged: SketchBank, merged_spans: Sequence[TableSpan]
+    ) -> tuple[str | None, LakeIndex | None]:
+        """Rebuild + persist the index over a compacted lake's rows.
+
+        Built from the merged bank directly (not the still-serving
+        in-memory index), so the served state stays untouched until the
+        manifest commit succeeds.  Returns ``(stale_file, snapshot)``;
+        the caller attaches the snapshot to the rebuilt index.
+        """
+        if not LakeIndex.supports(self.sketcher):
+            return None, None
+        desired = self._desired_banding()
+        indicator_rows = (
+            merged[[span.lo for span in merged_spans]] if merged_spans else None
+        )
+        snapshot = LakeIndex.build(
+            self.sketcher,
+            indicator_rows,
+            bands=desired[0],
+            rows_per_band=desired[1],
+        )
+        return self._emit_index_locked(snapshot.lsh, len(snapshot)), snapshot
+
+    def _drop_index_record(self) -> str | None:
+        """Detach the persisted index (``append(index=False)``)."""
+        record = self._manifest.index
+        self._manifest.index = None
+        return record.filename if record is not None else None
+
+    def _remove_stale_index(self, filename: str | None) -> None:
+        """Best-effort cleanup of a superseded index generation."""
+        if filename is None:
+            return
+        current = self._manifest.index
+        if current is not None and current.filename == filename:
+            return
+        with contextlib.suppress(OSError):
+            (self.path / filename).unlink()
 
     # ------------------------------------------------------------------
     # accounting / lifecycle
@@ -363,6 +605,11 @@ class LakeStore:
             for shard in self._manifest.shards
             if (self.path / shard.filename).is_file()
         )
+        record = self._manifest.index
+        index_bytes = 0
+        if record is not None and (self.path / record.filename).is_file():
+            index_bytes = (self.path / record.filename).stat().st_size
+            file_bytes += index_bytes
         return {
             "path": str(self.path),
             "sketcher": dict(self._manifest.sketcher),
@@ -374,6 +621,16 @@ class LakeStore:
             "tombstones": len(self._manifest.tombstones),
             "storage_words": self._index.storage_words() if len(self._index) else 0.0,
             "file_bytes": file_bytes,
+            "lsh_index": (
+                {
+                    "bands": record.bands,
+                    "rows_per_band": record.rows_per_band,
+                    "tables": record.tables,
+                    "file_bytes": index_bytes,
+                }
+                if record is not None
+                else None
+            ),
             # Mapped/loaded bank footprint; with zero-copy open this is
             # the mmapped size, not resident memory.
             "bank_bytes": sum(bank.nbytes() for bank in self._banks.values()),
@@ -386,6 +643,8 @@ class LakeStore:
         manifest commit never happened; safe to delete.
         """
         owned = {shard.filename for shard in self._manifest.shards}
+        if self._manifest.index is not None:
+            owned.add(self._manifest.index.filename)
         found = []
         for entry in sorted(self.path.iterdir()):
             if entry.name == _MANIFEST_NAME or entry.name in owned:

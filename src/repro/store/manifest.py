@@ -15,7 +15,12 @@ The manifest records:
 * ``shards`` — ordered shard descriptors, each with the per-table spans
   (``[lo, hi)`` row ranges) inside the shard's packed bank;
 * ``tombstones`` — ``(shard_id, table_name)`` pairs whose spans are
-  dead (superseded by a later append of the same table name).
+  dead (superseded by a later append of the same table name);
+* ``index`` (optional, version 2) — the persisted LSH candidate index:
+  its file, banding, and the number of live tables it covers, in
+  live-span order.  Absent for stores written before version 2 or for
+  sketchers without signature keys; readers then rebuild the index
+  lazily in memory.
 """
 
 from __future__ import annotations
@@ -26,10 +31,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["MANIFEST_VERSION", "ManifestError", "TableSpan", "ShardRecord", "Manifest"]
+__all__ = [
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "TableSpan",
+    "ShardRecord",
+    "IndexRecord",
+    "Manifest",
+]
 
 #: Manifest schema version; bump on incompatible layout changes.
-MANIFEST_VERSION = 1
+#: Version 2 added the optional LSH-index section (``index`` +
+#: ``next_index_id``); version-1 manifests (no index) still load, and
+#: are upgraded in place on the next save.
+MANIFEST_VERSION = 2
+
+#: Versions this build can read.
+_READABLE_VERSIONS = (1, 2)
 
 #: Marker distinguishing a lake manifest from arbitrary JSON.
 _FORMAT = "repro-lake"
@@ -93,6 +111,38 @@ class ShardRecord:
         )
 
 
+@dataclass(frozen=True)
+class IndexRecord:
+    """The persisted LSH candidate index: file, banding, coverage.
+
+    ``tables`` is the number of live tables the index file covers, one
+    digest row per table in live-span order — what lets ``open`` verify
+    the index matches the catalog before trusting it.
+    """
+
+    filename: str
+    bands: int
+    rows_per_band: int
+    tables: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "file": self.filename,
+            "bands": self.bands,
+            "rows_per_band": self.rows_per_band,
+            "tables": self.tables,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "IndexRecord":
+        return cls(
+            filename=data["file"],
+            bands=int(data["bands"]),
+            rows_per_band=int(data["rows_per_band"]),
+            tables=int(data["tables"]),
+        )
+
+
 @dataclass
 class Manifest:
     """In-memory form of ``manifest.json``."""
@@ -102,6 +152,8 @@ class Manifest:
     tombstones: set[tuple[int, str]] = field(default_factory=set)
     next_shard_id: int = 1
     version: int = MANIFEST_VERSION
+    index: IndexRecord | None = None
+    next_index_id: int = 1
 
     # ------------------------------------------------------------------
     # queries
@@ -135,14 +187,18 @@ class Manifest:
     # ------------------------------------------------------------------
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "format": _FORMAT,
             "version": self.version,
             "sketcher": self.sketcher,
             "next_shard_id": self.next_shard_id,
             "shards": [shard.to_json() for shard in self.shards],
             "tombstones": sorted([sid, name] for sid, name in self.tombstones),
+            "next_index_id": self.next_index_id,
         }
+        if self.index is not None:
+            payload["index"] = self.index.to_json()
+        return payload
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "Manifest":
@@ -151,11 +207,12 @@ class Manifest:
                 f"not a lake manifest (format {data.get('format')!r})"
             )
         version = int(data.get("version", -1))
-        if version != MANIFEST_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ManifestError(
                 f"unsupported manifest version {version} "
-                f"(this build reads version {MANIFEST_VERSION})"
+                f"(this build reads versions {list(_READABLE_VERSIONS)})"
             )
+        index = data.get("index")
         return cls(
             sketcher=dict(data["sketcher"]),
             shards=[ShardRecord.from_json(s) for s in data.get("shards", [])],
@@ -164,6 +221,8 @@ class Manifest:
             },
             next_shard_id=int(data.get("next_shard_id", 1)),
             version=version,
+            index=IndexRecord.from_json(index) if index is not None else None,
+            next_index_id=int(data.get("next_index_id", 1)),
         )
 
     def save(self, path: Path) -> None:
@@ -172,8 +231,11 @@ class Manifest:
         tmp file + fsync + rename + directory fsync: the last step is
         what makes the rename itself survive a power cut, so the
         shard-first / manifest-last commit order holds on disk, not
-        just in the page cache.
+        just in the page cache.  Saving always writes the current
+        schema version — opening an old store and committing to it
+        upgrades the manifest in place.
         """
+        self.version = MANIFEST_VERSION
         payload = json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n"
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as handle:

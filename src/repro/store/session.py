@@ -35,9 +35,20 @@ __all__ = ["QuerySession"]
 class QuerySession:
     """Stateful query front end over a :class:`LakeStore`."""
 
-    def __init__(self, store: LakeStore, min_containment: float = 0.05) -> None:
+    def __init__(
+        self,
+        store: LakeStore,
+        min_containment: float = 0.05,
+        candidates: str = "scan",
+    ) -> None:
+        """``candidates`` picks the session's default joinability
+        candidate generator: ``"scan"`` (exact full-lake pass) or
+        ``"lsh"`` (sublinear banded-signature shortlist, re-checked
+        exactly — hits are a subset of the scan path).  Every query
+        method also takes a per-call override."""
         self.store = store
         self.min_containment = min_containment
+        self.candidates = candidates
         self._query_cache: dict[str, JoinSketch] = {}
         self._engine: DatasetSearch | None = None
 
@@ -49,7 +60,8 @@ class QuerySession:
         (appends) keeps the cached engine valid, while a store event
         that rebuilds the index — compaction, reopening — swaps the
         object and forces a fresh engine on the next access.  Mutating
-        ``session.min_containment`` also invalidates it.
+        ``session.min_containment`` or ``session.candidates`` also
+        invalidates it.
         """
         index = self.store.index
         engine = self._engine
@@ -57,8 +69,11 @@ class QuerySession:
             engine is None
             or engine.index is not index
             or engine.min_containment != self.min_containment
+            or engine.candidates != self.candidates
         ):
-            engine = DatasetSearch(index, self.min_containment)
+            engine = DatasetSearch(
+                index, self.min_containment, candidates=self.candidates
+            )
             self._engine = engine
         return engine
 
@@ -79,9 +94,11 @@ class QuerySession:
             self._query_cache[table.name] = cached
         return cached
 
-    def joinable(self, table: Table) -> list[tuple[str, float, float]]:
+    def joinable(
+        self, table: Table, candidates: str | None = None
+    ) -> list[tuple[str, float, float]]:
         """Stored tables joinable with ``table`` (name, size, containment)."""
-        return self.engine.joinable(self.sketch(table))
+        return self.engine.joinable(self.sketch(table), candidates=candidates)
 
     def search(
         self,
@@ -89,9 +106,16 @@ class QuerySession:
         query_column: str,
         top_k: int = 10,
         by: str = "correlation",
+        candidates: str | None = None,
     ) -> list[SearchHit]:
         """Rank stored columns against ``table.query_column``."""
-        return self.engine.search(self.sketch(table), query_column, top_k=top_k, by=by)
+        return self.engine.search(
+            self.sketch(table),
+            query_column,
+            top_k=top_k,
+            by=by,
+            candidates=candidates,
+        )
 
     def search_many(
         self,
@@ -99,6 +123,7 @@ class QuerySession:
         query_columns: str | Sequence[str],
         top_k: int = 10,
         by: str = "correlation",
+        candidates: str | None = None,
     ) -> list[list[SearchHit]]:
         """Rank stored columns against a batch of query tables.
 
@@ -111,6 +136,7 @@ class QuerySession:
             query_columns,
             top_k=top_k,
             by=by,
+            candidates=candidates,
         )
 
     # ------------------------------------------------------------------

@@ -25,14 +25,31 @@ from pathlib import Path
 from repro.core.bank import SketchBank
 from repro.io.serialize import pack_shard, unpack_shard
 
-__all__ = ["SHARD_SUFFIX", "shard_filename", "write_shard", "read_shard"]
+__all__ = [
+    "SHARD_SUFFIX",
+    "shard_filename",
+    "index_filename",
+    "write_bytes_atomic",
+    "write_shard",
+    "read_shard",
+]
 
-#: Extension of shard files inside a lake directory.
+#: Extension of shard (and LSH-index) files inside a lake directory.
 SHARD_SUFFIX = ".rpro"
 
 
 def shard_filename(shard_id: int) -> str:
     return f"shard-{shard_id:06d}{SHARD_SUFFIX}"
+
+
+def index_filename(index_id: int) -> str:
+    """Generation-numbered LSH-index file inside a lake directory.
+
+    Index rewrites go to a fresh generation and the manifest repoints
+    afterwards — same crash-safety story as shards: an interrupted
+    write leaves only an unreferenced file the next open ignores.
+    """
+    return f"index-{index_id:06d}{SHARD_SUFFIX}"
 
 
 def fsync_directory(path: Path) -> None:
@@ -44,20 +61,27 @@ def fsync_directory(path: Path) -> None:
         os.close(fd)
 
 
-def write_shard(path: Path, bank: SketchBank) -> int:
-    """Atomically write ``bank`` as a shard file; returns bytes written."""
-    payload = pack_shard(bank)
+def write_bytes_atomic(path: Path, payload: bytes) -> int:
+    """Durably write ``payload`` at ``path`` via tmp + fsync + rename.
+
+    The directory fsync matters: without it a power cut can forget the
+    rename itself even though the file's bytes are durable — and a
+    later manifest commit could then point at a file that no longer
+    exists.
+    """
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
         handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
-    # Without this, a power cut can forget the rename itself even
-    # though the file's bytes are durable — and a later manifest commit
-    # could then point at a shard that no longer exists.
     fsync_directory(path.parent)
     return len(payload)
+
+
+def write_shard(path: Path, bank: SketchBank) -> int:
+    """Atomically write ``bank`` as a shard file; returns bytes written."""
+    return write_bytes_atomic(path, pack_shard(bank))
 
 
 def read_shard(

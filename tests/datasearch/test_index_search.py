@@ -290,11 +290,15 @@ class TestCompactCache:
         after = index.indicator_bank
         assert len(after) == 2
         assert after is not before
-        # The replaced row must reflect the new table's sketches.
+        # Replacement moves the entry to the end of the table order —
+        # matching the persistent store's live-span order, where the
+        # replacing span lives in the newest shard — and the moved row
+        # must reflect the new table's sketches.
+        assert index.table_names() == ["t1", "t0"]
         fresh = SketchIndex(WeightedMinHash(m=16, seed=0, L=1 << 16))
         fresh.add(replacement)
         np.testing.assert_array_equal(
-            after.column("hashes")[0], fresh.indicator_bank.column("hashes")[0]
+            after.column("hashes")[-1], fresh.indicator_bank.column("hashes")[0]
         )
 
     def test_cached_banks_returned_unchanged_when_clean(self):

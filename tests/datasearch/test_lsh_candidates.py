@@ -1,0 +1,333 @@
+"""LSH candidate generation for dataset search.
+
+Covers the serving guarantees of ``candidates="lsh"``:
+
+* **subset** — for every sketcher exposing signature keys, LSH hits
+  (search, joinable, search_many) are a subset of the scan path, with
+  identical statistics for the hits that survive;
+* **statistical recall** — empirical recall on synthetic lakes with
+  known containment is within tolerance of the S-curve
+  ``expected_recall``, and exactly 1.0 for single-row bands;
+* **staleness** — appends extend the index incrementally, replacement
+  invalidates it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.index import SketchIndex
+from repro.datasearch.lshindex import LakeIndex
+from repro.datasearch.search import DatasetSearch
+from repro.datasearch.table import Table
+from repro.mips.lsh import SignatureLSH, collision_probability
+from repro.sketches.icws import ICWS
+from repro.sketches.jl import JohnsonLindenstrauss
+from repro.sketches.minhash import MinHash
+
+#: Sketchers that expose per-repetition signature keys.
+SIGNATURE_SKETCHERS = [
+    pytest.param(lambda: WeightedMinHash(m=48, seed=5, L=1 << 16), id="WMH"),
+    pytest.param(lambda: MinHash(m=48, seed=5), id="MH"),
+    pytest.param(lambda: ICWS(m=48, seed=5), id="ICWS"),
+]
+
+
+def make_lake(num_tables, joinable, rows, seed, shared_fraction=1.0):
+    """``joinable`` tables share ``shared_fraction`` of the query's key
+    domain; the rest use disjoint keys."""
+    rng = np.random.default_rng(seed)
+    domain = int(rows * 2.5)
+    shared = int(rows * shared_fraction)
+    tables = []
+    for i in range(num_tables):
+        if i < joinable:
+            keys = [
+                f"k{k}" for k in rng.choice(domain, size=shared, replace=False)
+            ] + [f"t{i}-{j}" for j in range(rows - shared)]
+        else:
+            keys = [f"t{i}-{j}" for j in range(rows)]
+        tables.append(
+            Table(f"table{i}", keys, {"c": rng.normal(size=rows)})
+        )
+    return tables
+
+
+def make_query(rows, seed):
+    rng = np.random.default_rng(seed)
+    domain = int(rows * 2.5)
+    keys = [f"k{k}" for k in rng.choice(domain, size=rows, replace=False)]
+    return Table("query", keys, {"signal": rng.normal(size=rows)})
+
+
+def hit_keys(hits):
+    return [
+        (h.table_name, h.column, h.join_size, h.containment, h.score)
+        for h in hits
+    ]
+
+
+class TestSubsetGuarantee:
+    """candidates="lsh" hits are always a subset of candidates="scan"."""
+
+    @pytest.mark.parametrize("make_sketcher", SIGNATURE_SKETCHERS)
+    def test_search_hits_subset_with_identical_stats(self, make_sketcher):
+        index = SketchIndex(make_sketcher())
+        index.add_all(make_lake(40, 8, 30, seed=1))
+        engine = DatasetSearch(index, min_containment=0.2)
+        query = engine.sketch_query(make_query(30, seed=2))
+
+        scan = engine.search(query, "signal", top_k=50)
+        lsh = engine.search(query, "signal", top_k=50, candidates="lsh")
+        scan_keys = hit_keys(scan)
+        lsh_keys = hit_keys(lsh)
+        assert set(lsh_keys) <= set(scan_keys)
+        # Surviving hits keep their exact scan statistics and relative
+        # order (the shortlist only removes rows, never rescores them).
+        surviving = [k for k in scan_keys if k in set(lsh_keys)]
+        assert lsh_keys == surviving
+
+    @pytest.mark.parametrize("make_sketcher", SIGNATURE_SKETCHERS)
+    def test_joinable_subset(self, make_sketcher):
+        index = SketchIndex(make_sketcher())
+        index.add_all(make_lake(40, 8, 30, seed=3))
+        engine = DatasetSearch(index, min_containment=0.2)
+        query = engine.sketch_query(make_query(30, seed=4))
+
+        scan = engine.joinable(query)
+        lsh = engine.joinable(query, candidates="lsh")
+        assert set(lsh) <= set(scan)
+        surviving = [row for row in scan if row in set(lsh)]
+        assert lsh == surviving
+
+    @pytest.mark.parametrize("make_sketcher", SIGNATURE_SKETCHERS)
+    def test_search_many_matches_search_loop(self, make_sketcher):
+        index = SketchIndex(make_sketcher())
+        index.add_all(make_lake(30, 6, 24, seed=5))
+        engine = DatasetSearch(index, min_containment=0.2, candidates="lsh")
+        queries = [
+            engine.sketch_query(make_query(24, seed=6 + i)) for i in range(4)
+        ]
+        batched = engine.search_many(queries, "signal", top_k=20)
+        looped = [engine.search(q, "signal", top_k=20) for q in queries]
+        assert [hit_keys(b) for b in batched] == [hit_keys(s) for s in looped]
+
+    def test_full_ranking_subset_with_lossy_banding(self):
+        # Deep bands (rows_per_band=4) miss some joinable tables; the
+        # *uncut* LSH ranking must still be a sub-sequence of the scan
+        # ranking.  (A top-k cut of a lossy shortlist can legitimately
+        # promote lower-scored survivors — subset claims are about full
+        # rankings.)
+        index = SketchIndex(WeightedMinHash(m=48, seed=5, L=1 << 16))
+        index.add_all(make_lake(40, 12, 30, seed=21, shared_fraction=0.5))
+        index.lsh_index(bands=12, rows_per_band=4)  # deliberately lossy
+        # lsh_target_recall opts into the lossy banding; the default
+        # 0.95 target would rebuild it at a shallower split.
+        engine = DatasetSearch(index, min_containment=0.15, lsh_target_recall=0.001)
+        misses = 0
+        for qseed in range(6):
+            query = engine.sketch_query(make_query(30, seed=30 + qseed))
+            scan = hit_keys(engine.search(query, "signal", top_k=10**9))
+            lsh = hit_keys(
+                engine.search(query, "signal", top_k=10**9, candidates="lsh")
+            )
+            assert set(lsh) <= set(scan)
+            assert lsh == [k for k in scan if k in set(lsh)]
+            misses += len(scan) - len(lsh)
+        assert misses > 0  # the banding really is lossy here
+
+    def test_min_containment_zero_stays_subset(self):
+        # With the threshold at 0 every table passes the scan filter;
+        # the LSH path must still return only shortlisted tables, never
+        # zero-size phantoms.
+        index = SketchIndex(WeightedMinHash(m=48, seed=5, L=1 << 16))
+        index.add_all(make_lake(20, 4, 24, seed=7))
+        engine = DatasetSearch(index, min_containment=0.0)
+        query = engine.sketch_query(make_query(24, seed=8))
+        scan = engine.joinable(query)
+        lsh = engine.joinable(query, candidates="lsh")
+        assert len(scan) == 20
+        assert set(lsh) <= set(scan)
+
+    def test_unsupported_sketcher_raises(self):
+        index = SketchIndex(JohnsonLindenstrauss(m=32, seed=0))
+        index.add_all(make_lake(5, 2, 16, seed=9))
+        engine = DatasetSearch(index, min_containment=0.1)
+        query = engine.sketch_query(make_query(16, seed=10))
+        with pytest.raises(ValueError, match="signature keys"):
+            engine.search(query, "signal", candidates="lsh")
+        assert index.lsh_index() is None
+
+    def test_unknown_mode_rejected(self):
+        index = SketchIndex(WeightedMinHash(m=16, seed=0))
+        with pytest.raises(ValueError, match="candidate generator"):
+            DatasetSearch(index, candidates="psychic")
+        engine = DatasetSearch(index)
+        with pytest.raises(ValueError, match="candidate generator"):
+            engine.search_many([], "signal", candidates="psychic")
+
+    def test_empty_index_returns_empty(self):
+        engine = DatasetSearch(
+            SketchIndex(WeightedMinHash(m=16, seed=0, L=1 << 16)),
+            candidates="lsh",
+        )
+        query = engine.sketch_query(make_query(10, seed=11))
+        assert engine.search(query, "signal") == []
+        assert engine.joinable(query) == []
+
+
+class TestRecall:
+    """Measured recall tracks the S-curve."""
+
+    def test_single_row_bands_have_perfect_recall(self):
+        # With rows_per_band=1 (the tuned default at serving
+        # thresholds) any table with one matching repetition collides —
+        # and a positive joinability estimate implies a match — so the
+        # LSH joinable set equals the scan joinable set exactly.
+        index = SketchIndex(WeightedMinHash(m=48, seed=5, L=1 << 16))
+        index.add_all(make_lake(60, 15, 30, seed=12, shared_fraction=0.6))
+        assert index.lsh_index(bands=48, rows_per_band=1).rows_per_band == 1
+        engine = DatasetSearch(index, min_containment=0.2)
+        for qseed in range(5):
+            query = engine.sketch_query(make_query(30, seed=20 + qseed))
+            assert engine.joinable(query, candidates="lsh") == engine.joinable(
+                query
+            )
+
+    def test_empirical_recall_matches_expected_on_known_containment(self):
+        # Every joinable table shares exactly half its keys with the
+        # query (containment 0.5 of the query, true weighted Jaccard
+        # J = 20 / 60 = 1/3).  With a statistical banding (rows=2) the
+        # scan-joinable tables should be shortlisted at about the
+        # S-curve rate.
+        rows, shared = 40, 20
+        num_joinable = 150
+        rng = np.random.default_rng(13)
+        query_keys = [f"q{j}" for j in range(rows)]
+        tables = []
+        for i in range(num_joinable):
+            keep = rng.choice(rows, size=shared, replace=False)
+            keys = [query_keys[k] for k in keep] + [
+                f"t{i}-{j}" for j in range(rows - shared)
+            ]
+            tables.append(Table(f"table{i}", keys, {"c": rng.normal(size=rows)}))
+        index = SketchIndex(WeightedMinHash(m=32, seed=3, L=1 << 16))
+        index.add_all(tables)
+        lake_index = index.lsh_index(bands=16, rows_per_band=2)
+        # Accept the statistical banding (the default recall target
+        # would rebuild it shallower).
+        engine = DatasetSearch(index, min_containment=0.25, lsh_target_recall=0.5)
+        query = engine.sketch_query(
+            Table("query", query_keys, {"signal": rng.normal(size=rows)})
+        )
+
+        scan = {name for name, _, _ in engine.joinable(query)}
+        lsh = {name for name, _, _ in engine.joinable(query, candidates="lsh")}
+        assert lsh <= scan
+        assert len(scan) >= 100  # the filter separates cleanly
+        jaccard = shared / (2 * rows - shared)
+        expected = lake_index.expected_recall(jaccard)
+        measured = len(lsh) / len(scan)
+        assert measured == pytest.approx(expected, abs=0.15)
+
+    def test_empirical_collision_rate_matches_s_curve_batched(self):
+        # Pure SignatureLSH statistics, batched API: signatures agree
+        # per-entry with probability J; band collisions should occur at
+        # the 1 - (1 - J^r)^b rate.
+        rng = np.random.default_rng(14)
+        bands, rows_per_band, similarity, trials = 12, 2, 0.55, 500
+        length = bands * rows_per_band
+        base = rng.random((trials, length))
+        probes = base.copy()
+        resample = rng.random(base.shape) > similarity
+        probes[resample] = rng.random(int(resample.sum()))
+        lsh = SignatureLSH(bands=bands, rows_per_band=rows_per_band)
+        lsh.insert_signatures(base)
+        matches = sum(
+            i in found.tolist()
+            for i, found in enumerate(lsh.candidates_many(probes))
+        )
+        expected = collision_probability(similarity, rows_per_band, bands)
+        assert matches / trials == pytest.approx(expected, abs=0.07)
+
+
+class TestIndexStaleness:
+    """lsh_index follows the bank caches: extend on append, drop on
+    replacement, first banding wins."""
+
+    def test_append_extends_incrementally(self):
+        lake = make_lake(20, 5, 24, seed=15)
+        index = SketchIndex(WeightedMinHash(m=32, seed=1, L=1 << 16))
+        index.add_all(lake[:12])
+        first = index.lsh_index()
+        assert len(first) == 12
+        index.add_all(lake[12:])
+        second = index.lsh_index()
+        assert second is first  # same object, extended in place
+        assert len(second) == 20
+
+    def test_incremental_matches_scratch(self):
+        lake = make_lake(20, 5, 24, seed=16)
+        grown = SketchIndex(WeightedMinHash(m=32, seed=1, L=1 << 16))
+        grown.add_all(lake[:9])
+        grown.lsh_index()
+        grown.add_all(lake[9:])
+        scratch = SketchIndex(WeightedMinHash(m=32, seed=1, L=1 << 16))
+        scratch.add_all(lake)
+        assert (
+            grown.lsh_index().lsh.digest_matrix().tobytes()
+            == scratch.lsh_index().lsh.digest_matrix().tobytes()
+        )
+
+    def test_replacement_invalidates(self):
+        lake = make_lake(10, 3, 24, seed=17)
+        index = SketchIndex(WeightedMinHash(m=32, seed=1, L=1 << 16))
+        index.add_all(lake)
+        first = index.lsh_index()
+        replacement = Table(
+            "table1",
+            [f"r{j}" for j in range(24)],
+            {"c": np.ones(24)},
+        )
+        index.add(replacement)
+        second = index.lsh_index()
+        assert second is not first
+        assert len(second) == 10
+
+    def test_insufficient_banding_rebuilt_for_lower_threshold_caller(self):
+        # Engine A (high threshold) lazily builds a deep banding; when
+        # engine B (low threshold, default 0.95 recall target) queries
+        # the same index, the banding cannot meet B's target and must
+        # be rebuilt shallower — not silently reused with ~zero recall.
+        index = SketchIndex(WeightedMinHash(m=48, seed=5, L=1 << 16))
+        index.add_all(make_lake(40, 10, 30, seed=22, shared_fraction=0.8))
+        engine_a = DatasetSearch(index, min_containment=0.5, candidates="lsh")
+        query = engine_a.sketch_query(make_query(30, seed=23))
+        engine_a.search(query, "signal")
+        deep = index.lsh_index(target_sim=0.5)
+        assert deep.rows_per_band > 1  # A really tuned a deep banding
+
+        engine_b = DatasetSearch(index, min_containment=0.1, candidates="lsh")
+        lsh = engine_b.joinable(query)
+        scan = engine_b.joinable(query, candidates="scan")
+        rebuilt = index.lsh_index(target_sim=0.1)
+        assert rebuilt.rows_per_band == 1
+        assert rebuilt.expected_recall(0.1) >= 0.95
+        assert lsh == scan  # single-row bands: perfect recall
+
+    def test_first_banding_wins(self):
+        index = SketchIndex(WeightedMinHash(m=32, seed=1, L=1 << 16))
+        index.add_all(make_lake(8, 2, 24, seed=18))
+        built = index.lsh_index(bands=8, rows_per_band=4)
+        again = index.lsh_index(bands=16, rows_per_band=2)
+        assert again is built
+        assert (again.bands, again.rows_per_band) == (8, 4)
+
+    def test_attach_lsh_validates_coverage(self):
+        index = SketchIndex(WeightedMinHash(m=32, seed=1, L=1 << 16))
+        index.add_all(make_lake(5, 1, 24, seed=19))
+        foreign = LakeIndex(SignatureLSH(bands=32, rows_per_band=1))
+        with pytest.raises(ValueError, match="covers 0 tables"):
+            index.attach_lsh(foreign)

@@ -307,8 +307,9 @@ class TestOwnerPositions:
         lake = make_lake()
         index = build_index("WMH", lake[:4])
         assert index.owner_positions().size == 8
-        # Replace table 1 with a three-column version: its value rows
-        # change while its table position stays.
+        # Replace table 1 with a three-column version: the entry moves
+        # to the end of the table order (live-span order) and its value
+        # rows move with it.
         keys = [f"k{j}" for j in range(30)]
         index.add(
             Table(
@@ -321,7 +322,8 @@ class TestOwnerPositions:
                 },
             )
         )
+        assert index.table_names() == ["t0", "t2", "t3", "t1"]
         positions = index.owner_positions()
         assert positions.size == 9
-        assert index.value_owners()[2:5] == [("t1", "a"), ("t1", "b"), ("t1", "c")]
-        np.testing.assert_array_equal(positions[2:5], [1, 1, 1])
+        assert index.value_owners()[6:9] == [("t1", "a"), ("t1", "b"), ("t1", "c")]
+        np.testing.assert_array_equal(positions[6:9], [3, 3, 3])

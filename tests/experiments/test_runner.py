@@ -92,3 +92,53 @@ class TestRunSweep:
             [(zero, zero)], storages=[60], trials=1, methods=("WMH", "JL")
         )
         assert all(record.error == 0.0 for record in records)
+
+
+class TestRunSweepCandidates:
+    """The serving-side candidates knob on the sweep driver."""
+
+    def overlapping_pairs(self, seed=0, count=6):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for _ in range(count):
+            shared = rng.choice(500, size=40, replace=False)
+            a = SparseVector(np.sort(shared), rng.normal(size=40))
+            b_idx = np.sort(
+                np.concatenate(
+                    [shared[:30], 500 + rng.choice(100, size=10, replace=False)]
+                )
+            )
+            pairs.append((a, SparseVector(b_idx, rng.normal(size=40))))
+        return pairs
+
+    def test_lsh_records_are_subset_of_scan(self):
+        pairs = self.overlapping_pairs()
+        scan = run_sweep(pairs, storages=[96], trials=2, methods=["WMH"], seed=1)
+        lsh = run_sweep(
+            pairs,
+            storages=[96],
+            trials=2,
+            methods=["WMH"],
+            seed=1,
+            candidates="lsh",
+        )
+        scan_cells = {(r.pair_id, r.trial): r.error for r in scan}
+        lsh_cells = {(r.pair_id, r.trial): r.error for r in lsh}
+        assert set(lsh_cells) <= set(scan_cells)
+        assert all(scan_cells[cell] == lsh_cells[cell] for cell in lsh_cells)
+
+    def test_signatureless_methods_estimate_every_pair(self):
+        pairs = self.overlapping_pairs(seed=2)
+        scan = run_sweep(pairs, storages=[64], trials=1, methods=["JL"], seed=1)
+        lsh = run_sweep(
+            pairs, storages=[64], trials=1, methods=["JL"], seed=1, candidates="lsh"
+        )
+        assert len(lsh) == len(scan)
+
+    def test_unknown_candidates_rejected(self):
+        with pytest.raises(ValueError, match="candidate generator"):
+            run_sweep(
+                self.overlapping_pairs(), storages=[64], candidates="psychic"
+            )

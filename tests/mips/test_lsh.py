@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core.wmh import WeightedMinHash
-from repro.mips.lsh import MIPSIndex, SignatureLSH, collision_probability
+from repro.mips.lsh import (
+    MIPSHit,
+    MIPSIndex,
+    SignatureLSH,
+    collision_probability,
+    tune,
+)
 from repro.vectors.sparse import SparseVector
 
 
@@ -205,3 +211,221 @@ class TestInsertBank:
         index = MIPSIndex(WeightedMinHash(m=64, seed=0, L=1 << 16))
         index.add_batch([], [])
         assert len(index) == 0
+
+
+class TestVectorizedCollisionProbability:
+    """The S-curve accepts array similarity input (satellite)."""
+
+    def test_array_matches_scalar_loop(self):
+        sims = np.linspace(0.0, 1.0, 21)
+        vectorized = collision_probability(sims, 4, 8)
+        scalar = np.array([collision_probability(float(s), 4, 8) for s in sims])
+        assert np.array_equal(vectorized, scalar)
+
+    def test_scalar_input_returns_float(self):
+        out = collision_probability(0.3, 2, 4)
+        assert isinstance(out, float)
+
+    def test_array_shape_preserved(self):
+        sims = np.full((3, 5), 0.5)
+        assert collision_probability(sims, 2, 4).shape == (3, 5)
+
+    def test_array_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="similarity"):
+            collision_probability(np.array([0.2, 1.2]), 2, 2)
+        with pytest.raises(ValueError, match="similarity"):
+            collision_probability(np.array([-0.1, 0.5]), 2, 2)
+
+
+class TestTune:
+    """The (bands, rows_per_band) auto-tuner (satellite)."""
+
+    def test_meets_recall_target(self):
+        bands, rows = tune(128, 0.5, 0.95)
+        assert bands * rows <= 128
+        assert collision_probability(0.5, rows, bands) >= 0.95
+
+    def test_most_selective_feasible_split(self):
+        # A deeper banding (more rows per band) of the same signature
+        # must fall below the target — otherwise the tuner left
+        # selectivity on the table.
+        m, sim, target = 256, 0.5, 0.95
+        bands, rows = tune(m, sim, target)
+        deeper = rows + 1
+        if deeper * (m // deeper) <= m and m // deeper >= 1:
+            assert collision_probability(sim, deeper, m // deeper) < target
+
+    def test_unreachable_target_falls_back_to_max_recall(self):
+        # One band entry cannot give 0.99 recall at similarity 1e-6,
+        # so the tuner returns the maximum-recall banding (m, 1).
+        assert tune(8, 1e-6, 0.99) == (8, 1)
+
+    def test_low_similarity_targets_give_single_row_bands(self):
+        # At the serving default (containment 0.05) only r=1 banding
+        # reaches 0.95 expected recall for typical signature lengths.
+        assert tune(200, 0.05, 0.95) == (200, 1)
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError, match="positive"):
+            tune(0, 0.5)
+        with pytest.raises(ValueError, match="target_sim"):
+            tune(16, 1.5)
+        with pytest.raises(ValueError, match="target_recall"):
+            tune(16, 0.5, 0.0)
+
+
+class TestArrayBackedLSH:
+    """The array-backed bucket rebuild (tentpole)."""
+
+    def signatures(self, count, length, seed=0):
+        return np.random.default_rng(seed).random((count, length))
+
+    def test_candidates_many_matches_per_row_lookup(self):
+        lsh = SignatureLSH(bands=8, rows_per_band=2)
+        sigs = self.signatures(40, 16, seed=1)
+        lsh.insert_signatures(sigs)
+        probes = np.vstack([sigs[:7], self.signatures(5, 16, seed=2)])
+        batched = lsh.candidates_many(probes)
+        assert len(batched) == len(probes)
+        for i, probe in enumerate(probes):
+            assert np.array_equal(batched[i], lsh.candidate_rows(probe))
+
+    def test_candidate_rows_ascending_unique(self):
+        lsh = SignatureLSH(bands=4, rows_per_band=2)
+        sigs = np.tile(self.signatures(1, 8, seed=3), (6, 1))
+        lsh.insert_signatures(sigs)
+        rows = lsh.candidate_rows(sigs[0])
+        assert rows.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_self_collision_guaranteed(self):
+        lsh = SignatureLSH(bands=6, rows_per_band=3)
+        sigs = self.signatures(25, 18, seed=4)
+        lsh.insert_signatures(sigs)
+        for i in range(len(sigs)):
+            assert i in lsh.candidate_rows(sigs[i]).tolist()
+
+    def test_integer_signatures_supported(self):
+        # ICWS-style uint64 sample keys band directly.
+        keys = np.random.default_rng(5).integers(
+            0, 2**63, size=(10, 12), dtype=np.uint64
+        )
+        lsh = SignatureLSH(bands=6, rows_per_band=2)
+        lsh.insert_signatures(keys)
+        assert 3 in lsh.candidate_rows(keys[3]).tolist()
+
+    def test_empty_index_returns_empty(self):
+        lsh = SignatureLSH(bands=4, rows_per_band=2)
+        assert lsh.candidate_rows(self.signatures(1, 8)[0]).size == 0
+        assert lsh.candidates(self.signatures(1, 8)[0]) == set()
+
+    def test_short_signature_still_rejected_on_lookup(self):
+        lsh = SignatureLSH(bands=4, rows_per_band=4)
+        with pytest.raises(ValueError, match="banding needs"):
+            lsh.candidate_rows(np.random.default_rng(0).random(8))
+
+    def test_digest_matrix_round_trip(self):
+        lsh = SignatureLSH(bands=8, rows_per_band=2)
+        sigs = self.signatures(30, 16, seed=6)
+        lsh.insert_signatures(sigs)
+        restored = SignatureLSH.from_digests(8, 2, lsh.digest_matrix())
+        assert len(restored) == len(lsh)
+        probe = sigs[11]
+        assert np.array_equal(
+            restored.candidate_rows(probe), lsh.candidate_rows(probe)
+        )
+
+    def test_incremental_equals_scratch_byte_for_byte(self):
+        sigs = self.signatures(24, 16, seed=7)
+        scratch = SignatureLSH(bands=8, rows_per_band=2)
+        scratch.insert_signatures(sigs)
+        incremental = SignatureLSH(bands=8, rows_per_band=2)
+        incremental.insert_signatures(sigs[:10])
+        incremental.insert_signatures(sigs[10:17])
+        incremental.insert_signatures(sigs[17:])
+        assert (
+            incremental.digest_matrix().tobytes()
+            == scratch.digest_matrix().tobytes()
+        )
+
+    def test_from_digests_supports_further_inserts(self):
+        sigs = self.signatures(12, 8, seed=8)
+        lsh = SignatureLSH(bands=4, rows_per_band=2)
+        lsh.insert_signatures(sigs[:6])
+        restored = SignatureLSH.from_digests(4, 2, lsh.digest_matrix())
+        restored.insert_signatures(sigs[6:])
+        lsh.insert_signatures(sigs[6:])
+        assert (
+            restored.digest_matrix().tobytes() == lsh.digest_matrix().tobytes()
+        )
+
+    def test_interleaved_inserts_and_lookups_match_scratch(self):
+        # Queries between appends exercise the incremental sorted-merge
+        # path; results must match a from-scratch index at every step.
+        sigs = self.signatures(30, 16, seed=9)
+        grown = SignatureLSH(bands=8, rows_per_band=2)
+        for lo, hi in [(0, 10), (10, 11), (11, 24), (24, 30)]:
+            grown.insert_signatures(sigs[lo:hi])
+            scratch = SignatureLSH(bands=8, rows_per_band=2)
+            scratch.insert_signatures(sigs[:hi])
+            for probe in sigs[:hi:5]:
+                assert np.array_equal(
+                    grown.candidate_rows(probe), scratch.candidate_rows(probe)
+                )
+
+    def test_from_digests_validates_shape(self):
+        with pytest.raises(ValueError, match="digest matrix"):
+            SignatureLSH.from_digests(4, 2, np.zeros((3, 5), dtype=np.uint64))
+
+
+class TestMIPSQueryBatchIdentity:
+    """MIPSIndex.query scores candidates in one estimate_many call and
+    stays bitwise-identical to the scalar estimate loop (satellite)."""
+
+    def scalar_reference(self, index, query, top_k, probe_all):
+        query_sketch = index.sketcher.sketch(query)
+        if probe_all:
+            candidate_ids = list(index._sketches)
+        else:
+            candidate_ids = sorted(
+                index._lsh.candidates(query_sketch.hashes), key=repr
+            )
+        hits = [
+            MIPSHit(
+                item_id=item_id,
+                score=index.sketcher.estimate(
+                    query_sketch, index._sketches[item_id]
+                ),
+            )
+            for item_id in candidate_ids
+        ]
+        hits.sort(key=lambda hit: hit.score, reverse=True)
+        return hits[:top_k]
+
+    @pytest.mark.parametrize("probe_all", [False, True])
+    def test_bitwise_identical_to_scalar_loop(self, probe_all):
+        query, vectors = corpus_vectors(seed=11, count=25)
+        index = MIPSIndex(
+            WeightedMinHash(m=64, seed=6, L=1 << 16), bands=16, rows_per_band=4
+        )
+        index.add_batch(list(vectors), list(vectors.values()))
+        batched = index.query(query, top_k=100, probe_all=probe_all)
+        reference = self.scalar_reference(index, query, 100, probe_all)
+        assert len(batched) == len(reference)
+        for got, want in zip(batched, reference):
+            assert got.item_id == want.item_id
+            # Bitwise: the batch estimator must not drift by an ulp.
+            assert np.float64(got.score).tobytes() == np.float64(
+                want.score
+            ).tobytes()
+
+    def test_empty_candidate_set(self):
+        index = MIPSIndex(
+            WeightedMinHash(m=32, seed=0, L=1 << 16), bands=8, rows_per_band=4
+        )
+        query, vectors = corpus_vectors(seed=12, count=4)
+        for item_id, vector in vectors.items():
+            index.add(item_id, vector)
+        disjoint = SparseVector(
+            np.arange(5_000, 5_050), np.ones(50)
+        )
+        assert index.query(disjoint, top_k=5) == []

@@ -251,3 +251,74 @@ class TestSketchingProperties:
         scaled = sketcher.sketch(vector.scaled(2.0))
         np.testing.assert_array_equal(base.hashes, scaled.hashes)
         np.testing.assert_array_equal(base.values, scaled.values)
+
+
+# ----------------------------------------------------------------------
+# LSH S-curve (repro.mips.lsh)
+# ----------------------------------------------------------------------
+
+
+class TestSCurveProperties:
+    """Monotonicity invariants of the banding collision probability."""
+
+    @given(
+        sim_a=st.floats(min_value=0.0, max_value=1.0),
+        sim_b=st.floats(min_value=0.0, max_value=1.0),
+        rows=st.integers(min_value=1, max_value=16),
+        bands=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_similarity(self, sim_a, sim_b, rows, bands):
+        from repro.mips.lsh import collision_probability
+
+        low, high = sorted((sim_a, sim_b))
+        assert collision_probability(low, rows, bands) <= collision_probability(
+            high, rows, bands
+        )
+
+    @given(
+        sim=st.floats(min_value=0.0, max_value=1.0),
+        rows=st.integers(min_value=1, max_value=16),
+        bands=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_bands_and_bounded(self, sim, rows, bands):
+        from repro.mips.lsh import collision_probability
+
+        fewer = collision_probability(sim, rows, bands)
+        more = collision_probability(sim, rows, bands + 1)
+        assert 0.0 <= fewer <= more <= 1.0
+
+    @given(
+        sim=st.floats(min_value=0.0, max_value=1.0),
+        rows=st.integers(min_value=1, max_value=15),
+        bands=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_deeper_bands_suppress(self, sim, rows, bands):
+        from repro.mips.lsh import collision_probability
+
+        # More rows per band (same band count) can only lower the
+        # collision probability: J^(r+1) <= J^r.
+        assert collision_probability(sim, rows + 1, bands) <= (
+            collision_probability(sim, rows, bands)
+        )
+
+    @given(
+        m=st.integers(min_value=1, max_value=512),
+        sim=st.floats(min_value=0.01, max_value=0.99),
+        target=st.floats(min_value=0.5, max_value=0.99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tune_is_feasible_or_max_recall(self, m, sim, target):
+        from repro.mips.lsh import collision_probability, tune
+
+        bands, rows = tune(m, sim, target)
+        assert bands >= 1 and rows >= 1 and bands * rows <= m
+        recall = collision_probability(sim, rows, bands)
+        if (bands, rows) != (m, 1):
+            assert recall >= target
+        else:
+            # Max-recall fallback: no deeper split can do better than
+            # the full-width single-row banding.
+            assert recall == collision_probability(sim, 1, m)

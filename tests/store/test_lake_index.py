@@ -1,0 +1,336 @@
+"""Persistence of the LSH candidate index (the manifest index section).
+
+The contract: the index is built at ingest, extended incrementally on
+``append`` (byte-identical to a from-scratch build), rebuilt on
+``compact``, validated on ``open`` (checksum + catalog agreement), and
+entirely optional — manifests without an index section (older stores,
+``--no-index`` ingests, signature-less sketchers) open fine and rebuild
+the index lazily in memory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.table import Table
+from repro.io.serialize import (
+    SerializationError,
+    pack_lsh_index,
+    unpack_lsh_index,
+)
+from repro.mips.lsh import SignatureLSH
+from repro.sketches.jl import JohnsonLindenstrauss
+from repro.store import LakeStore, QuerySession, StoreError
+
+
+def make_tables(count=8, seed=0, rows=40, prefix="table"):
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = [f"k{j}" for j in rng.choice(200, size=rows, replace=False)]
+        tables.append(
+            Table(f"{prefix}{i}", keys, {"alpha": rng.normal(size=rows)})
+        )
+    return tables
+
+
+def make_query(seed=99, rows=50):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{j}" for j in rng.choice(200, size=rows, replace=False)]
+    return Table("query", keys, {"signal": rng.normal(size=rows)})
+
+
+def fresh_sketcher():
+    return WeightedMinHash(m=48, seed=5, L=1 << 16)
+
+
+def index_files(path):
+    return sorted(p.name for p in path.iterdir() if p.name.startswith("index-"))
+
+
+def hit_tuples(hits):
+    return [
+        (h.table_name, h.column, h.score, h.join_size, h.containment)
+        for h in hits
+    ]
+
+
+class TestPackUnpack:
+    """The checksummed LSH-index container in io.serialize."""
+
+    def build(self, seed=0, count=20):
+        lsh = SignatureLSH(bands=8, rows_per_band=2)
+        lsh.insert_signatures(np.random.default_rng(seed).random((count, 16)))
+        return lsh
+
+    def test_round_trip(self):
+        lsh = self.build()
+        restored = unpack_lsh_index(pack_lsh_index(lsh))
+        assert (restored.bands, restored.rows_per_band) == (8, 2)
+        assert len(restored) == len(lsh)
+        assert (
+            restored.digest_matrix().tobytes() == lsh.digest_matrix().tobytes()
+        )
+
+    def test_empty_index_round_trip(self):
+        lsh = SignatureLSH(bands=4, rows_per_band=2)
+        restored = unpack_lsh_index(pack_lsh_index(lsh))
+        assert len(restored) == 0
+
+    def test_bit_flip_rejected(self):
+        payload = bytearray(pack_lsh_index(self.build()))
+        payload[-3] ^= 0x10
+        with pytest.raises(SerializationError, match="checksum"):
+            unpack_lsh_index(bytes(payload))
+
+    def test_truncation_rejected(self):
+        payload = pack_lsh_index(self.build())
+        with pytest.raises(SerializationError, match="truncated"):
+            unpack_lsh_index(payload[: len(payload) - 7])
+
+    def test_wrong_kind_rejected(self):
+        # A bank payload is not an index payload.
+        from repro.datasearch.vectorize import indicator_vector
+        from repro.io.serialize import pack_bank
+
+        sketcher = fresh_sketcher()
+        bank = sketcher.sketch_batch(
+            [indicator_vector(t) for t in make_tables(2)]
+        )
+        with pytest.raises(SerializationError, match="not an LSH index"):
+            unpack_lsh_index(pack_bank(bank))
+
+
+class TestStorePersistence:
+    def test_append_persists_index_section(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(6))
+            stats = store.stats()
+        assert stats["lsh_index"] is not None
+        assert stats["lsh_index"]["tables"] == 6
+        manifest = json.loads((tmp_path / "lake" / "manifest.json").read_text())
+        assert manifest["version"] == 2
+        assert manifest["index"]["tables"] == 6
+        assert (tmp_path / "lake" / manifest["index"]["file"]).is_file()
+
+    def test_reopened_lsh_search_identical(self, tmp_path):
+        tables = make_tables(10)
+        query = make_query()
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(tables)
+            live = QuerySession(store, min_containment=0.2)
+            expected = live.search(query, "signal", candidates="lsh")
+        with LakeStore.open(tmp_path / "lake") as store:
+            session = QuerySession(store, min_containment=0.2, candidates="lsh")
+            hits = session.search(query, "signal")
+            scan = session.search(query, "signal", candidates="scan")
+        assert hit_tuples(hits) == hit_tuples(expected)
+        assert set(hit_tuples(hits)) <= set(hit_tuples(scan))
+
+    def test_append_then_open_equals_scratch_byte_for_byte(self, tmp_path):
+        tables = make_tables(9)
+        with LakeStore.create(tmp_path / "grown", fresh_sketcher()) as store:
+            store.append(tables[:4])
+            store.append(tables[4:7])
+            store.append(tables[7:])
+            grown_rec = store.stats()["lsh_index"]
+            grown_bytes = (
+                tmp_path / "grown" / index_files(tmp_path / "grown")[0]
+            ).read_bytes()
+        with LakeStore.create(tmp_path / "scratch", fresh_sketcher()) as store:
+            store.append(tables)
+            scratch_bytes = (
+                tmp_path / "scratch" / index_files(tmp_path / "scratch")[0]
+            ).read_bytes()
+        assert grown_rec["tables"] == 9
+        assert grown_bytes == scratch_bytes
+
+    def test_stale_index_generations_are_removed(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(3))
+            store.append(make_tables(3, seed=7, prefix="other"))
+            files = index_files(tmp_path / "lake")
+        assert len(files) == 1  # old generation deleted after commit
+
+    def test_compact_rebuilds_index(self, tmp_path):
+        tables = make_tables(6)
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(tables[:3])
+            store.append(tables[3:])
+            store.append([tables[1]])  # tombstone + replace
+            store.compact()
+            stats = store.stats()
+            assert stats["lsh_index"]["tables"] == 6
+        query = make_query()
+        with LakeStore.open(tmp_path / "lake") as store:
+            session = QuerySession(store, min_containment=0.2)
+            lsh = session.search(query, "signal", candidates="lsh")
+            scan = session.search(query, "signal")
+        assert set(hit_tuples(lsh)) <= set(hit_tuples(scan))
+
+    def test_replacement_append_stays_consistent_on_reopen(self, tmp_path):
+        # A same-name replacement makes in-memory and live-span table
+        # order diverge; the persisted index must follow the live-span
+        # order `open` rebuilds with.
+        tables = make_tables(8)
+        query = make_query()
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(tables)
+            rng = np.random.default_rng(42)
+            replacement = Table(
+                "table2",
+                [f"k{j}" for j in rng.choice(200, size=40, replace=False)],
+                {"alpha": rng.normal(size=40)},
+            )
+            store.append([replacement])
+            live_session = QuerySession(store, min_containment=0.2)
+            live_scan = live_session.search(query, "signal")
+            live_lsh = live_session.search(query, "signal", candidates="lsh")
+            assert set(hit_tuples(live_lsh)) <= set(hit_tuples(live_scan))
+        with LakeStore.open(tmp_path / "lake") as store:
+            session = QuerySession(store, min_containment=0.2)
+            scan = session.search(query, "signal")
+            lsh = session.search(query, "signal", candidates="lsh")
+        assert set(hit_tuples(lsh)) <= set(hit_tuples(scan))
+        assert hit_tuples(scan) == hit_tuples(live_scan)
+
+
+class TestOpenValidation:
+    def test_older_manifest_without_index_opens_fine(self, tmp_path):
+        # Simulate a store written before the index section existed:
+        # strip the section and downgrade the version.  Open must
+        # succeed and LSH queries rebuild the index lazily in memory.
+        query = make_query()
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(6))
+            expected = QuerySession(store, min_containment=0.2).search(
+                query, "signal", candidates="lsh"
+            )
+            index_file = index_files(tmp_path / "lake")[0]
+        manifest_path = tmp_path / "lake" / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        del data["index"]
+        del data["next_index_id"]
+        data["version"] = 1
+        manifest_path.write_text(json.dumps(data))
+        (tmp_path / "lake" / index_file).unlink()
+
+        with LakeStore.open(tmp_path / "lake") as store:
+            assert store.stats()["lsh_index"] is None
+            session = QuerySession(store, min_containment=0.2)
+            hits = session.search(query, "signal", candidates="lsh")
+        assert hit_tuples(hits) == hit_tuples(expected)
+
+    def test_writing_upgrades_old_manifest(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(3))
+        manifest_path = tmp_path / "lake" / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        index_file = data.pop("index")["file"]
+        data.pop("next_index_id")
+        data["version"] = 1
+        manifest_path.write_text(json.dumps(data))
+        (tmp_path / "lake" / index_file).unlink()
+        with LakeStore.open(tmp_path / "lake") as store:
+            store.append(make_tables(2, seed=3, prefix="new"))
+        data = json.loads(manifest_path.read_text())
+        assert data["version"] == 2
+        assert data["index"]["tables"] == 5
+
+    def test_index_checksum_bit_flip_rejected(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(4))
+            index_file = index_files(tmp_path / "lake")[0]
+        path = tmp_path / "lake" / index_file
+        corrupted = bytearray(path.read_bytes())
+        corrupted[-5] ^= 0x01
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(StoreError, match="corrupt LSH index"):
+            LakeStore.open(tmp_path / "lake")
+
+    def test_missing_index_file_rejected(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(4))
+            index_file = index_files(tmp_path / "lake")[0]
+        (tmp_path / "lake" / index_file).unlink()
+        with pytest.raises(StoreError, match="missing LSH index"):
+            LakeStore.open(tmp_path / "lake")
+
+    def test_catalog_mismatch_rejected(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(4))
+            index_file = index_files(tmp_path / "lake")[0]
+        manifest_path = tmp_path / "lake" / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        data["index"]["tables"] = 3
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(StoreError, match="does not match"):
+            LakeStore.open(tmp_path / "lake")
+
+    def test_orphaned_index_generation_ignored_and_listed(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(4))
+        orphan = tmp_path / "lake" / "index-009999.rpro"
+        orphan.write_bytes(b"leftover from an interrupted append")
+        with LakeStore.open(tmp_path / "lake") as store:
+            assert "index-009999.rpro" in store.orphaned_files()
+            current = store.stats()["lsh_index"]
+            assert current is not None  # the real index still loads
+
+
+class TestStoreOwnedBanding:
+    def test_session_tuned_banding_is_not_persisted(self, tmp_path):
+        # A query session that lazily builds the in-memory index with
+        # its own (deep, low-recall) tuning must not poison the
+        # persisted store index: append rebuilds at the store banding.
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(4), index=False)  # no record yet
+            deep = store.index.lsh_index(bands=8, rows_per_band=6)
+            assert (deep.bands, deep.rows_per_band) == (8, 6)
+            store.append(make_tables(2, seed=9, prefix="more"))
+            record = store.stats()["lsh_index"]
+            # m=48 at the store target (sim 0.05, recall 0.95) tunes to
+            # single-row bands, not the session's deep banding.
+            assert (record["bands"], record["rows_per_band"]) == (48, 1)
+            # The in-memory index was realigned to the store banding.
+            lake_index = store.index.lsh_index()
+            assert (lake_index.bands, lake_index.rows_per_band) == (48, 1)
+            assert len(lake_index) == 6
+
+
+class TestIndexOptOut:
+    def test_no_index_append_drops_section(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(3))
+            assert store.stats()["lsh_index"] is not None
+            store.append(make_tables(2, seed=4, prefix="more"), index=False)
+            assert store.stats()["lsh_index"] is None
+        assert index_files(tmp_path / "lake") == []
+        with LakeStore.open(tmp_path / "lake") as store:
+            assert store.stats()["lsh_index"] is None
+            # Queries still work via the lazy in-memory rebuild.
+            session = QuerySession(store, min_containment=0.2)
+            lsh = session.search(make_query(), "signal", candidates="lsh")
+            scan = session.search(make_query(), "signal")
+            assert set(hit_tuples(lsh)) <= set(hit_tuples(scan))
+
+    def test_indexing_append_restores_section(self, tmp_path):
+        with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
+            store.append(make_tables(3), index=False)
+            assert store.stats()["lsh_index"] is None
+            store.append(make_tables(2, seed=4, prefix="more"))
+            assert store.stats()["lsh_index"]["tables"] == 5
+
+    def test_signatureless_sketcher_never_writes_index(self, tmp_path):
+        with LakeStore.create(
+            tmp_path / "lake", JohnsonLindenstrauss(m=32, seed=0)
+        ) as store:
+            store.append(make_tables(3))
+            assert store.stats()["lsh_index"] is None
+        assert index_files(tmp_path / "lake") == []
+        with LakeStore.open(tmp_path / "lake") as store:
+            assert store.stats()["lsh_index"] is None

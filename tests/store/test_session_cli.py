@@ -315,3 +315,86 @@ class TestCli:
         )
         out = capsys.readouterr().out
         assert "for query.demand" in out and "for query2.demand" in out
+
+
+class TestSessionCandidates:
+    """The candidates knob on the serving session."""
+
+    def test_lsh_search_subset_of_scan(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables(8))
+        session = QuerySession(store, min_containment=0.2)
+        query = make_query()
+        scan = session.search(query, "signal", top_k=10)
+        lsh = session.search(query, "signal", top_k=10, candidates="lsh")
+        assert {(h.table_name, h.column, h.score) for h in lsh} <= {
+            (h.table_name, h.column, h.score) for h in scan
+        }
+        store.close()
+
+    def test_session_level_default(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables(8))
+        session = QuerySession(store, min_containment=0.2, candidates="lsh")
+        assert session.engine.candidates == "lsh"
+        query = make_query()
+        assert session.search(query, "signal") == session.search(
+            query, "signal", candidates="lsh"
+        )
+        store.close()
+
+    def test_engine_tracks_candidates_mutation(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables(3))
+        session = QuerySession(store)
+        first = session.engine
+        session.candidates = "lsh"
+        second = session.engine
+        assert second is not first
+        assert second.candidates == "lsh"
+        store.close()
+
+    def test_search_many_lsh_matches_loop(self, tmp_path):
+        store = fresh_store(tmp_path, make_tables(8))
+        session = QuerySession(store, min_containment=0.2, candidates="lsh")
+        query = make_query()
+        batched = session.search_many([query], "signal", top_k=5)
+        single = [session.search(query, "signal", top_k=5)]
+        assert batched == single
+        store.close()
+
+
+class TestCliCandidates:
+    def test_query_candidates_lsh_subset(self, csv_lake, capsys):
+        lake, tables, query = csv_lake
+        main(["ingest", str(lake), *map(str, tables)])
+        capsys.readouterr()
+        base = [
+            "query",
+            str(lake),
+            str(query),
+            "--column",
+            "demand",
+            "--min-containment",
+            "0.1",
+            "--json",
+        ]
+        assert main(base) == 0
+        scan = json.loads(capsys.readouterr().out)[0]["hits"]
+        assert main([*base, "--candidates", "lsh"]) == 0
+        lsh = json.loads(capsys.readouterr().out)[0]["hits"]
+        as_keys = lambda hits: {  # noqa: E731
+            (h["table"], h["column"], h["score"]) for h in hits
+        }
+        assert as_keys(lsh) <= as_keys(scan)
+
+    def test_ingest_no_index(self, csv_lake, capsys):
+        lake, tables, query = csv_lake
+        assert main(["ingest", str(lake), str(tables[0]), "--no-index"]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(lake)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["lsh_index"] is None
+        # Indexed ingest afterwards restores the section.
+        assert main(["ingest", str(lake), str(tables[1])]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(lake)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["lsh_index"]["tables"] == 2
