@@ -1,0 +1,315 @@
+"""Streaming-vs-one-shot ingest benchmark, recorded to ``BENCH_ingest.json``.
+
+The pre-streaming ingest materialized every table, encoded each bank
+row with a scalar per-key hash loop, ran one lake-sized
+``sketch_batch``, and packed the whole shard in memory.  This benchmark
+reconstructs that **legacy one-shot path explicitly** (scalar
+``key_to_index`` loop + three ``from_pairs`` passes per table + one
+giant batch + ``pack_shard``) and races it against the streaming
+pipeline on the same lake-shaped workload:
+
+* **one_shot** — the legacy baseline, with per-stage times (encode /
+  sketch / pack+write);
+* **streaming** — ``LakeStore.append_sources`` at workers 1, 2, 4:
+  fused per-chunk encode, chunked sketching, banks streamed into the
+  pre-sized shard file.  Per-stage breakdown (parse / vectorize /
+  sketch / write), chunk count, and the peak transient chunk footprint
+  come from the pipeline's own :class:`IngestReport`.
+
+Every run starts cold (fresh store directory, cleared minima cache, no
+live worker pools) and the streamed shard must be **byte-identical** to
+the packed one-shot bank.  ``cpus`` records the cores the host offers:
+requested workers above the core count are clamped to serial by design
+(pool fan-out cannot win without hardware), so multi-core speedups are
+only asserted where cores exist.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py [--quick] [--tables 2000] [--out BENCH_ingest.json]
+
+``--quick`` shrinks the workload for CI smoke jobs (same JSON shape).
+Gates: the streamed shard must match the one-shot bytes; single-core
+streaming must not lose to the legacy path (and must beat it by >= 1.3x
+at full scale); pooled ingest must not lose to serial streaming.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.wmh import shared_minima_cache
+from repro.datasearch.table import Table
+from repro.datasearch.vectorize import key_to_index
+from repro.experiments.runner import method_registry
+from repro.io.serialize import pack_shard
+from repro.parallel import SourceTable, shutdown_pools
+from repro.store import LakeStore
+from repro.store.shard import shard_filename, write_bytes_atomic
+from repro.vectors.sparse import SparseVector
+
+#: The 16k-lake-shaped workload: many small-to-mid tables over a shared
+#: key domain, 1-3 value columns each (so bank rows per table vary),
+#: natural-cardinality row counts.
+NUM_TABLES = 2_000
+QUICK_TABLES = 60
+ROWS_PER_TABLE = 120
+KEY_DOMAIN = 4_000
+STORAGE_WORDS = 300
+WORKER_COUNTS = (1, 2, 4)
+
+#: Streaming chunk budget used by the benchmark — small enough that the
+#: full workload spans several chunks (exercising the pipeline), large
+#: enough that per-chunk overhead stays negligible.
+CHUNK_BYTES = 8 * 1024 * 1024
+
+
+def make_tables(count: int, rows: int, seed: int, prefix: str = "table") -> list[Table]:
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = rng.choice(KEY_DOMAIN, size=rows, replace=False)
+        columns = {
+            f"v{c}": rng.normal(size=rows) for c in range(1 + i % 3)
+        }
+        tables.append(Table(f"{prefix}{i}", [f"k{k}" for k in keys], columns))
+    return tables
+
+
+def _time(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _cold_start() -> None:
+    shutdown_pools()
+    shared_minima_cache().clear()
+
+
+# ----------------------------------------------------------------------
+# the legacy one-shot baseline, reconstructed
+# ----------------------------------------------------------------------
+
+
+def _legacy_indices(keys: list) -> np.ndarray:
+    """The pre-streaming encode: one Python hash call per key."""
+    return np.fromiter(
+        (key_to_index(key) for key in keys), np.int64, len(keys)
+    )
+
+
+def legacy_encode_table(table: Table) -> list[SparseVector]:
+    """Pre-streaming row encoding: re-hash + re-dedup for every row."""
+    vectors = [
+        SparseVector.from_pairs(
+            _legacy_indices(table.keys), np.ones(table.num_rows)
+        )
+    ]
+    for column in table.columns:
+        vectors.append(
+            SparseVector.from_pairs(
+                _legacy_indices(table.keys), table.column(column)
+            )
+        )
+    for column in table.columns:
+        vectors.append(
+            SparseVector.from_pairs(
+                _legacy_indices(table.keys), table.column(column) ** 2
+            )
+        )
+    return vectors
+
+
+def bench_one_shot(sketcher, tables: list[Table], out_path: Path) -> tuple[dict, bytes]:
+    """Time the legacy materialize → encode → giant batch → pack path."""
+    _cold_start()
+
+    def encode() -> list[SparseVector]:
+        vectors: list[SparseVector] = []
+        for table in tables:
+            vectors.extend(legacy_encode_table(table))
+        return vectors
+
+    encode_s, vectors = _time(encode)
+    sketch_s, bank = _time(lambda: sketcher.sketch_batch(vectors))
+    pack_s, payload = _time(lambda: pack_shard(bank))
+    write_s, _ = _time(lambda: write_bytes_atomic(out_path, payload))
+    total = encode_s + sketch_s + pack_s + write_s
+    return (
+        {
+            "encode_s": round(encode_s, 4),
+            "sketch_s": round(sketch_s, 4),
+            "pack_s": round(pack_s, 4),
+            "write_s": round(write_s, 4),
+            "total_s": round(total, 4),
+            "bank_rows": len(bank),
+        },
+        payload,
+    )
+
+
+# ----------------------------------------------------------------------
+# the streaming pipeline
+# ----------------------------------------------------------------------
+
+
+def bench_streaming(
+    sketcher_factory,
+    tables: list[Table],
+    workers: int | None,
+    workdir: Path,
+) -> tuple[dict, bytes]:
+    """Time one streamed ingest; returns stats + the shard file bytes."""
+    _cold_start()
+    label = "serial" if workers is None else f"w{workers}"
+    lake_dir = workdir / f"lake_{label}"
+    store = LakeStore.create(lake_dir, sketcher_factory())
+    sources = [SourceTable.from_table(table) for table in tables]
+    elapsed, (shard_id, report) = _time(
+        lambda: store.append_sources(
+            sources, workers=workers, index=False, chunk_bytes=CHUNK_BYTES
+        )
+    )
+    store.close()
+    shard_bytes = (lake_dir / shard_filename(shard_id)).read_bytes()
+    stats = {
+        "total_s": round(elapsed, 4),
+        "tables_per_s": round(report.tables_per_s(), 1),
+        "chunks": report.chunks,
+        "requested_workers": report.requested_workers,
+        "effective_workers": report.workers,
+        "peak_chunk_bytes": report.peak_chunk_bytes,
+        "stages_s": {
+            stage: round(seconds, 4)
+            for stage, seconds in report.stage_seconds.items()
+        },
+    }
+    return stats, shard_bytes
+
+
+def run(num_tables: int, seed: int, quick: bool) -> dict:
+    registry = method_registry()
+    sketcher_factory = lambda: registry["WMH"].build(STORAGE_WORDS, 0)  # noqa: E731
+    tables = make_tables(num_tables, ROWS_PER_TABLE, seed)
+    report: dict = {
+        "workload": {
+            "tables": num_tables,
+            "rows_per_table": ROWS_PER_TABLE,
+            "key_domain": KEY_DOMAIN,
+            "storage_words": STORAGE_WORDS,
+            "chunk_bytes": CHUNK_BYTES,
+            "method": "WMH",
+            "quick": quick,
+        },
+        "cpus": os.cpu_count(),
+    }
+    workdir = Path(tempfile.mkdtemp(prefix="bench_ingest_"))
+    try:
+        one_shot, reference = bench_one_shot(
+            sketcher_factory(), tables, workdir / "one_shot.rpro"
+        )
+        report["one_shot"] = one_shot
+
+        serial, serial_bytes = bench_streaming(
+            sketcher_factory, tables, None, workdir
+        )
+        serial["speedup_vs_one_shot"] = round(
+            one_shot["total_s"] / serial["total_s"], 2
+        )
+        report["streaming"] = {"serial": serial, "workers": {}}
+        if serial_bytes != reference:
+            raise AssertionError(
+                "streamed shard bytes diverge from the one-shot pack"
+            )
+
+        for workers in WORKER_COUNTS:
+            pooled, pooled_bytes = bench_streaming(
+                sketcher_factory, tables, workers, workdir
+            )
+            pooled["speedup_vs_serial"] = round(
+                serial["total_s"] / pooled["total_s"], 2
+            )
+            report["streaming"]["workers"][str(workers)] = pooled
+            if pooled_bytes != reference:
+                raise AssertionError(
+                    f"workers={workers}: streamed shard bytes diverge "
+                    f"from the one-shot pack"
+                )
+        report["bit_identical"] = True
+    finally:
+        shutdown_pools()
+        shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tables", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_ingest.json",
+    )
+    args = parser.parse_args(argv)
+    num_tables = (
+        args.tables
+        if args.tables is not None
+        else (QUICK_TABLES if args.quick else NUM_TABLES)
+    )
+    report = run(num_tables=num_tables, seed=args.seed, quick=args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    one_shot = report["one_shot"]
+    serial = report["streaming"]["serial"]
+    print(
+        f"  one-shot: {one_shot['total_s']:.2f}s "
+        f"(encode {one_shot['encode_s']:.2f}s, sketch {one_shot['sketch_s']:.2f}s)"
+    )
+    print(
+        f"  streaming serial: {serial['total_s']:.2f}s "
+        f"({serial['speedup_vs_one_shot']:.2f}x vs one-shot, "
+        f"{serial['chunks']} chunks, peak {serial['peak_chunk_bytes']} B)"
+    )
+    for workers, entry in report["streaming"]["workers"].items():
+        print(
+            f"  streaming workers={workers} (effective "
+            f"{entry['effective_workers']}): {entry['total_s']:.2f}s "
+            f"({entry['speedup_vs_serial']:.2f}x vs serial)"
+        )
+
+    # Gates.
+    if not report.get("bit_identical"):
+        raise SystemExit("streamed shards diverged from the one-shot pack")
+    floor = 1.3 if (not args.quick and num_tables >= NUM_TABLES) else 0.95
+    if serial["speedup_vs_one_shot"] < floor:
+        raise SystemExit(
+            f"single-core streaming speedup "
+            f"{serial['speedup_vs_one_shot']:.2f}x below the {floor}x floor"
+        )
+    cpus = report["cpus"] or 1
+    # On a single-core host pooled runs clamp to the serial path, so
+    # the ratio is ~1.0 up to timer noise; real multi-core regressions
+    # are gated strictly.
+    pooled_floor = 1.0 if cpus > 1 else 0.9
+    for workers, entry in report["streaming"]["workers"].items():
+        if entry["speedup_vs_serial"] < pooled_floor:
+            raise SystemExit(
+                f"workers={workers} ingest at "
+                f"{entry['speedup_vs_serial']:.2f}x of serial "
+                f"(floor {pooled_floor}x on {cpus} cpu(s))"
+            )
+
+
+if __name__ == "__main__":
+    main()

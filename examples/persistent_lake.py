@@ -18,7 +18,11 @@ example shows the durable version of that promise with
 7. serve the same query with ``candidates="lsh"`` — the persisted
    banded-signature index shortlists candidate tables in ~constant
    time and the exact joinability filter re-checks the shortlist, so
-   the hits are a (here: identical) subset of the full-scan hits.
+   the hits are a (here: identical) subset of the full-scan hits;
+8. re-ingest the same lake through the **chunked streaming pipeline**
+   (a tiny byte budget forces one table per chunk, sketched straight
+   into the pre-sized shard file) and verify every stored byte matches
+   the one-batch store — chunking bounds memory, never changes output.
 
 Run:  python examples/persistent_lake.py
 """
@@ -32,6 +36,7 @@ import numpy as np
 
 from repro import WeightedMinHash
 from repro.datasearch import DatasetSearch, SketchIndex, Table
+from repro.parallel import SourceTable
 from repro.store import LakeStore, QuerySession
 
 
@@ -149,6 +154,36 @@ def main() -> None:
                 (h.table_name, h.column, h.score) for h in lsh_hits
             ) <= set((h.table_name, h.column, h.score) for h in scan_hits)
             print(f"identical to the full scan: {lsh_hits == scan_hits}")
+
+        # --- streaming ingest: chunked, bounded memory, same bytes ----
+        # The same lake, ingested twice more: once as one default batch,
+        # once through the streaming pipeline with a deliberately tiny
+        # chunk budget (every table becomes its own parse -> vectorize
+        # -> sketch chunk, written straight into the pre-sized shard
+        # file).  Peak memory tracks the budget; the stored bytes don't
+        # move at all.
+        one_shot_dir = Path(tmp) / "one_shot.d"
+        with LakeStore.create(one_shot_dir, sketcher) as store:
+            store.append(lake)
+        streamed_dir = Path(tmp) / "streamed.d"
+        with LakeStore.create(streamed_dir, sketcher) as store:
+            sources = [SourceTable.from_table(table) for table in lake]
+            _, report = store.append_sources(sources, chunk_bytes=1)
+        print(
+            f"\nstreamed ingest: {report.chunks} chunks, "
+            f"{report.tables_per_s():.0f} tables/s, "
+            f"peak chunk {report.peak_chunk_bytes:,} bytes"
+        )
+
+        def fingerprint(directory: Path) -> dict[str, bytes]:
+            return {
+                f.name: f.read_bytes()
+                for f in sorted(directory.iterdir())
+                if f.name != ".lock"
+            }
+
+        assert fingerprint(one_shot_dir) == fingerprint(streamed_dir)
+        print("streamed store byte-identical to the one-batch store: True")
 
 
 if __name__ == "__main__":

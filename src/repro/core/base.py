@@ -229,6 +229,22 @@ class Sketcher(abc.ABC):
         """
         return {}
 
+    def bank_layout(self) -> dict[str, tuple[tuple[int, ...], str]] | None:
+        """Fixed per-row column layout of this sketcher's banks, if any.
+
+        Maps each bank column name to ``(row_shape, dtype_str)``, where
+        ``row_shape`` is the shape of **one row's** entry (``()`` for a
+        scalar per row) and ``dtype_str`` is the numpy dtype string
+        (e.g. ``"<f8"``).  A non-``None`` layout promises that
+        ``_sketch_batch`` over ``N`` rows returns exactly these columns
+        with shapes ``(N, *row_shape)`` — which lets the streaming
+        ingest pipeline pre-size a shard file and let chunk workers
+        write their rows at exact byte offsets.  Sketchers whose banks
+        are object columns (the generic fallback) return ``None`` and
+        take the materialize-then-concat path instead.
+        """
+        return None
+
     def _check_bank(self, bank: SketchBank) -> None:
         self._require(
             bank.kind == self.name,

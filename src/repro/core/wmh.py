@@ -168,7 +168,13 @@ class MinimaCache:
         if column is None:
             self.misses += 1
             return None
-        self._entries.move_to_end(key)
+        # Recency bookkeeping is pressure-gated: while the cache is
+        # under half full there is no eviction pressure, so skipping
+        # ``move_to_end`` cannot change *what* is cached — only the
+        # order a hypothetical future eviction would pick — and it
+        # removes the dominant per-hit cost on sketch-heavy ingests.
+        if self._payload_bytes * 2 > self.max_bytes:
+            self._entries.move_to_end(key)
         self.hits += 1
         return column
 
@@ -617,6 +623,13 @@ class WeightedMinHash(Sketcher):
 
     def _bank_params(self) -> dict[str, Any]:
         return {"m": self.m, "seed": self.seed, "L": self.L}
+
+    def bank_layout(self) -> dict[str, tuple[tuple[int, ...], str]]:
+        return {
+            "hashes": ((self.m,), "<f8"),
+            "values": ((self.m,), "<f8"),
+            "norms": ((), "<f8"),
+        }
 
     def _check_query(self, sketch: WMHSketch) -> None:
         self._require(

@@ -30,11 +30,7 @@ from repro.core.base import Sketcher
 from repro.datasearch.join_estimates import JoinSketch
 from repro.datasearch.lshindex import DEFAULT_TARGET_RECALL, LakeIndex
 from repro.datasearch.table import Table
-from repro.datasearch.vectorize import (
-    indicator_vector,
-    squared_value_vector,
-    value_vector,
-)
+from repro.datasearch.vectorize import table_vectors
 
 __all__ = ["SketchIndex"]
 
@@ -103,11 +99,7 @@ class SketchIndex:
         persistent store (:mod:`repro.store`) encodes with this exact
         layout so stored bank slices re-attach via :meth:`attach`.
         """
-        columns = list(table.columns)
-        vectors = [indicator_vector(table)]
-        vectors += [value_vector(table, column) for column in columns]
-        vectors += [squared_value_vector(table, column) for column in columns]
-        return vectors
+        return table_vectors(table)
 
     def _set_entry(self, entry: _TableEntry) -> None:
         if entry.name in self._entries:
@@ -191,15 +183,39 @@ class SketchIndex:
         return index
 
     def add_all(self, tables: Iterable[Table]) -> None:
-        """Index many tables with **one** batch sketching pass.
+        """Index many tables through byte-budgeted batch sketching passes.
 
-        Every encoded vector of every table goes through a single
-        ``sketch_batch`` call — the matrix-in, bank-out fast path —
-        then the resulting bank is sliced back into per-table entries.
+        Tables are grouped into chunks capped by the ingest byte budget
+        (``REPRO_INGEST_CHUNK_BYTES``; see
+        :func:`repro.parallel.executor.chunk_budget_bytes`) and each
+        chunk goes through one ``sketch_batch`` call — the matrix-in,
+        bank-out fast path — so peak memory is bounded by the budget,
+        not the lake.  Chunking is invisible in the result: every bank
+        row is a pure function of ``(sketcher, row)``.
         """
+        # Function-level import: repro.parallel pulls in the streaming
+        # pipeline, whose store imports would cycle back into this
+        # module at package-init time.
+        from repro.parallel.executor import chunk_budget_bytes
+
         tables = list(tables)
         if not tables:
             return
+        budget = chunk_budget_bytes()
+        chunk: list[Table] = []
+        chunk_bytes = 0
+        for table in tables:
+            est = (1 + 2 * len(table.columns)) * max(table.num_rows, 1) * 16
+            if chunk and chunk_bytes + est > budget:
+                self._add_chunk(chunk)
+                chunk, chunk_bytes = [], 0
+            chunk.append(table)
+            chunk_bytes += est
+        if chunk:
+            self._add_chunk(chunk)
+
+    def _add_chunk(self, tables: Sequence[Table]) -> None:
+        """One batch sketching pass over a chunk of tables."""
         vectors: list = []
         spans: list[tuple[Table, tuple[str, ...], int, int]] = []
         for table in tables:

@@ -39,6 +39,7 @@ __all__ = [
     "counter_uniform",
     "uniform_from_bits",
     "hash_bytes",
+    "hash_bytes_many",
     "hash_string",
 ]
 
@@ -154,3 +155,36 @@ def hash_bytes(data: bytes) -> int:
 def hash_string(text: str) -> int:
     """Hash a unicode string to a deterministic 64-bit integer."""
     return hash_bytes(text.encode("utf-8"))
+
+
+def hash_bytes_many(
+    data: np.ndarray, offsets: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`hash_bytes` over many packed byte strings.
+
+    ``data`` is one flat ``uint8`` buffer holding the strings back to
+    back; string ``i`` occupies ``data[offsets[i] : offsets[i] +
+    lengths[i]]``.  The FNV-1a recurrence is advanced one *byte
+    position* at a time across all strings still long enough, so the
+    loop runs ``max(lengths)`` numpy passes instead of one Python-level
+    multiply per byte.  Each result is bit-identical to
+    ``hash_bytes(bytes_i)``.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    h = np.full(offsets.shape, _FNV_OFFSET, dtype=np.uint64)
+    if offsets.size == 0:
+        return h
+    # Strings still active at the current byte position, narrowed as
+    # shorter strings finish (their hash state is final once their
+    # bytes run out, exactly like the scalar loop ending).
+    active = np.arange(offsets.size)
+    with np.errstate(over="ignore"):
+        for pos in range(int(lengths.max())):
+            keep = lengths[active] > pos
+            if not keep.all():
+                active = active[keep]
+            byte = data[offsets[active] + pos].astype(np.uint64)
+            h[active] = (h[active] ^ byte) * _FNV_PRIME
+    return mix64(h)

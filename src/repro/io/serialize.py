@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import struct
 import zlib
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
@@ -50,12 +51,15 @@ from repro.sketches.priority import PrioritySketch
 
 __all__ = [
     "SerializationError",
+    "ShardStreamPlan",
     "pack_sketch",
     "unpack_sketch",
     "pack_bank",
     "unpack_bank",
     "pack_shard",
     "unpack_shard",
+    "shard_stream_plan",
+    "write_chunk_rows",
     "pack_lsh_index",
     "unpack_lsh_index",
     "packed_size_words",
@@ -498,6 +502,132 @@ def unpack_shard(buffer: bytes | memoryview, copy: bool = True) -> SketchBank:
     return unpack_bank(
         _unpack_envelope(buffer, _KIND_SHARD, "shard", "a"), copy=copy
     )
+
+
+# ----------------------------------------------------------------------
+# streaming shard assembly (pre-sized files, offset-exact chunk writes)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStreamPlan:
+    """The exact byte layout :func:`pack_shard` would produce for a
+    fixed-layout bank of ``num_rows`` rows.
+
+    Because the bank meta header depends only on ``(kind, params,
+    words_per_sketch, column shapes/dtypes)`` — all known before any
+    row is sketched — the whole shard file can be pre-sized and chunk
+    results written in place at ``row * row_nbytes`` offsets, then the
+    CRC-32 patched once at the end.  A finalized streamed file is
+    byte-identical to ``pack_shard`` over the equivalent one-shot bank.
+
+    Attributes
+    ----------
+    num_rows:
+        Bank rows the file will hold.
+    file_size:
+        Total shard file size in bytes.
+    payload_offset:
+        Where the checksummed payload (the packed bank) starts.
+    checksum_offset:
+        Where the 4-byte little-endian CRC-32 lives (zeroed in
+        :attr:`prefix`; patched after all rows are written).
+    prefix:
+        Every byte before the first column blob: shard header, payload
+        length, zeroed CRC, bank header, and the JSON meta.
+    columns:
+        ``name -> (absolute file offset of the column blob, bytes per
+        row)`` for each bank column, in the packed (sorted-name) order.
+    """
+
+    num_rows: int
+    file_size: int
+    payload_offset: int
+    checksum_offset: int
+    prefix: bytes
+    columns: dict[str, tuple[int, int]]
+
+
+def shard_stream_plan(
+    kind: str,
+    params: dict[str, Any],
+    words_per_sketch: float,
+    layout: dict[str, tuple[tuple[int, ...], str]],
+    num_rows: int,
+) -> ShardStreamPlan:
+    """Plan the byte layout of a streamed shard file.
+
+    ``layout`` is the sketcher's ``bank_layout()``: per-row shape and
+    dtype of every bank column.  The produced meta header replicates
+    :func:`pack_bank`'s construction field by field (same key order,
+    same sorted-column order, same dtype normalization), which is what
+    makes the streamed file bit-identical to the one-shot path.
+    """
+    header: dict[str, Any] = {
+        "kind": kind,
+        "params": dict(params),
+        "words_per_sketch": float(words_per_sketch),
+        "columns": [],
+    }
+    row_nbytes: dict[str, int] = {}
+    for name in sorted(layout):
+        row_shape, dtype = layout[name]
+        dt = np.dtype(dtype)
+        header["columns"].append(
+            {"name": name, "dtype": dt.str, "shape": [int(num_rows), *row_shape]}
+        )
+        count = 1
+        for dim in row_shape:
+            count *= int(dim)
+        row_nbytes[name] = count * dt.itemsize
+    meta = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    bank_prefix = _header(_KIND_BANK) + struct.pack("<I", len(meta)) + meta
+
+    payload_len = len(bank_prefix) + num_rows * sum(row_nbytes.values())
+    shard_head = _header(_KIND_SHARD)
+    payload_offset = len(shard_head) + struct.calcsize("<QI")
+    checksum_offset = len(shard_head) + struct.calcsize("<Q")
+    prefix = (
+        shard_head + struct.pack("<QI", payload_len, 0) + bank_prefix
+    )
+
+    columns: dict[str, tuple[int, int]] = {}
+    offset = payload_offset + len(bank_prefix)
+    for name in sorted(layout):
+        columns[name] = (offset, row_nbytes[name])
+        offset += num_rows * row_nbytes[name]
+    return ShardStreamPlan(
+        num_rows=int(num_rows),
+        file_size=payload_offset + payload_len,
+        payload_offset=payload_offset,
+        checksum_offset=checksum_offset,
+        prefix=prefix,
+        columns=columns,
+    )
+
+
+def write_chunk_rows(
+    buffer, plan: ShardStreamPlan, bank: SketchBank, row_offset: int
+) -> None:
+    """Write one chunk bank's rows into a plan-sized shard buffer.
+
+    ``bank`` holds rows ``[row_offset, row_offset + len(bank))`` of the
+    final shard; each column lands at its planned byte offset, so
+    writes from different chunks touch disjoint regions and can happen
+    in any order (including concurrently from worker processes mapping
+    the same file).  ``buffer`` is any writable byte view of the full
+    planned file (an ``mmap``, a ``bytearray``, ...).
+    """
+    count = len(bank)
+    for name, (column_offset, row_nbytes) in plan.columns.items():
+        start = column_offset + row_offset * row_nbytes
+        blob = np.ascontiguousarray(bank.columns[name]).tobytes()
+        if len(blob) != count * row_nbytes:
+            raise ValueError(
+                f"column {name!r}: chunk of {count} rows packs to "
+                f"{len(blob)} bytes, layout expects {count * row_nbytes}"
+            )
+        buffer[start : start + len(blob)] = blob
 
 
 # ----------------------------------------------------------------------

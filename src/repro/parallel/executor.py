@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import atexit
 import math
+import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
@@ -41,6 +42,7 @@ from repro.vectors.sparse import SparseMatrix, SparseVector, as_sparse_matrix
 
 __all__ = [
     "ParallelSketcher",
+    "chunk_budget_bytes",
     "map_chunks",
     "parallel_sketch_batch",
     "row_chunks",
@@ -60,6 +62,31 @@ MIN_CHUNK_ROWS = 8
 #: IPC; workloads with wildly uneven row costs can pass an explicit
 #: ``chunk_rows`` to trade dedup for balance.
 CHUNKS_PER_WORKER = 1
+
+#: Environment knob for the per-chunk byte budget used by streaming
+#: and pooled ingest (see :func:`chunk_budget_bytes`).
+CHUNK_BYTES_ENV = "REPRO_INGEST_CHUNK_BYTES"
+
+#: Default per-chunk byte budget: large enough that per-chunk overhead
+#: (meta passes, pool round-trips) is negligible and within-chunk
+#: deduplication stays effective, small enough that a handful of
+#: in-flight chunks keeps peak RSS bounded regardless of lake size.
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+
+def chunk_budget_bytes(override: int | None = None) -> int:
+    """The per-chunk byte budget for ingest chunking.
+
+    ``override`` (an explicit API/CLI value) wins, then the
+    ``REPRO_INGEST_CHUNK_BYTES`` environment variable, then
+    :data:`DEFAULT_CHUNK_BYTES`.  Always at least 1: the budget caps
+    chunk *size*, never drops work.
+    """
+    if override is None:
+        raw = os.environ.get(CHUNK_BYTES_ENV, "")
+        override = int(raw) if raw.strip() else DEFAULT_CHUNK_BYTES
+    return max(int(override), 1)
+
 
 _POOLS: dict[int, ProcessPoolExecutor] = {}
 
@@ -121,11 +148,19 @@ def map_chunks(
 
 
 def row_chunks(
-    num_rows: int, workers: int, chunk_rows: int | None = None
+    num_rows: int,
+    workers: int,
+    chunk_rows: int | None = None,
+    row_bytes: float | None = None,
 ) -> list[tuple[int, int]]:
     """Contiguous ``(lo, hi)`` row spans covering ``[0, num_rows)``.
 
     ``chunk_rows`` overrides the default of a few chunks per worker.
+    Without it, chunks default to one per worker but are **capped by
+    the ingest byte budget** when ``row_bytes`` (estimated bytes per
+    row) is given: one-chunk-per-worker maximizes deduplication but
+    makes the per-chunk pickle/memory footprint proportional to the
+    whole input, which is exactly what sank huge single-batch ingests.
     Chunk boundaries never affect results (rows are independent); they
     only trade scheduling granularity against per-chunk overhead.
     """
@@ -133,6 +168,9 @@ def row_chunks(
         return []
     if chunk_rows is None:
         chunk_rows = math.ceil(num_rows / (max(workers, 1) * CHUNKS_PER_WORKER))
+        if row_bytes is not None and row_bytes > 0:
+            budget_rows = int(chunk_budget_bytes() / row_bytes)
+            chunk_rows = min(chunk_rows, max(budget_rows, 1))
     chunk_rows = max(int(chunk_rows), MIN_CHUNK_ROWS)
     return [
         (lo, min(lo + chunk_rows, num_rows))
@@ -164,7 +202,10 @@ def parallel_sketch_batch(
     """
     rows = as_sparse_matrix(matrix)
     workers = int(workers)
-    spans = row_chunks(rows.num_rows, workers, chunk_rows)
+    # 16 bytes per CSR entry (int64 index + float64 value): the byte
+    # budget caps the per-chunk payload pickled to a worker.
+    row_bytes = 16.0 * rows.nnz / rows.num_rows if rows.num_rows else None
+    spans = row_chunks(rows.num_rows, workers, chunk_rows, row_bytes=row_bytes)
     if workers <= 1 or len(spans) <= 1:
         return sketcher._sketch_batch(rows)
     payloads = []

@@ -128,6 +128,9 @@ class CountSketch(Sketcher):
     def _bank_params(self) -> dict[str, Any]:
         return {"repetitions": self.repetitions, "width": self.width, "seed": self.seed}
 
+    def bank_layout(self) -> dict[str, tuple[tuple[int, ...], str]]:
+        return {"tables": ((self.repetitions, self.width), "<f8")}
+
     def _check_query(self, sketch: CountSketchData) -> None:
         self._require(
             sketch.repetitions == self.repetitions

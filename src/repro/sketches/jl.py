@@ -99,6 +99,9 @@ class JohnsonLindenstrauss(Sketcher):
     def _bank_params(self) -> dict[str, Any]:
         return {"m": self.m, "seed": self.seed}
 
+    def bank_layout(self) -> dict[str, tuple[tuple[int, ...], str]]:
+        return {"projections": ((self.m,), "<f8")}
+
     def _check_query(self, sketch: JLSketch) -> None:
         self._require(
             sketch.m == self.m and sketch.seed == self.seed,

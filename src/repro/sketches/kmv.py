@@ -142,6 +142,14 @@ class KMinimumValues(Sketcher):
     def _bank_params(self) -> dict[str, Any]:
         return {"k": self.k, "seed": self.seed}
 
+    def bank_layout(self) -> dict[str, tuple[tuple[int, ...], str]]:
+        return {
+            "hashes": ((self.k,), "<f8"),
+            "values": ((self.k,), "<f8"),
+            "sizes": ((), "<i8"),
+            "exact": ((), "|b1"),
+        }
+
     def _check_query(self, sketch: KMVSketch) -> None:
         self._require(
             sketch.k == self.k and sketch.seed == self.seed,

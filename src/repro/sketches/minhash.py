@@ -112,6 +112,12 @@ class MinHash(Sketcher):
     def _bank_params(self) -> dict[str, Any]:
         return {"m": self.m, "seed": self.seed}
 
+    def bank_layout(self) -> dict[str, tuple[tuple[int, ...], str]]:
+        return {
+            "hashes": ((self.m,), "<f8"),
+            "values": ((self.m,), "<f8"),
+        }
+
     def _check_query(self, sketch: MinHashSketch) -> None:
         self._require(
             sketch.m == self.m and sketch.seed == self.seed,

@@ -28,61 +28,16 @@ the paper's many-to-many -> one-to-one reduction.
 from __future__ import annotations
 
 import argparse
-import csv
 import json
 import sys
-from pathlib import Path
 
-from repro.datasearch.table import AGGREGATORS, Table
+from repro.datasearch.table import AGGREGATORS
 from repro.experiments.runner import method_registry
+from repro.store.csvio import load_csv_table
 from repro.store.lake import LakeStore, StoreError, is_lake_store
 from repro.store.session import QuerySession
 
 __all__ = ["main", "load_csv_table"]
-
-
-def load_csv_table(
-    path: str | Path,
-    key_column: str | None = None,
-    aggregate: str = "sum",
-    name: str | None = None,
-) -> Table:
-    """Read one CSV file into a :class:`Table`.
-
-    The table name defaults to the file stem; the key column to the
-    first header field.  All non-key columns are parsed as floats.
-    """
-    path = Path(path)
-    with open(path, newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        if not reader.fieldnames:
-            raise ValueError(f"{path}: empty CSV (no header row)")
-        fields = list(reader.fieldnames)
-        key = key_column if key_column is not None else fields[0]
-        if key not in fields:
-            raise ValueError(
-                f"{path}: key column {key!r} not in header {fields}"
-            )
-        value_fields = [field for field in fields if field != key]
-        keys: list[str] = []
-        columns: dict[str, list[float]] = {field: [] for field in value_fields}
-        for line, row in enumerate(reader, start=2):
-            keys.append(row[key])
-            for field in value_fields:
-                raw = (row[field] or "").strip()
-                try:
-                    columns[field].append(float(raw) if raw else 0.0)
-                except ValueError as exc:
-                    raise ValueError(
-                        f"{path}:{line}: column {field!r} is not numeric "
-                        f"(got {row[field]!r})"
-                    ) from exc
-    return Table.aggregated(
-        name=name if name is not None else path.stem,
-        keys=keys,
-        columns=columns,
-        how=aggregate,
-    )
 
 
 def _open_or_create(args: argparse.Namespace) -> LakeStore:
@@ -98,17 +53,32 @@ def _open_or_create(args: argparse.Namespace) -> LakeStore:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    tables = [
-        load_csv_table(path, key_column=args.key_column, aggregate=args.aggregate)
-        for path in args.csv
-    ]
+    # CSVs stream through the chunked ingest pipeline: only headers are
+    # read up front, bodies parse inside the chunk stages, so the
+    # command's memory footprint is set by --chunk-bytes, not by how
+    # many files are listed.
     with _open_or_create(args) as store:
-        shard_id = store.append(tables, workers=args.workers, index=args.index)
+        shard_id, report = store.ingest_csv(
+            args.csv,
+            key_column=args.key_column,
+            aggregate=args.aggregate,
+            workers=args.workers,
+            index=args.index,
+            chunk_bytes=args.chunk_bytes,
+        )
         stats = store.stats()
-    print(
-        f"ingested {len(tables)} table(s) into shard {shard_id} of {args.store} "
-        f"({stats['tables']} live tables, {stats['file_bytes']} bytes on disk)"
+    summary = (
+        f"ingested {len(args.csv)} table(s) into shard {shard_id} of "
+        f"{args.store} ({stats['tables']} live tables, "
+        f"{stats['file_bytes']} bytes on disk)"
     )
+    if report is not None:
+        summary += (
+            f"\n  {report.chunks} chunk(s), {report.workers} worker(s), "
+            f"{report.tables_per_s():.1f} tables/s, "
+            f"peak chunk {report.peak_chunk_bytes} bytes"
+        )
+    print(summary)
     return 0
 
 
@@ -238,6 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="sketch the batch across this many processes "
         "(results are bit-identical for any worker count)",
+    )
+    ingest.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=None,
+        help="per-chunk ingest byte budget (default: "
+        "$REPRO_INGEST_CHUNK_BYTES or 64 MiB); bounds peak memory, "
+        "never changes the stored bytes",
     )
     ingest.add_argument(
         "--no-index",

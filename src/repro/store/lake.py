@@ -53,7 +53,15 @@ from repro.io.serialize import (
     unpack_lsh_index,
 )
 from repro.mips.lsh import SignatureLSH, tune
+from repro.parallel.streaming import (
+    IngestReport,
+    SourceTable,
+    plan_shard,
+    plan_spans,
+    stream_sources,
+)
 from repro.store.config import build_sketcher, check_sketcher_config, sketcher_config
+from repro.store.csvio import csv_source
 from repro.store.manifest import (
     IndexRecord,
     Manifest,
@@ -63,6 +71,7 @@ from repro.store.manifest import (
 )
 from repro.store.shard import (
     SHARD_SUFFIX,
+    ShardStreamWriter,
     index_filename,
     read_shard,
     shard_filename,
@@ -297,19 +306,24 @@ class LakeStore:
         tables: Iterable[Table],
         workers: int | None = None,
         index: bool = True,
+        chunk_bytes: int | None = None,
     ) -> int | None:
         """Sketch and persist a batch of new tables as one shard.
 
-        Only the given tables are sketched (one ``sketch_batch`` call);
-        nothing already stored is touched.  A table whose name is
-        already live replaces the old version: the new span wins and
-        the old one is tombstoned (space is reclaimed by
-        :meth:`compact`).  Returns the new shard id, or ``None`` for an
-        empty batch.
+        Only the given tables are sketched; nothing already stored is
+        touched.  A table whose name is already live replaces the old
+        version: the new span wins and the old one is tombstoned (space
+        is reclaimed by :meth:`compact`).  Returns the new shard id, or
+        ``None`` for an empty batch.
 
-        ``workers`` fans the sketching out over that many processes via
-        :mod:`repro.parallel`; the shard bytes, manifest, and index are
-        bit-identical for any worker count.
+        Ingestion **streams**: tables are encoded and sketched in
+        byte-budgeted chunks (``chunk_bytes``, default
+        ``REPRO_INGEST_CHUNK_BYTES`` or 64 MiB) whose banks land
+        directly in the pre-sized shard file, so peak memory is bounded
+        by the chunk budget, not the batch.  ``workers`` fans the
+        chunks out over that many processes, each writing its own shard
+        region.  The shard bytes, manifest, and index are bit-identical
+        for any chunk size and any worker count.
 
         ``index`` maintains the persisted LSH candidate index alongside
         the shard (sketchers with signature keys only): the new tables'
@@ -320,13 +334,123 @@ class LakeStore:
         store; the next indexing append or :meth:`compact` rebuilds it.
         """
         self._check_open()
-        tables = list(tables)
-        if not tables:
-            return None
-        names = [table.name for table in tables]
+        sources = [SourceTable.from_table(table) for table in tables]
+        shard_id, _ = self.append_sources(
+            sources, workers=workers, index=index, chunk_bytes=chunk_bytes
+        )
+        return shard_id
+
+    def ingest_csv(
+        self,
+        paths: Iterable[str | Path],
+        key_column: str | None = None,
+        aggregate: str = "sum",
+        workers: int | None = None,
+        index: bool = True,
+        chunk_bytes: int | None = None,
+    ) -> tuple[int | None, IngestReport | None]:
+        """Stream CSV files into one shard without materializing them.
+
+        Only each file's header is read up front (for planning); bodies
+        are parsed inside the chunk stage, so at most one chunk's worth
+        of files is ever in memory.  Returns ``(shard_id, report)`` —
+        see :meth:`append_sources`.
+        """
+        sources = [
+            csv_source(path, key_column=key_column, aggregate=aggregate)
+            for path in paths
+        ]
+        return self.append_sources(
+            sources, workers=workers, index=index, chunk_bytes=chunk_bytes
+        )
+
+    def append_sources(
+        self,
+        sources: Iterable[SourceTable],
+        workers: int | None = None,
+        index: bool = True,
+        chunk_bytes: int | None = None,
+    ) -> tuple[int | None, IngestReport | None]:
+        """Stream lazily-loadable sources into one shard.
+
+        The workhorse behind :meth:`append` and :meth:`ingest_csv`:
+        plans the shard layout from the source metadata, streams every
+        source through the fused parse → vectorize → sketch chunk stage
+        straight into the pre-sized shard file, and commits
+        shard-first / manifest-last.  Returns ``(shard_id, report)``;
+        the report carries per-stage timings and the peak chunk
+        footprint (``None`` for sketchers without a fixed bank layout,
+        which take the materialize-everything fallback).
+        """
+        self._check_open()
+        sources = list(sources)
+        if not sources:
+            return None, None
+        names = [source.name for source in sources]
         if len(set(names)) != len(names):
             raise StoreError(f"duplicate table names in one batch: {names}")
 
+        plan = plan_shard(self.sketcher, sources)
+        if plan is None:
+            return self._append_materialized(sources, workers, index), None
+
+        # The writer lock is taken before streaming begins: the stream
+        # writes the next shard's temp file, and two uncoordinated
+        # writers would race on the same shard id and temp path.
+        with self._writer_lock():
+            shard_id = self._manifest.next_shard_id
+            filename = shard_filename(shard_id)
+            writer = ShardStreamWriter(self.path / filename, plan)
+            try:
+                num_rows, report = stream_sources(
+                    self.sketcher,
+                    sources,
+                    plan,
+                    writer.tmp_path,
+                    workers=workers,
+                    chunk_bytes=chunk_bytes,
+                )
+                writer.finalize()
+            except BaseException:
+                # Nothing committed: drop the temp file so a failed
+                # stream leaves the lake exactly as it was.
+                writer.abort()
+                raise
+            # Serve the shard we just wrote through the usual read
+            # path (zero-copy views by default) — the lake's resident
+            # footprint stays bounded even right after ingest.
+            bank, buffer = read_shard(self.path / filename, zero_copy=self._zero_copy)
+            spans = [
+                TableSpan(
+                    name=source.name,
+                    num_rows=rows,
+                    columns=source.columns,
+                    lo=lo,
+                    hi=hi,
+                )
+                for source, rows, (lo, hi) in zip(
+                    sources, num_rows, plan_spans(sources)
+                )
+            ]
+            stale_index = self._commit_shard_locked(
+                shard_id, filename, spans, bank, index
+            )
+        self._finish_append(shard_id, bank, buffer, spans, stale_index)
+        return shard_id, report
+
+    def _append_materialized(
+        self,
+        sources: Sequence[SourceTable],
+        workers: int | None,
+        index: bool,
+    ) -> int:
+        """One-shot append for sketchers without a fixed bank layout.
+
+        Object-bank methods (and sketcher-shaped wrappers) cannot be
+        assembled at byte offsets, so this path keeps the original
+        materialize → encode → one ``sketch_batch`` → pack flow.
+        """
+        tables = [source.loader() for source in sources]
         vectors: list = []
         spans: list[TableSpan] = []
         for table in tables:
@@ -352,37 +476,62 @@ class LakeStore:
             shard_id = self._manifest.next_shard_id
             filename = shard_filename(shard_id)
             write_shard(self.path / filename, bank)
-
-            # Commit point: shard bytes are durable, now the manifest.
-            live = self._manifest.live_table_shard()
-            for name in names:
-                if name in live:
-                    self._manifest.tombstones.add((live[name], name))
-            self._manifest.shards.append(
-                ShardRecord(shard_id=shard_id, filename=filename, tables=tuple(spans))
+            stale_index = self._commit_shard_locked(
+                shard_id, filename, spans, bank, index
             )
-            self._manifest.next_shard_id = shard_id + 1
+        self._finish_append(shard_id, bank, None, spans, stale_index)
+        return shard_id
 
-            if index:
-                # The persisted snapshot extends a copy of the
-                # committed-tables index with the new rows — the served
-                # in-memory state is only mutated after the commit, so
-                # a failed save never leaves phantom tables.
-                stale_index = self._write_append_index_locked(bank, spans)
-            else:
-                stale_index = self._drop_index_record()
-            self._manifest.save(self.path / _MANIFEST_NAME)
+    def _commit_shard_locked(
+        self,
+        shard_id: int,
+        filename: str,
+        spans: Sequence[TableSpan],
+        bank: SketchBank,
+        index: bool,
+    ) -> str | None:
+        """Record a durable shard in the manifest (under the writer lock).
 
+        Commit point: the shard bytes are already on disk, now the
+        manifest.  Returns the superseded index filename, if any.
+        """
+        live = self._manifest.live_table_shard()
+        for span in spans:
+            if span.name in live:
+                self._manifest.tombstones.add((live[span.name], span.name))
+        self._manifest.shards.append(
+            ShardRecord(shard_id=shard_id, filename=filename, tables=tuple(spans))
+        )
+        self._manifest.next_shard_id = shard_id + 1
+
+        if index:
+            # The persisted snapshot extends a copy of the
+            # committed-tables index with the new rows — the served
+            # in-memory state is only mutated after the commit, so
+            # a failed save never leaves phantom tables.
+            stale_index = self._write_append_index_locked(bank, spans)
+        else:
+            stale_index = self._drop_index_record()
+        self._manifest.save(self.path / _MANIFEST_NAME)
+        return stale_index
+
+    def _finish_append(
+        self,
+        shard_id: int,
+        bank: SketchBank,
+        buffer: mmap.mmap | None,
+        spans: Sequence[TableSpan],
+        stale_index: str | None,
+    ) -> None:
         # Post-commit in-memory updates (what the old manifest already
         # served stays untouched if anything above raised).
         self._banks[shard_id] = bank
-        self._buffers[shard_id] = None
+        self._buffers[shard_id] = buffer
         for span in spans:
             self._index.attach(
                 span.name, span.num_rows, span.columns, bank[span.lo : span.hi]
             )
         self._remove_stale_index(stale_index)
-        return shard_id
 
     def compact(self) -> dict[str, Any]:
         """Merge all live spans into one shard; reclaim tombstoned rows.

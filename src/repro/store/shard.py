@@ -18,18 +18,28 @@ pages fault in lazily as queries touch them.
 
 from __future__ import annotations
 
+import contextlib
 import mmap
 import os
+import struct
+import zlib
 from pathlib import Path
 
 from repro.core.bank import SketchBank
-from repro.io.serialize import pack_shard, unpack_shard
+from repro.io.serialize import (
+    ShardStreamPlan,
+    pack_shard,
+    unpack_shard,
+    write_chunk_rows,
+)
 
 __all__ = [
     "SHARD_SUFFIX",
+    "ShardStreamWriter",
     "shard_filename",
     "index_filename",
     "write_bytes_atomic",
+    "write_chunk_rows",
     "write_shard",
     "read_shard",
 ]
@@ -82,6 +92,69 @@ def write_bytes_atomic(path: Path, payload: bytes) -> int:
 def write_shard(path: Path, bank: SketchBank) -> int:
     """Atomically write ``bank`` as a shard file; returns bytes written."""
     return write_bytes_atomic(path, pack_shard(bank))
+
+
+class ShardStreamWriter:
+    """Assemble one shard file incrementally from chunk banks.
+
+    The writer pre-sizes a ``*.tmp`` sibling to the planned byte length,
+    writes the fixed prefix (headers + bank meta, CRC zeroed), and lets
+    chunk results land at their exact row offsets — from this process
+    or from pool workers that open the same temp file.  ``finalize``
+    computes the CRC-32 over the payload, patches it in, fsyncs, and
+    renames the file into place; the result is byte-identical to
+    ``write_shard`` over the equivalent one-shot bank.  A crash before
+    ``finalize`` leaves only the temp file, which opens ignore.
+    """
+
+    def __init__(self, path: Path, plan: ShardStreamPlan) -> None:
+        self.path = Path(path)
+        self.plan = plan
+        self.tmp_path = self.path.with_name(self.path.name + ".tmp")
+        self._handle = open(self.tmp_path, "w+b")
+        try:
+            self._handle.truncate(plan.file_size)
+            self._map = mmap.mmap(self._handle.fileno(), plan.file_size)
+            self._map[: len(plan.prefix)] = plan.prefix
+        except BaseException:
+            self._handle.close()
+            with contextlib.suppress(OSError):
+                os.unlink(self.tmp_path)
+            raise
+        self._done = False
+
+    def write_rows(self, bank: SketchBank, row_offset: int) -> None:
+        """Place ``bank`` at rows ``[row_offset, row_offset + len(bank))``."""
+        write_chunk_rows(self._map, self.plan, bank, row_offset)
+
+    def finalize(self) -> int:
+        """Patch the CRC, make the file durable, and rename into place."""
+        plan = self.plan
+        checksum = zlib.crc32(memoryview(self._map)[plan.payload_offset :])
+        self._map[plan.checksum_offset : plan.checksum_offset + 4] = struct.pack(
+            "<I", checksum
+        )
+        self._map.flush()
+        self._map.close()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        os.replace(self.tmp_path, self.path)
+        fsync_directory(self.path.parent)
+        self._done = True
+        return plan.file_size
+
+    def abort(self) -> None:
+        """Drop the temp file (idempotent; safe after ``finalize``)."""
+        if self._done:
+            return
+        with contextlib.suppress(ValueError, OSError):
+            self._map.close()
+        with contextlib.suppress(OSError):
+            self._handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(self.tmp_path)
+        self._done = True
 
 
 def read_shard(
