@@ -45,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.wmh import shared_minima_cache
 from repro.datasearch.table import Table
 from repro.datasearch.vectorize import key_to_index
@@ -244,6 +245,11 @@ def run(num_tables: int, seed: int, quick: bool) -> dict:
                     f"from the one-shot pack"
                 )
         report["bit_identical"] = True
+        # The live registry after the whole run, in the shared metrics
+        # schema (repro.obs): ingest.* counters cover every streamed
+        # variant above, including pool-worker chunks merged back.
+        report["telemetry"] = obs.runtime_snapshot()
+        obs.validate_snapshot(report["telemetry"])
     finally:
         shutdown_pools()
         shutil.rmtree(workdir, ignore_errors=True)

@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.wmh import WeightedMinHash
 from repro.datasearch.index import SketchIndex
 from repro.datasearch.search import DatasetSearch
@@ -146,6 +147,11 @@ def run(quick: bool = False, seed: int = 0) -> dict:
             "append_vs_rebuild_speedup": round(rebuild_all_s / append_s, 2),
         }
         report["storage"] = {"file_bytes": file_bytes}
+        # Live registry snapshot in the shared metrics schema: the
+        # store.* counters (fsyncs, manifest commits, shard bytes)
+        # account for every open/append/compact timed above.
+        report["telemetry"] = obs.runtime_snapshot()
+        obs.validate_snapshot(report["telemetry"])
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     return report

@@ -19,7 +19,11 @@ example shows the durable version of that promise with
    banded-signature index shortlists candidate tables in ~constant
    time and the exact joinability filter re-checks the shortlist, so
    the hits are a (here: identical) subset of the full-scan hits;
-8. re-ingest the same lake through the **chunked streaming pipeline**
+8. serve one query under a **span trace** (``repro.obs``): the JSONL
+   trace breaks the request into candidate-gen / estimate phases whose
+   durations tile the root span, and the ranking is identical to the
+   untraced query — telemetry observes, never perturbs;
+9. re-ingest the same lake through the **chunked streaming pipeline**
    (a tiny byte budget forces one table per chunk, sketched straight
    into the pre-sized shard file) and verify every stored byte matches
    the one-batch store — chunking bounds memory, never changes output.
@@ -34,7 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import WeightedMinHash
+from repro import WeightedMinHash, obs
 from repro.datasearch import DatasetSearch, SketchIndex, Table
 from repro.parallel import SourceTable
 from repro.store import LakeStore, QuerySession
@@ -154,6 +158,28 @@ def main() -> None:
                 (h.table_name, h.column, h.score) for h in lsh_hits
             ) <= set((h.table_name, h.column, h.score) for h in scan_hits)
             print(f"identical to the full scan: {lsh_hits == scan_hits}")
+
+            # --- traced serving: one query under a span trace ------------
+            # repro.obs writes one JSONL event per span; the query root
+            # span is tiled by candidate-gen / estimate phase children,
+            # and tracing never changes the ranking.
+            trace_path = Path(tmp) / "query_trace.jsonl"
+            with obs.tracing(trace_path):
+                traced_hits = session.search(taxi, "rides", top_k=3)
+            assert traced_hits == scan_hits
+            events = obs.read_trace(trace_path)
+            obs.validate_trace(events)
+            roots = [e for e in events if e["name"] == "query.search"]
+            phases = sorted(
+                e["name"]
+                for e in events
+                if e["parent_id"] == roots[0]["span_id"]
+            )
+            print(
+                f"\ntraced query: {len(events)} span events, "
+                f"phases under query.search: {phases}"
+            )
+            print(f"traced ranking identical to untraced: {traced_hits == scan_hits}")
 
         # --- streaming ingest: chunked, bounded memory, same bytes ----
         # The same lake, ingested twice more: once as one default batch,

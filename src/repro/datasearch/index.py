@@ -347,6 +347,22 @@ class SketchIndex:
         self._lsh = lake_index
         self._lsh_count = len(self._entries)
 
+    def lsh_state(self) -> dict | None:
+        """The in-memory LSH candidate index state, without building it.
+
+        ``None`` until a query (or an explicit :meth:`lsh_index` call)
+        has built the index; otherwise the live banding plus how many
+        indexed rows it currently covers — the observability view
+        ``QuerySession.stats()`` re-exports.
+        """
+        if self._lsh is None:
+            return None
+        return {
+            "bands": self._lsh.bands,
+            "rows_per_band": self._lsh.rows_per_band,
+            "tables": self._lsh_count,
+        }
+
     def drop_lsh(self) -> None:
         """Discard the LSH index; the next use rebuilds it.
 

@@ -37,12 +37,17 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.datasearch.index import SketchIndex
 from repro.datasearch.join_estimates import JoinSketch
 from repro.datasearch.lshindex import DEFAULT_TARGET_RECALL
 from repro.datasearch.table import Table
 
 __all__ = ["SearchHit", "DatasetSearch"]
+
+
+def _no_mark(name: str) -> None:
+    """Disabled-telemetry phase mark: one call, no clock reads."""
 
 
 @dataclass(frozen=True)
@@ -310,18 +315,29 @@ class DatasetSearch:
         # correlation formula.
         if not self.index.table_names():
             return []
+        # Per-query accounting: rec is None when telemetry is fully
+        # disabled, and every phase mark below degrades to one no-op
+        # call — the fast path the obs benchmarks gate at <2%.
+        rec = obs.recorder()
+        mark = rec.mark if rec is not None else _no_mark
         shortlists = self._shortlists([query], mode)
         shortlist = None if shortlists is None else shortlists[0]
+        mark("candidates")
         names, sizes = self._join_sizes(query, shortlist)
         if not names:
             return []
         order, containments = self._joinable_order(
             sizes, query.num_rows, shortlist
         )
+        mark("joinability")
         if order.size == 0:
+            self._record_search(rec, mode, query, query_column, shortlist, 0, len(names), 0)
             return []
         rank_of_table, table_rows, val_rows = self._candidate_rows(order, len(names))
         if val_rows.size == 0:
+            self._record_search(
+                rec, mode, query, query_column, shortlist, int(order.size), len(names), 0
+            )
             return []
 
         sketcher = self.index.sketcher
@@ -336,37 +352,48 @@ class DatasetSearch:
             indicator_bank = self.index.indicator_bank[table_rows]
             value_bank = self.index.value_bank[val_rows]
             square_bank = self.index.square_bank[val_rows]
+            mark("gather")
             # Per-table statistics, candidate rows only.
             sum_left = sketcher.estimate_many(
                 query.values[query_column], indicator_bank
             )
+            mark("estimate.sum_left")
             sum_squares_left = sketcher.estimate_many(
                 query.squares[query_column], indicator_bank
             )
+            mark("estimate.sum_squares_left")
             # Per-column statistics, candidate rows only.
             sum_right = sketcher.estimate_many(query.indicator, value_bank)
+            mark("estimate.sum_right")
             sum_squares_right = sketcher.estimate_many(query.indicator, square_bank)
+            mark("estimate.sum_squares_right")
             inner_products = sketcher.estimate_many(
                 query.values[query_column], value_bank
             )
+            mark("estimate.inner_product")
         else:
             sum_left = sketcher.estimate_many(
                 query.values[query_column], self.index.indicator_bank
             )[table_rows]
+            mark("estimate.sum_left")
             sum_squares_left = sketcher.estimate_many(
                 query.squares[query_column], self.index.indicator_bank
             )[table_rows]
+            mark("estimate.sum_squares_left")
             sum_right = sketcher.estimate_many(
                 query.indicator, self.index.value_bank
             )[val_rows]
+            mark("estimate.sum_right")
             sum_squares_right = sketcher.estimate_many(
                 query.indicator, self.index.square_bank
             )[val_rows]
+            mark("estimate.sum_squares_right")
             inner_products = sketcher.estimate_many(
                 query.values[query_column], self.index.value_bank
             )[val_rows]
+            mark("estimate.inner_product")
 
-        return self._score_candidates(
+        hits = self._score_candidates(
             sizes,
             containments,
             rank_of_table,
@@ -379,6 +406,61 @@ class DatasetSearch:
             inner_products,
             top_k,
             by,
+        )
+        mark("score")
+        self._record_search(
+            rec,
+            mode,
+            query,
+            query_column,
+            shortlist,
+            int(order.size),
+            len(names),
+            len(hits),
+        )
+        return hits
+
+    @staticmethod
+    def _record_search(
+        rec: "obs.PhaseRecorder | None",
+        mode: str,
+        query: JoinSketch,
+        query_column: str,
+        shortlist: np.ndarray | None,
+        joinable: int,
+        lake_tables: int,
+        hits: int,
+    ) -> None:
+        """Fold one query's accounting into the registry and trace.
+
+        Registry: route counters plus shortlist-size, joinable-count,
+        and pruning-selectivity histograms (``query.*``).  Trace: a
+        ``query.search`` root span with one child per recorded phase.
+        """
+        if rec is None:
+            return
+        obs.count("query.count")
+        obs.count(f"query.route.{mode}")
+        if shortlist is not None:
+            obs.observe("query.shortlist_size", int(shortlist.size))
+        obs.observe("query.joinable_tables", joinable)
+        if lake_tables:
+            obs.observe(
+                "query.pruning_selectivity_pct", 100.0 * joinable / lake_tables
+            )
+        obs.record_phases(
+            rec,
+            "query.search",
+            "query",
+            attrs={
+                "query": query.table_name,
+                "column": query_column,
+                "route": mode,
+                "lake_tables": lake_tables,
+                "joinable": joinable,
+                "shortlist": None if shortlist is None else int(shortlist.size),
+                "hits": hits,
+            },
         )
 
     def search_many(
@@ -421,6 +503,8 @@ class DatasetSearch:
         if not names:
             return [[] for _ in queries]
 
+        rec = obs.recorder()
+        mark = rec.mark if rec is not None else _no_mark
         sketcher = self.index.sketcher
         indicator_queries = sketcher.pack_bank([q.indicator for q in queries])
         value_queries = sketcher.pack_bank(
@@ -429,6 +513,7 @@ class DatasetSearch:
         square_queries = sketcher.pack_bank(
             [q.squares[c] for q, c in zip(queries, columns)]
         )
+        mark("pack")
 
         # Joinability for every query in one pass: (Q, tables).  The
         # LSH path estimates only the union of the per-query shortlists
@@ -436,6 +521,7 @@ class DatasetSearch:
         # size 0 and are masked out per query below.
         num_tables = len(names)
         shortlists = self._shortlists(queries, mode)
+        mark("candidates")
         if shortlists is None:
             sizes_all = np.maximum(
                 sketcher.estimate_cross(
@@ -476,8 +562,10 @@ class DatasetSearch:
 
         union_tables = np.flatnonzero(union_mask)
         union_vals = np.flatnonzero(union_mask[self.index.owner_positions()])
+        mark("joinability")
         results: list[list[SearchHit]] = [[] for _ in queries]
         if union_vals.size == 0:
+            self._record_batch(rec, mode, len(queries), 0, num_tables, shortlists)
             return results
 
         # The five relevance statistics for the whole batch, one
@@ -498,11 +586,17 @@ class DatasetSearch:
             square_bank = self.index.square_bank
             table_base = np.arange(num_tables, dtype=np.int64)
             val_base = np.arange(len(value_bank), dtype=np.int64)
+        mark("gather")
         sum_left_all = sketcher.estimate_cross(value_queries, indicator_bank)
+        mark("estimate.sum_left")
         sum_squares_left_all = sketcher.estimate_cross(square_queries, indicator_bank)
+        mark("estimate.sum_squares_left")
         sum_right_all = sketcher.estimate_cross(indicator_queries, value_bank)
+        mark("estimate.sum_right")
         sum_squares_right_all = sketcher.estimate_cross(indicator_queries, square_bank)
+        mark("estimate.sum_squares_right")
         inner_products_all = sketcher.estimate_cross(value_queries, value_bank)
+        mark("estimate.inner_product")
 
         for qi in range(len(queries)):
             containments, rank_of_table, table_rows, val_rows = selections[qi]
@@ -526,7 +620,41 @@ class DatasetSearch:
                 top_k,
                 by,
             )
+        mark("score")
+        self._record_batch(
+            rec, mode, len(queries), int(union_tables.size), num_tables, shortlists
+        )
         return results
+
+    @staticmethod
+    def _record_batch(
+        rec: "obs.PhaseRecorder | None",
+        mode: str,
+        queries: int,
+        union_joinable: int,
+        lake_tables: int,
+        shortlists: list[np.ndarray] | None,
+    ) -> None:
+        """Accounting for one ``search_many`` batch (``query.batch.*``)."""
+        if rec is None:
+            return
+        obs.count("query.batch.count")
+        obs.count("query.batch.queries", queries)
+        obs.count(f"query.route.{mode}", queries)
+        if shortlists is not None:
+            for rows in shortlists:
+                obs.observe("query.shortlist_size", int(rows.size))
+        obs.record_phases(
+            rec,
+            "query.search_many",
+            "query.batch",
+            attrs={
+                "queries": queries,
+                "route": mode,
+                "lake_tables": lake_tables,
+                "union_joinable": union_joinable,
+            },
+        )
 
     def _score_candidates(
         self,

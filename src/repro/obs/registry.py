@@ -1,0 +1,327 @@
+"""Process-wide metrics: counters, gauges, and log-bucket histograms.
+
+The registry is the live half of the telemetry layer: hot paths record
+cheap aggregates (a counter bump, one histogram observation per query
+or per ingest chunk) and readers pull a JSON-able :meth:`snapshot` at
+any time — the same schema the CLI ``stats --telemetry`` command, the
+``BENCH_*.json`` artifacts, and the tests all consume.
+
+Design constraints, in order:
+
+* **stdlib only** — the registry must be importable from every layer
+  (``io``, ``store``, ``parallel``) without adding dependencies or
+  import cycles, so it uses ``math``/``bisect``/``threading`` and
+  nothing else;
+* **mergeable** — :class:`Histogram` keeps *fixed* log-spaced bucket
+  bounds (powers of two, the same for every instance), so snapshots
+  taken in process-pool workers merge into the parent registry by
+  elementwise bucket addition.  Merging is associative and order
+  independent for counters and histograms, which is what lets
+  ``repro.parallel`` fold per-chunk worker snapshots in completion
+  order;
+* **deterministic percentiles** — percentiles are computed from bucket
+  counts alone: the reported quantile is the upper bound of the bucket
+  holding the rank-``ceil(q·n/100)`` observation.  Observations lying
+  exactly on a bucket bound are therefore reported *exactly* (the
+  bound is the answer); interior values are reported as their bucket's
+  upper bound, an over-estimate by at most one bucket width.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Histogram bucket bounds are ``2**k`` for ``k`` in this closed range:
+#: 2^-20 (~1 µs when observing milliseconds) up to 2^40 (~1 TiB when
+#: observing bytes).  One fixed layout for every histogram keeps all
+#: snapshots mergeable without negotiating bucket schemes.
+LOW_EXP = -20
+HIGH_EXP = 40
+
+_BOUNDS: list[float] = [float(2.0**k) for k in range(LOW_EXP, HIGH_EXP + 1)]
+
+
+class Counter:
+    """A monotonically growing sum (int or float)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed log-bucket histogram with deterministic percentiles.
+
+    Buckets are the fixed powers-of-two bounds of the module (underflow
+    values clamp into the first bucket; values above the last bound go
+    to a dedicated overflow bucket whose percentile reports the exact
+    observed maximum).  Alongside the bucket counts the histogram keeps
+    the exact ``count``/``sum``/``min``/``max``, so means and extremes
+    never suffer bucket rounding.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        # one slot per bound + one overflow slot at the end
+        self.counts = [0] * (len(_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # bisect_left: the first bound >= value — a value exactly on a
+        # bound lands in the bucket *bounded above by it*, which is what
+        # makes percentiles exact at bucket edges.
+        self.counts[bisect_left(_BOUNDS, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """The upper bucket bound holding the rank-``ceil(q·n/100)``
+        observation; exact when observations sit on bucket bounds.
+
+        Empty histograms return ``nan``.  The overflow bucket reports
+        the exact observed maximum (there is no finite upper bound).
+        """
+        if self.count == 0:
+            return math.nan
+        rank = min(max(math.ceil(q * self.count / 100.0), 1), self.count)
+        seen = 0
+        for i, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= rank:
+                return self.max if i == len(_BOUNDS) else _BOUNDS[i]
+        return self.max  # unreachable; counts sum to self.count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (elementwise bucket addition)."""
+        for i, bucket in enumerate(other.counts):
+            self.counts[i] += bucket
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_json(self) -> dict[str, Any]:
+        buckets = {str(i): c for i, c in enumerate(self.counts) if c}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+            "p50": self.percentile(50) if self.count else None,
+            "p95": self.percentile(95) if self.count else None,
+            "p99": self.percentile(99) if self.count else None,
+            "low_exp": LOW_EXP,
+            "high_exp": HIGH_EXP,
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Histogram":
+        if (
+            payload.get("low_exp") != LOW_EXP
+            or payload.get("high_exp") != HIGH_EXP
+        ):
+            raise ValueError(
+                f"histogram bucket layout mismatch: snapshot has "
+                f"[{payload.get('low_exp')}, {payload.get('high_exp')}], "
+                f"this process uses [{LOW_EXP}, {HIGH_EXP}]"
+            )
+        hist = cls()
+        for key, value in payload.get("buckets", {}).items():
+            hist.counts[int(key)] = int(value)
+        hist.count = int(payload["count"])
+        hist.total = float(payload["sum"])
+        if hist.count:
+            hist.min = float(payload["min"])
+            hist.max = float(payload["max"])
+        return hist
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    One process-wide instance (``repro.obs.get_registry()``) backs the
+    live system; short-lived private instances collect per-chunk ingest
+    metrics inside pool workers, whose snapshots the parent merges.
+
+    All recording methods are cheap and thread-safe (one registry lock;
+    recording is a dict lookup plus an add).  ``enabled=False`` turns
+    every recording method into an early-return no-op — the disabled
+    telemetry fast path.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            counter.add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    # -- reading --------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def gauge_value(self, name: str) -> float | None:
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else None
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                set(self._counters) | set(self._gauges) | set(self._histograms)
+            )
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able copy of every metric (the shared schema)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.value
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: hist.to_json()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a pool worker) in.
+
+        Counters and histogram buckets add; gauges are last-write-wins.
+        Merging is associative, and merging worker snapshots in any
+        completion order yields the same counters and histograms as
+        recording every observation in one process.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter()
+                counter.add(value)
+            for name, value in snapshot.get("gauges", {}).items():
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge()
+                gauge.set(value)
+            for name, payload in snapshot.get("histograms", {}).items():
+                incoming = Histogram.from_json(payload)
+                hist = self._histograms.get(name)
+                if hist is None:
+                    self._histograms[name] = incoming
+                else:
+                    hist.merge(incoming)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def validate_snapshot(snapshot: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``snapshot`` follows the schema.
+
+    Used by tests and the CI benchmark gate to pin the metrics
+    vocabulary shared by the live registry and the bench artifacts.
+    """
+    if not isinstance(snapshot, dict):
+        raise ValueError("snapshot must be a dict")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            raise ValueError(f"snapshot is missing the {section!r} section")
+        if not isinstance(snapshot[section], dict):
+            raise ValueError(f"snapshot section {section!r} must be a dict")
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, (int, float)):
+            raise ValueError(f"counter {name!r} has non-numeric value {value!r}")
+    for name, payload in snapshot["histograms"].items():
+        missing = {"count", "sum", "buckets", "low_exp", "high_exp"} - set(payload)
+        if missing:
+            raise ValueError(f"histogram {name!r} is missing keys {missing}")
+        Histogram.from_json(payload)  # layout + bucket types
+    json.dumps(snapshot)  # must round-trip as JSON
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Merge several snapshots into one (associative, see ``merge``)."""
+    registry = MetricsRegistry(enabled=True)
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()

@@ -1,0 +1,402 @@
+"""Span tracing: ``trace_span`` context managers exported as JSONL.
+
+Tracing answers the question the registry cannot: *where did this one
+query go?*  When enabled (``REPRO_TRACE=<path>`` in the environment, or
+:func:`enable_tracing`/:func:`tracing` from code), every span writes
+one JSON line on exit::
+
+    {"name": "query.search", "span_id": "1234:7", "parent_id": "1234:6",
+     "start_s": 0.0123, "wall_ms": 3.21, "cpu_ms": 3.05,
+     "pid": 1234, "thread": 140245, "attrs": {"route": "lsh", ...}}
+
+* spans nest through a **thread-local stack** — a span opened while
+  another is active records it as its parent, so the exported events
+  reconstruct the call tree without any global state beyond the stack;
+* ``start_s`` is seconds since the trace was enabled (one epoch per
+  trace file); ``wall_ms`` is monotonic wall time, ``cpu_ms`` is
+  thread CPU time, both for the span body only;
+* the file is opened in append mode and events are batched as whole
+  lines in a process-private buffer, flushed in one ``O_APPEND`` write
+  when a **top-level** span completes (and on close), so concurrent
+  threads (and forked pool workers, which re-open the file under their
+  own pid with a fresh buffer) interleave whole lines, never fragments;
+* when tracing is **disabled** — the default — :func:`trace_span`
+  returns a module-level no-op singleton: no span object, no clock
+  reads, no allocation beyond the call itself.  Benchmarks gate this
+  fast path at <2% of query latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator
+
+import contextlib
+
+__all__ = [
+    "TRACE_ENV",
+    "disable_tracing",
+    "enable_tracing",
+    "read_trace",
+    "trace_enabled",
+    "trace_span",
+    "tracing",
+    "validate_trace",
+]
+
+#: Environment knob: a non-empty value enables tracing to that path for
+#: the whole process (read once at import, see ``_init_from_env``).
+TRACE_ENV = "REPRO_TRACE"
+
+_IDS = itertools.count(1)
+_LOCAL = threading.local()
+
+
+def _stack() -> list[str]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def _encode_line(event: dict[str, Any]) -> bytes:
+    """One schema event as a JSON line, hand-rolled for the hot path.
+
+    Every field except ``attrs`` is a number or an identifier the
+    library itself minted (span names are code literals, ids are
+    ``pid:counter``), so string fields need no escaping; ``attrs`` is
+    arbitrary caller data and goes through :func:`json.dumps`.  This is
+    several times cheaper than ``json.dumps`` on the whole event, and
+    the emit path is what bounds tracing overhead per query.
+    """
+    attrs = event["attrs"]
+    attrs_json = json.dumps(attrs, separators=(",", ":")) if attrs else "{}"
+    parent = event["parent_id"]
+    parent_json = f'"{parent}"' if parent is not None else "null"
+    return (
+        f'{{"name":"{event["name"]}","span_id":"{event["span_id"]}",'
+        f'"parent_id":{parent_json},"start_s":{event["start_s"]},'
+        f'"wall_ms":{event["wall_ms"]},"cpu_ms":{event["cpu_ms"]},'
+        f'"pid":{event["pid"]},"thread":{event["thread"]},'
+        f'"attrs":{attrs_json}}}\n'
+    ).encode()
+
+
+#: Buffered trace bytes are flushed once this is exceeded, even if no
+#: top-level span has completed (bounds buffer growth under deep or
+#: synthesized-event-only workloads).
+_FLUSH_BYTES = 32 * 1024
+
+
+class _TraceWriter:
+    """Append-mode JSONL sink, re-opened per pid after a fork.
+
+    Events buffer as whole encoded lines and hit the file in one
+    ``O_APPEND`` ``os.write`` per flush — per-event syscalls would
+    dominate the cost of tracing a millisecond-scale query.  Flushes
+    happen when a top-level span completes (see ``_Span.__exit__``),
+    when the buffer passes ``_FLUSH_BYTES``, and on close; a forked
+    child starts from an empty buffer (the parent owns what it had
+    buffered at fork time) with its own descriptor.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.epoch = time.perf_counter()
+        self._open()
+
+    def _open(self) -> None:
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._buf: list[bytes] = []
+        self._buf_bytes = 0
+
+    def write(self, event: dict[str, Any]) -> None:
+        if os.getpid() != self._pid:  # forked child: private handle
+            self._open()
+        line = _encode_line(event)
+        with self._lock:
+            self._buf.append(line)
+            self._buf_bytes += len(line)
+            if self._buf_bytes >= _FLUSH_BYTES:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._buf:
+            return
+        data = b"".join(self._buf)
+        self._buf = []
+        self._buf_bytes = 0
+        while data:
+            written = os.write(self._fd, data)
+            data = data[written:]
+
+    def flush(self) -> None:
+        if os.getpid() != self._pid:
+            return
+        with self._lock:
+            self._flush_locked()
+
+    def close(self) -> None:
+        with contextlib.suppress(ValueError, OSError):
+            self.flush()
+            os.close(self._fd)
+
+
+_WRITER: _TraceWriter | None = None
+
+
+class _NoopSpan:
+    """The disabled-tracing singleton: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def add(self, **attrs: Any) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span; created only while tracing is enabled."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "_t0", "_c0")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = f"{os.getpid()}:{next(_IDS)}"
+        self.parent_id: str | None = None
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def add(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __enter__(self) -> "_Span":
+        stack = _stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._c0 = time.thread_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc: Any) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.thread_time() - self._c0
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        writer = _WRITER
+        if writer is not None:
+            writer.write(
+                span_event(
+                    self.name,
+                    span_id=self.span_id,
+                    parent_id=self.parent_id,
+                    start_s=self._t0 - writer.epoch,
+                    wall_ms=wall * 1e3,
+                    cpu_ms=cpu * 1e3,
+                    attrs=self.attrs,
+                )
+            )
+            if not stack:
+                # A completed top-level span is a natural durability
+                # point: everything it buffered lands in one write.
+                writer.flush()
+        return False
+
+
+def span_event(
+    name: str,
+    span_id: str,
+    parent_id: str | None,
+    start_s: float,
+    wall_ms: float,
+    cpu_ms: float,
+    attrs: dict[str, Any],
+) -> dict[str, Any]:
+    """One trace event in the canonical schema (see module docstring)."""
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_s": round(start_s, 6),
+        "wall_ms": round(wall_ms, 4),
+        "cpu_ms": round(cpu_ms, 4),
+        "pid": os.getpid(),
+        "thread": threading.get_ident(),
+        "attrs": attrs,
+    }
+
+
+def trace_span(name: str, **attrs: Any) -> "_Span | _NoopSpan":
+    """A context manager timing ``name``; no-op singleton when disabled.
+
+    The enabled span exposes ``.add(**attrs)`` for attributes only
+    known at the end of the block; the disabled singleton accepts (and
+    drops) the same calls, so call sites never branch on trace state.
+    """
+    if _WRITER is None:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def trace_enabled() -> bool:
+    return _WRITER is not None
+
+
+def current_span_id() -> str | None:
+    """The innermost live span's id on this thread (for synthesized
+    events that should parent under the active span)."""
+    stack = getattr(_LOCAL, "stack", None)
+    return stack[-1] if stack else None
+
+
+def emit_event(event: dict[str, Any]) -> None:
+    """Write one pre-built event (used by the per-query recorder)."""
+    writer = _WRITER
+    if writer is not None:
+        writer.write(event)
+
+
+def trace_epoch() -> float:
+    """``perf_counter`` value all ``start_s`` offsets are relative to."""
+    writer = _WRITER
+    return writer.epoch if writer is not None else 0.0
+
+
+def next_span_id() -> str:
+    return f"{os.getpid()}:{next(_IDS)}"
+
+
+def enable_tracing(path: str | os.PathLike) -> None:
+    """Start appending span events to ``path`` (JSONL)."""
+    global _WRITER
+    disable_tracing()
+    _WRITER = _TraceWriter(str(path))
+
+
+def disable_tracing() -> None:
+    """Stop tracing; subsequent ``trace_span`` calls are no-ops."""
+    global _WRITER
+    if _WRITER is not None:
+        _WRITER.close()
+    _WRITER = None
+
+
+@contextlib.contextmanager
+def tracing(path: str | os.PathLike) -> Iterator[None]:
+    """Scoped tracing: enabled inside the block, restored after.
+
+    Used by ``query --trace out.jsonl`` and the benchmarks; restores
+    the previous writer (if any) so nested scopes compose.
+    """
+    global _WRITER
+    previous = _WRITER
+    _WRITER = _TraceWriter(str(path))
+    try:
+        yield
+    finally:
+        _WRITER.close()
+        _WRITER = previous
+
+
+def _init_from_env() -> None:
+    path = os.environ.get(TRACE_ENV, "").strip()
+    if path:
+        enable_tracing(path)
+        # Env-enabled tracing has no scope to close it: drain the
+        # buffered tail when the process exits.
+        import atexit
+
+        atexit.register(disable_tracing)
+
+
+_init_from_env()
+
+
+# ----------------------------------------------------------------------
+# reading traces back (tests, benchmarks, CI schema gate)
+# ----------------------------------------------------------------------
+
+_REQUIRED_KEYS = {
+    "name": str,
+    "span_id": str,
+    "start_s": (int, float),
+    "wall_ms": (int, float),
+    "cpu_ms": (int, float),
+    "pid": int,
+    "thread": int,
+    "attrs": dict,
+}
+
+
+def read_trace(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into its event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def validate_trace(events: list[dict[str, Any]]) -> None:
+    """Raise ``ValueError`` unless every event follows the span schema.
+
+    Checks required keys and types, non-negative durations, unique span
+    ids, and that every non-null ``parent_id`` references another event
+    in the trace (the call tree is reconstructible).
+    """
+    ids = set()
+    for i, event in enumerate(events):
+        for key, types in _REQUIRED_KEYS.items():
+            if key not in event:
+                raise ValueError(f"event {i} is missing {key!r}: {event}")
+            if not isinstance(event[key], types):
+                raise ValueError(
+                    f"event {i} field {key!r} has type "
+                    f"{type(event[key]).__name__}, expected {types}"
+                )
+        if "parent_id" not in event:
+            raise ValueError(f"event {i} is missing 'parent_id'")
+        if event["parent_id"] is not None and not isinstance(
+            event["parent_id"], str
+        ):
+            raise ValueError(f"event {i} has non-string parent_id")
+        if event["wall_ms"] < 0 or event["cpu_ms"] < 0:
+            raise ValueError(f"event {i} has a negative duration: {event}")
+        if event["span_id"] in ids:
+            raise ValueError(f"duplicate span_id {event['span_id']!r}")
+        ids.add(event["span_id"])
+    for i, event in enumerate(events):
+        parent = event["parent_id"]
+        if parent is not None and parent not in ids:
+            raise ValueError(
+                f"event {i} ({event['name']!r}) references unknown parent "
+                f"{parent!r}"
+            )

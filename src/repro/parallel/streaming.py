@@ -41,6 +41,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.table import Table
@@ -128,7 +129,9 @@ class IngestReport:
     seconds — with pool workers the stages overlap, so the sum can
     exceed ``elapsed_s``); ``peak_chunk_bytes`` is the largest
     transient chunk footprint (chunk CSR + chunk bank), the quantity
-    the byte budget bounds.
+    the byte budget bounds.  ``input_rows``/``nnz``/``bank_bytes``
+    attribute units of work to the stages: rows parsed, CSR entries
+    vectorized, and shard bytes produced by the sketch/write stages.
     """
 
     tables: int = 0
@@ -137,6 +140,9 @@ class IngestReport:
     requested_workers: int | None = None
     workers: int = 1
     peak_chunk_bytes: int = 0
+    input_rows: int = 0
+    nnz: int = 0
+    bank_bytes: int = 0
     stage_seconds: dict[str, float] = field(
         default_factory=lambda: {
             "parse": 0.0,
@@ -269,6 +275,7 @@ class _ChunkTask:
     row_offset: int
     tmp_path: str | None  # None: return the bank instead of writing
     plan: ShardStreamPlan | None
+    collect_metrics: bool = False  # record a registry snapshot per chunk
 
 
 @dataclass(frozen=True)
@@ -279,50 +286,90 @@ class _ChunkOutput:
     chunk_bytes: int
     seconds: dict[str, float]
     bank: SketchBank | None  # only when the task had no shard target
+    input_rows: int = 0
+    nnz: int = 0
+    bank_bytes: int = 0
+    metrics: dict | None = None  # worker registry snapshot, mergeable
 
 
 def _run_chunk(task: _ChunkTask) -> _ChunkOutput:
-    """Parse → vectorize → sketch (→ write) one chunk."""
-    t0 = time.perf_counter()
-    tables = [source.loader() for source in task.sources]
-    for source, table in zip(task.sources, tables):
-        if table.name != source.name or tuple(table.columns) != source.columns:
+    """Parse → vectorize → sketch (→ write) one chunk.
+
+    Runs in the driver (serial mode) or a pool worker.  When
+    ``task.collect_metrics`` is set, per-stage counters and latency
+    histograms go to a **fresh local registry** whose snapshot rides
+    back in the output — the driver merges it into the process-wide
+    registry, so ingest metrics survive the pool boundary.  The flag is
+    carried in the picklable task (not read from the worker's
+    environment) so fork- and spawn-started pools behave identically.
+    """
+    span = obs.trace_span(
+        "ingest.chunk", tables=len(task.sources), row_offset=task.row_offset
+    )
+    with span:
+        t0 = time.perf_counter()
+        tables = [source.loader() for source in task.sources]
+        for source, table in zip(task.sources, tables):
+            if table.name != source.name or tuple(table.columns) != source.columns:
+                raise ValueError(
+                    f"source {source.name!r} promised columns {source.columns}, "
+                    f"loaded table {table.name!r} has {tuple(table.columns)}"
+                )
+        t1 = time.perf_counter()
+        matrix = chunk_matrix(tables)
+        t2 = time.perf_counter()
+        bank = task.sketcher._sketch_batch(matrix)
+        t3 = time.perf_counter()
+        expected = sum(source.bank_rows for source in task.sources)
+        if len(bank) != expected:
             raise ValueError(
-                f"source {source.name!r} promised columns {source.columns}, "
-                f"loaded table {table.name!r} has {tuple(table.columns)}"
+                f"chunk sketched {len(bank)} bank rows, planned {expected}"
             )
-    t1 = time.perf_counter()
-    matrix = chunk_matrix(tables)
-    t2 = time.perf_counter()
-    bank = task.sketcher._sketch_batch(matrix)
-    t3 = time.perf_counter()
-    expected = sum(source.bank_rows for source in task.sources)
-    if len(bank) != expected:
-        raise ValueError(
-            f"chunk sketched {len(bank)} bank rows, planned {expected}"
-        )
-    if task.tmp_path is not None:
-        with open(task.tmp_path, "r+b") as handle:
-            mapped = mmap.mmap(handle.fileno(), task.plan.file_size)
-            try:
-                write_chunk_rows(mapped, task.plan, bank, task.row_offset)
-                mapped.flush()
-            finally:
-                mapped.close()
-        out_bank = None
-    else:
-        out_bank = bank
-    t4 = time.perf_counter()
-    return _ChunkOutput(
-        num_rows=tuple(table.num_rows for table in tables),
-        chunk_bytes=matrix.nnz * _CSR_ENTRY_BYTES + bank.nbytes(),
-        seconds={
+        if task.tmp_path is not None:
+            with open(task.tmp_path, "r+b") as handle:
+                mapped = mmap.mmap(handle.fileno(), task.plan.file_size)
+                try:
+                    write_chunk_rows(mapped, task.plan, bank, task.row_offset)
+                    mapped.flush()
+                finally:
+                    mapped.close()
+            out_bank = None
+        else:
+            out_bank = bank
+        t4 = time.perf_counter()
+        input_rows = sum(table.num_rows for table in tables)
+        nnz = int(matrix.nnz)
+        bank_bytes = bank.nbytes()
+        chunk_bytes = nnz * _CSR_ENTRY_BYTES + bank_bytes
+        seconds = {
             "parse": t1 - t0,
             "vectorize": t2 - t1,
             "sketch": t3 - t2,
             "write": t4 - t3,
-        },
+        }
+        span.add(rows=input_rows, nnz=nnz, bank_bytes=bank_bytes)
+        metrics = None
+        if task.collect_metrics:
+            local = obs.MetricsRegistry()
+            local.count("ingest.chunks")
+            local.count("ingest.tables", len(tables))
+            local.count("ingest.input_rows", input_rows)
+            local.count("ingest.nnz", nnz)
+            local.count("ingest.bank_rows", len(bank))
+            local.count("ingest.bank_bytes", bank_bytes)
+            local.observe("ingest.chunk_bytes", chunk_bytes)
+            for stage, value in seconds.items():
+                local.observe(f"ingest.chunk_ms.{stage}", value * 1e3)
+            metrics = local.snapshot()
+    return _ChunkOutput(
+        num_rows=tuple(table.num_rows for table in tables),
+        chunk_bytes=chunk_bytes,
+        seconds=seconds,
         bank=out_bank,
+        input_rows=input_rows,
+        nnz=nnz,
+        bank_bytes=bank_bytes,
+        metrics=metrics,
     )
 
 
@@ -360,6 +407,7 @@ def stream_sources(
     spans = plan_spans(sources)
     chunks = plan_table_chunks(sources, chunk_bytes)
     report.chunks = len(chunks)
+    collect_metrics = obs.metrics_enabled()
     tasks = [
         _ChunkTask(
             sketcher=sketcher,
@@ -367,6 +415,7 @@ def stream_sources(
             row_offset=spans[start][0],
             tmp_path=str(tmp_path),
             plan=plan,
+            collect_metrics=collect_metrics,
         )
         for start, end in chunks
     ]
@@ -378,12 +427,25 @@ def stream_sources(
         report.peak_chunk_bytes = max(report.peak_chunk_bytes, output.chunk_bytes)
         for stage, value in output.seconds.items():
             report.stage_seconds[stage] += value
+        report.input_rows += output.input_rows
+        report.nnz += output.nnz
+        report.bank_bytes += output.bank_bytes
+        if output.metrics is not None:
+            obs.merge(output.metrics)
 
-    if report.workers <= 1 or len(tasks) <= 1:
-        for i, task in enumerate(tasks):
-            absorb(i, _run_chunk(task))
-    else:
-        _drain_pooled(tasks, report.workers, absorb)
+    stream_span = obs.trace_span(
+        "ingest.stream",
+        tables=len(sources),
+        chunks=len(chunks),
+        workers=report.workers,
+    )
+    with stream_span:
+        if report.workers <= 1 or len(tasks) <= 1:
+            for i, task in enumerate(tasks):
+                absorb(i, _run_chunk(task))
+        else:
+            _drain_pooled(tasks, report.workers, absorb)
+        stream_span.add(input_rows=report.input_rows, nnz=report.nnz)
     report.elapsed_s = time.perf_counter() - started
     return num_rows, report
 

@@ -13,9 +13,14 @@ Commands
     stored banks are traversed once for the whole batch, and results
     are identical to querying the files one at a time.  ``--json``
     always emits ``[{"query", "column", "hits": [...]}, ...]`` — one
-    entry per CSV, the same schema for one file or many.
+    entry per CSV, the same schema for one file or many.  ``--trace
+    out.jsonl`` additionally writes the span trace of the run (one
+    JSON line per span; see ``repro.obs.tracing``) — rankings are
+    byte-identical with tracing on or off.
 ``stats STORE``
-    Print the catalog/footprint summary as JSON.
+    Print the catalog/footprint summary as JSON; ``--telemetry`` folds
+    in the live metrics-registry snapshot (``repro.obs``) under a
+    ``"telemetry"`` key.
 ``compact STORE``
     Merge shards and reclaim tombstoned rows.
 
@@ -31,6 +36,7 @@ import argparse
 import json
 import sys
 
+from repro import obs
 from repro.datasearch.table import AGGREGATORS
 from repro.experiments.runner import method_registry
 from repro.store.csvio import load_csv_table
@@ -78,6 +84,18 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             f"{report.tables_per_s():.1f} tables/s, "
             f"peak chunk {report.peak_chunk_bytes} bytes"
         )
+        # Per-stage accounting: each stage's summed seconds with the
+        # unit of work it processed (overlapping stages under pool
+        # workers, so the seconds can exceed wall time).
+        stage_units = {
+            "parse": f"{report.input_rows} rows",
+            "vectorize": f"{report.nnz} entries",
+            "sketch": f"{report.bank_rows} bank rows",
+            "write": f"{report.bank_bytes} bytes",
+        }
+        for stage, seconds in report.stage_seconds.items():
+            units = stage_units.get(stage, "")
+            summary += f"\n  {stage:>9s}: {seconds:8.3f}s  {units}"
     print(summary)
     return 0
 
@@ -107,6 +125,13 @@ def _print_hits(store: str, table_name: str, column: str, hits) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.trace:
+        with obs.tracing(args.trace):
+            return _run_query(args)
+    return _run_query(args)
+
+
+def _run_query(args: argparse.Namespace) -> int:
     tables = [
         load_csv_table(path, key_column=args.key_column, aggregate=args.aggregate)
         for path in args.csv
@@ -150,7 +175,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     with LakeStore.open(args.store) as store:
-        print(json.dumps(store.stats(), indent=2))
+        stats = store.stats()
+        if args.telemetry:
+            stats["telemetry"] = obs.runtime_snapshot()
+        print(json.dumps(stats, indent=2))
     return 0
 
 
@@ -249,11 +277,23 @@ def build_parser() -> argparse.ArgumentParser:
         "sublinear LSH shortlist re-checked exactly (default: scan)",
     )
     query.add_argument("--json", action="store_true", help="machine-readable output")
+    query.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the span trace of this run as JSONL to PATH "
+        "(rankings are identical with tracing on or off)",
+    )
     _add_csv_options(query)
     query.set_defaults(handler=_cmd_query)
 
     stats = commands.add_parser("stats", help="print catalog + footprint JSON")
     stats.add_argument("store", help="lake directory")
+    stats.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="include the live metrics-registry snapshot",
+    )
     stats.set_defaults(handler=_cmd_stats)
 
     compact = commands.add_parser("compact", help="merge shards, drop tombstones")

@@ -42,6 +42,7 @@ try:  # advisory inter-process write locking (POSIX only)
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from repro import obs
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.index import SketchIndex
@@ -165,33 +166,35 @@ class LakeStore:
         shard files.
         """
         path = Path(path)
-        manifest = Manifest.load(path / _MANIFEST_NAME)
-        if sketcher is None:
-            sketcher = build_sketcher(manifest.sketcher)
-        else:
-            check_sketcher_config(manifest.sketcher, sketcher)
-        banks: dict[int, SketchBank] = {}
-        buffers: dict[int, mmap.mmap | None] = {}
-        for shard in manifest.shards:
-            shard_path = path / shard.filename
-            if not shard_path.is_file():
-                raise StoreError(
-                    f"manifest references missing shard {shard.filename}"
-                )
-            bank, buffer = read_shard(shard_path, zero_copy=zero_copy)
-            sketcher._check_bank(bank)
-            banks[shard.shard_id] = bank
-            buffers[shard.shard_id] = buffer
-        lake_index = cls._load_lsh_index(path, manifest)
-        return cls(
-            path,
-            sketcher,
-            manifest,
-            banks,
-            buffers,
-            zero_copy=zero_copy,
-            lake_index=lake_index,
-        )
+        with obs.trace_span("store.open", path=str(path), zero_copy=zero_copy):
+            manifest = Manifest.load(path / _MANIFEST_NAME)
+            if sketcher is None:
+                sketcher = build_sketcher(manifest.sketcher)
+            else:
+                check_sketcher_config(manifest.sketcher, sketcher)
+            banks: dict[int, SketchBank] = {}
+            buffers: dict[int, mmap.mmap | None] = {}
+            for shard in manifest.shards:
+                shard_path = path / shard.filename
+                if not shard_path.is_file():
+                    raise StoreError(
+                        f"manifest references missing shard {shard.filename}"
+                    )
+                bank, buffer = read_shard(shard_path, zero_copy=zero_copy)
+                sketcher._check_bank(bank)
+                banks[shard.shard_id] = bank
+                buffers[shard.shard_id] = buffer
+            lake_index = cls._load_lsh_index(path, manifest)
+            obs.count("store.opens")
+            return cls(
+                path,
+                sketcher,
+                manifest,
+                banks,
+                buffers,
+                zero_copy=zero_copy,
+                lake_index=lake_index,
+            )
 
     @staticmethod
     def _load_lsh_index(path: Path, manifest: Manifest) -> LakeIndex | None:
@@ -390,14 +393,18 @@ class LakeStore:
         if len(set(names)) != len(names):
             raise StoreError(f"duplicate table names in one batch: {names}")
 
+        obs.count("store.appends")
         plan = plan_shard(self.sketcher, sources)
         if plan is None:
-            return self._append_materialized(sources, workers, index), None
+            with obs.trace_span("store.append", tables=len(sources), streamed=False):
+                return self._append_materialized(sources, workers, index), None
 
         # The writer lock is taken before streaming begins: the stream
         # writes the next shard's temp file, and two uncoordinated
         # writers would race on the same shard id and temp path.
-        with self._writer_lock():
+        with obs.trace_span(
+            "store.append", tables=len(sources), streamed=True
+        ), self._writer_lock():
             shard_id = self._manifest.next_shard_id
             filename = shard_filename(shard_id)
             writer = ShardStreamWriter(self.path / filename, plan)
@@ -551,7 +558,13 @@ class LakeStore:
                 "shards_after": shards_before,
                 "rows_reclaimed": 0,
             }
+        obs.count("store.compactions")
+        with obs.trace_span(
+            "store.compact", shards=shards_before, dead_rows=rows_dead
+        ):
+            return self._compact(shards_before, rows_dead)
 
+    def _compact(self, shards_before: int, rows_dead: int) -> dict[str, Any]:
         pieces: list[SketchBank] = []
         merged_spans: list[TableSpan] = []
         offset = 0

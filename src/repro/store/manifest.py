@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro import obs
+
 __all__ = [
     "MANIFEST_VERSION",
     "ManifestError",
@@ -248,6 +250,8 @@ class Manifest:
             os.fsync(fd)
         finally:
             os.close(fd)
+        obs.count("store.manifest_commits")
+        obs.count("store.fsyncs", 2)
 
     @classmethod
     def load(cls, path: Path) -> "Manifest":

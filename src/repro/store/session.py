@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro import obs
 from repro.datasearch.join_estimates import JoinSketch
 from repro.datasearch.search import DatasetSearch, SearchHit
 from repro.datasearch.table import Table
@@ -90,8 +91,12 @@ class QuerySession:
         """
         cached = self._query_cache.get(table.name)
         if cached is None:
-            cached = self.engine.sketch_query(table)
+            obs.count("session.sketch_cache.misses")
+            with obs.trace_span("session.sketch_query", table=table.name):
+                cached = self.engine.sketch_query(table)
             self._query_cache[table.name] = cached
+        else:
+            obs.count("session.sketch_cache.hits")
         return cached
 
     def joinable(
@@ -109,13 +114,14 @@ class QuerySession:
         candidates: str | None = None,
     ) -> list[SearchHit]:
         """Rank stored columns against ``table.query_column``."""
-        return self.engine.search(
-            self.sketch(table),
-            query_column,
-            top_k=top_k,
-            by=by,
-            candidates=candidates,
-        )
+        with obs.trace_span("session.search", table=table.name, column=query_column):
+            return self.engine.search(
+                self.sketch(table),
+                query_column,
+                top_k=top_k,
+                by=by,
+                candidates=candidates,
+            )
 
     def search_many(
         self,
@@ -131,13 +137,14 @@ class QuerySession:
         table, but the stored banks are traversed once for the whole
         batch (``estimate_cross``) instead of once per query.
         """
-        return self.engine.search_many(
-            [self.sketch(table) for table in tables],
-            query_columns,
-            top_k=top_k,
-            by=by,
-            candidates=candidates,
-        )
+        with obs.trace_span("session.search_many", queries=len(tables)):
+            return self.engine.search_many(
+                [self.sketch(table) for table in tables],
+                query_columns,
+                top_k=top_k,
+                by=by,
+                candidates=candidates,
+            )
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -147,7 +154,42 @@ class QuerySession:
         self._query_cache.clear()
 
     def stats(self) -> dict[str, Any]:
-        """Store stats plus session-side cache occupancy."""
+        """The unified serving view: store catalog + session caches.
+
+        On top of :meth:`LakeStore.stats`, folds in everything a
+        serving operator previously had to dig out of private state:
+
+        * ``session`` — the query-sketch cache occupancy and the
+          engine-cache identity/invalidation state (``engine_cached``
+          says a :class:`DatasetSearch` is held; ``engine_current``
+          says the next query will reuse it rather than rebuild —
+          false after a compaction swapped ``store.index`` or after
+          ``min_containment``/``candidates`` changed);
+        * ``lsh_memory`` — the in-memory banded candidate index state
+          (``None`` until a query builds it), distinct from the
+          persisted ``lsh_index`` record;
+        * ``wmh_cache`` — the live WMH :class:`MinimaCache` counters
+          (hits/misses/evictions/bytes), previously invisible outside
+          ``core/wmh.py``.
+        """
         stats = self.store.stats()
         stats["cached_query_sketches"] = len(self._query_cache)
+        engine = self._engine
+        index = self.store.index
+        stats["session"] = {
+            "min_containment": self.min_containment,
+            "candidates": self.candidates,
+            "cached_query_sketches": len(self._query_cache),
+            "engine_cached": engine is not None,
+            "engine_current": (
+                engine is not None
+                and engine.index is index
+                and engine.min_containment == self.min_containment
+                and engine.candidates == self.candidates
+            ),
+        }
+        stats["lsh_memory"] = index.lsh_state()
+        live_cache = getattr(self.store.sketcher, "_live_cache", None)
+        cache = live_cache() if callable(live_cache) else None
+        stats["wmh_cache"] = cache.stats() if cache is not None else None
         return stats

@@ -25,6 +25,7 @@ import struct
 import zlib
 from pathlib import Path
 
+from repro import obs
 from repro.core.bank import SketchBank
 from repro.io.serialize import (
     ShardStreamPlan,
@@ -69,6 +70,7 @@ def fsync_directory(path: Path) -> None:
         os.fsync(fd)
     finally:
         os.close(fd)
+    obs.count("store.fsyncs")
 
 
 def write_bytes_atomic(path: Path, payload: bytes) -> int:
@@ -86,6 +88,8 @@ def write_bytes_atomic(path: Path, payload: bytes) -> int:
         os.fsync(handle.fileno())
     os.replace(tmp, path)
     fsync_directory(path.parent)
+    obs.count("store.fsyncs")
+    obs.count("store.shard_bytes_written", len(payload))
     return len(payload)
 
 
@@ -142,6 +146,8 @@ class ShardStreamWriter:
         os.replace(self.tmp_path, self.path)
         fsync_directory(self.path.parent)
         self._done = True
+        obs.count("store.fsyncs")
+        obs.count("store.shard_bytes_written", plan.file_size)
         return plan.file_size
 
     def abort(self) -> None:
@@ -171,5 +177,8 @@ def read_shard(
     if zero_copy:
         with open(path, "rb") as handle:
             mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        obs.count("store.shard_bytes_read", len(mapped))
         return unpack_shard(memoryview(mapped), copy=False), mapped
-    return unpack_shard(path.read_bytes(), copy=True), None
+    payload = path.read_bytes()
+    obs.count("store.shard_bytes_read", len(payload))
+    return unpack_shard(payload, copy=True), None

@@ -1,0 +1,211 @@
+"""Tests for the metrics registry: bucket math, merging, fast paths."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    _BOUNDS,
+    HIGH_EXP,
+    LOW_EXP,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    validate_snapshot,
+)
+
+
+class TestHistogramBuckets:
+    def test_bounds_are_powers_of_two(self):
+        assert _BOUNDS[0] == 2.0**LOW_EXP
+        assert _BOUNDS[-1] == 2.0**HIGH_EXP
+        assert len(_BOUNDS) == HIGH_EXP - LOW_EXP + 1
+
+    def test_value_on_bound_lands_in_bucket_bounded_by_it(self):
+        hist = Histogram()
+        hist.observe(8.0)  # exactly 2^3
+        index = _BOUNDS.index(8.0)
+        assert hist.counts[index] == 1
+        assert hist.percentile(50) == 8.0
+
+    def test_percentiles_exact_at_bucket_edges(self):
+        # Every observation sits exactly on a bucket bound, so every
+        # percentile must be one of the observed values, exactly.
+        hist = Histogram()
+        values = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+        for value in values:
+            hist.observe(value)
+        # rank = ceil(q * 10 / 100): p50 -> rank 5 -> 16.0
+        assert hist.percentile(50) == 16.0
+        assert hist.percentile(95) == 512.0
+        assert hist.percentile(99) == 512.0
+        assert hist.percentile(10) == 1.0
+        assert hist.percentile(100) == 512.0
+
+    def test_interior_value_reports_bucket_upper_bound(self):
+        hist = Histogram()
+        hist.observe(3.0)  # in (2, 4] -> reported as 4.0
+        assert hist.percentile(50) == 4.0
+
+    def test_exact_aggregates_survive_bucketing(self):
+        hist = Histogram()
+        for value in (0.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(103.5)
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(34.5)
+
+    def test_overflow_bucket_reports_exact_max(self):
+        hist = Histogram()
+        huge = 2.0**50  # beyond the last bound
+        hist.observe(huge)
+        assert hist.counts[-1] == 1
+        assert hist.percentile(99) == huge
+
+    def test_underflow_clamps_into_first_bucket(self):
+        hist = Histogram()
+        hist.observe(2.0**-30)
+        assert hist.counts[0] == 1
+        assert hist.percentile(50) == _BOUNDS[0]
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram().percentile(50))
+
+    def test_json_round_trip(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 2.0, 1e9):
+            hist.observe(value)
+        clone = Histogram.from_json(json.loads(json.dumps(hist.to_json())))
+        assert clone.counts == hist.counts
+        assert clone.count == hist.count
+        assert clone.total == hist.total
+        assert clone.min == hist.min
+        assert clone.max == hist.max
+        assert clone.percentile(95) == hist.percentile(95)
+
+    def test_layout_mismatch_rejected(self):
+        payload = Histogram().to_json()
+        payload["low_exp"] = LOW_EXP - 1
+        with pytest.raises(ValueError, match="layout mismatch"):
+            Histogram.from_json(payload)
+
+
+class TestHistogramMerge:
+    def make(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_merge_equals_single_histogram(self):
+        a = self.make([1.0, 2.0, 4.0])
+        b = self.make([8.0, 16.0])
+        combined = self.make([1.0, 2.0, 4.0, 8.0, 16.0])
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.count == combined.count
+        assert a.total == combined.total
+        assert a.percentile(50) == combined.percentile(50)
+
+    def test_merge_is_associative(self):
+        parts = ([0.25, 1.0], [4.0, 4.0, 64.0], [2.0**45])
+        left = self.make(parts[0])
+        left.merge(self.make(parts[1]))
+        left.merge(self.make(parts[2]))
+        right_tail = self.make(parts[1])
+        right_tail.merge(self.make(parts[2]))
+        right = self.make(parts[0])
+        right.merge(right_tail)
+        assert left.counts == right.counts
+        assert left.count == right.count
+        assert left.total == right.total
+        assert left.min == right.min
+        assert left.max == right.max
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.count("a", 4)
+        reg.set_gauge("g", 7.5)
+        reg.set_gauge("g", 2.5)
+        reg.observe("h", 8.0)
+        assert reg.counter_value("a") == 5
+        assert reg.gauge_value("g") == 2.5
+        assert reg.histogram("h").count == 1
+        assert reg.counter_value("missing") == 0
+        assert reg.gauge_value("missing") is None
+        assert reg.names() == ["a", "g", "h"]
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.count("a")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1.0)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_snapshot_validates_and_round_trips(self):
+        reg = MetricsRegistry()
+        reg.count("ingest.chunks", 3)
+        reg.set_gauge("wmh_cache.entries", 12)
+        reg.observe("query.latency_ms", 1.5)
+        snap = reg.snapshot()
+        validate_snapshot(snap)
+        json.dumps(snap)
+
+    def test_worker_snapshot_merge_matches_single_process(self):
+        # Simulate pool workers: each chunk records to a private
+        # registry; the parent merges the snapshots.  The result must
+        # equal recording every observation in one registry, for any
+        # completion order.
+        def worker(values):
+            local = MetricsRegistry()
+            local.count("ingest.chunks")
+            for value in values:
+                local.observe("ingest.chunk_ms.sketch", value)
+                local.count("ingest.nnz", value * 10)
+            return local.snapshot()
+
+        chunks = [[1.0, 2.0], [4.0], [8.0, 16.0, 32.0]]
+        single = MetricsRegistry()
+        for values in chunks:
+            single.merge(worker(values))
+        reversed_merge = merge_snapshots(worker(v) for v in reversed(chunks))
+        assert single.snapshot() == reversed_merge
+
+        direct = MetricsRegistry()
+        direct.count("ingest.chunks", 3)
+        for values in chunks:
+            for value in values:
+                direct.observe("ingest.chunk_ms.sketch", value)
+                direct.count("ingest.nnz", value * 10)
+        assert single.snapshot() == direct.snapshot()
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        source = MetricsRegistry()
+        source.count("a")
+        target = MetricsRegistry(enabled=False)
+        target.merge(source.snapshot())
+        assert target.snapshot()["counters"] == {}
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.names() == []
+
+    def test_validate_snapshot_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_snapshot({"counters": {}})
+        with pytest.raises(ValueError):
+            validate_snapshot(
+                {"counters": {"a": "x"}, "gauges": {}, "histograms": {}}
+            )

@@ -1,0 +1,183 @@
+"""Tests for span tracing: the no-op fast path, nesting, JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import importlib
+
+from repro import obs
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.table import Table
+from repro.store import LakeStore, QuerySession
+
+# ``repro.obs`` re-exports the ``tracing`` context manager, which
+# shadows the submodule attribute — import the module explicitly.
+tracing_module = importlib.import_module("repro.obs.tracing")
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled."""
+    obs.disable_tracing()
+    yield
+    obs.disable_tracing()
+
+
+class TestDisabledFastPath:
+    def test_trace_span_returns_the_singleton(self):
+        # Identity, not equality: the disabled path allocates nothing.
+        a = obs.trace_span("one", attr=1)
+        b = obs.trace_span("two")
+        assert a is b
+        assert a is tracing_module._NOOP
+
+    def test_noop_span_is_inert(self):
+        span = obs.trace_span("x")
+        assert not span
+        with span as entered:
+            entered.add(ignored=True)
+        assert not obs.trace_enabled()
+
+    def test_recorder_is_none_when_all_telemetry_off(self):
+        was_enabled = obs.metrics_enabled()
+        obs.enable_metrics(False)
+        try:
+            assert obs.recorder() is None
+        finally:
+            obs.enable_metrics(was_enabled)
+
+    def test_recorder_exists_under_tracing_alone(self, tmp_path):
+        was_enabled = obs.metrics_enabled()
+        obs.enable_metrics(False)
+        try:
+            with obs.tracing(tmp_path / "t.jsonl"):
+                assert obs.recorder() is not None
+        finally:
+            obs.enable_metrics(was_enabled)
+
+
+class TestSpanExport:
+    def test_events_record_nesting(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            with obs.trace_span("outer", kind="test"):
+                with obs.trace_span("inner"):
+                    pass
+            with obs.trace_span("sibling"):
+                pass
+        events = obs.read_trace(path)
+        obs.validate_trace(events)
+        by_name = {event["name"]: event for event in events}
+        # inner exits (and is written) first; outer has no parent
+        assert [e["name"] for e in events] == ["inner", "outer", "sibling"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["sibling"]["parent_id"] is None
+        assert by_name["outer"]["attrs"] == {"kind": "test"}
+
+    def test_add_attaches_late_attributes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            with obs.trace_span("work", planned=3) as span:
+                span.add(done=3)
+        (event,) = obs.read_trace(path)
+        assert event["attrs"] == {"planned": 3, "done": 3}
+
+    def test_exception_recorded_and_stack_unwound(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.tracing(path):
+            with pytest.raises(RuntimeError):
+                with obs.trace_span("failing"):
+                    raise RuntimeError("boom")
+            assert tracing_module.current_span_id() is None
+        (event,) = obs.read_trace(path)
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_tracing_scope_restores_previous_writer(self, tmp_path):
+        outer_path = tmp_path / "outer.jsonl"
+        inner_path = tmp_path / "inner.jsonl"
+        obs.enable_tracing(outer_path)
+        try:
+            with obs.tracing(inner_path):
+                with obs.trace_span("inner-only"):
+                    pass
+            with obs.trace_span("outer-only"):
+                pass
+        finally:
+            obs.disable_tracing()
+        assert [e["name"] for e in obs.read_trace(inner_path)] == ["inner-only"]
+        assert [e["name"] for e in obs.read_trace(outer_path)] == ["outer-only"]
+
+    def test_env_knob_enables_tracing(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(obs.TRACE_ENV, str(path))
+        tracing_module._init_from_env()
+        try:
+            assert obs.trace_enabled()
+            with obs.trace_span("from-env"):
+                pass
+        finally:
+            obs.disable_tracing()
+        assert [e["name"] for e in obs.read_trace(path)] == ["from-env"]
+
+    def test_validate_trace_rejects_bad_events(self):
+        good = {
+            "name": "x",
+            "span_id": "1:1",
+            "parent_id": None,
+            "start_s": 0.0,
+            "wall_ms": 1.0,
+            "cpu_ms": 1.0,
+            "pid": 1,
+            "thread": 1,
+            "attrs": {},
+        }
+        obs.validate_trace([good])
+        with pytest.raises(ValueError, match="missing"):
+            obs.validate_trace([{k: v for k, v in good.items() if k != "name"}])
+        with pytest.raises(ValueError, match="negative"):
+            obs.validate_trace([dict(good, wall_ms=-1.0)])
+        with pytest.raises(ValueError, match="duplicate"):
+            obs.validate_trace([good, dict(good)])
+        with pytest.raises(ValueError, match="unknown parent"):
+            obs.validate_trace([dict(good, parent_id="9:9")])
+
+
+def make_tables(count: int = 3, seed: int = 0, rows: int = 80) -> list[Table]:
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = [f"k{j}" for j in rng.choice(300, size=rows, replace=False)]
+        tables.append(Table(f"table{i}", keys, {"value": rng.normal(size=rows)}))
+    return tables
+
+
+class TestTracingIsPure:
+    def test_query_results_identical_tracing_on_or_off(self, tmp_path):
+        store = LakeStore.create(
+            tmp_path / "lake", WeightedMinHash(m=32, seed=3, L=1 << 16)
+        )
+        store.append(make_tables())
+        rng = np.random.default_rng(42)
+        keys = [f"k{j}" for j in rng.choice(300, size=100, replace=False)]
+        query = Table("query", keys, {"signal": rng.normal(size=100)})
+        try:
+            session = QuerySession(store)
+            plain = session.search(query, "signal", top_k=5)
+            path = tmp_path / "trace.jsonl"
+            with obs.tracing(path):
+                session_traced = QuerySession(store)
+                traced = session_traced.search(query, "signal", top_k=5)
+            # Byte-identical rankings and scores, not just close ones.
+            assert json.dumps([h.__dict__ for h in plain], sort_keys=True) == (
+                json.dumps([h.__dict__ for h in traced], sort_keys=True)
+            )
+            events = obs.read_trace(path)
+            obs.validate_trace(events)
+            assert any(e["name"] == "query.search" for e in events)
+        finally:
+            store.close()
