@@ -55,7 +55,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.wmh import WeightedMinHash
 from repro.datasearch.index import SketchIndex
 from repro.datasearch.search import DatasetSearch
@@ -404,7 +404,9 @@ def run_obs(quick: bool = False, seed: int = 0) -> dict:
             with LakeStore.create(
                 workdir / "lake", WeightedMinHash(m=sketch_m, seed=7, L=1 << 20)
             ) as store:
+                append_start = time.perf_counter()
                 store.append(lake)
+                append_s = time.perf_counter() - append_start
                 session = QuerySession(store, min_containment=MIN_CONTAINMENT)
                 stored_hits = session.search(query_tables[0], "signal", top_k=10)
         if _hit_key(stored_hits) != keys[0]:
@@ -424,6 +426,20 @@ def run_obs(quick: bool = False, seed: int = 0) -> dict:
                 f"traced ingest+query is missing spans: {sorted(required - names)}"
             )
 
+        # The disabled-failpoint fast path: one module-global load and
+        # an ``is None`` branch.  The commit ratio scales a generous
+        # 64-checkpoints-per-append ceiling (a real streamed append
+        # crosses ~15 fixed commit checkpoints plus two per chunk)
+        # against the measured append above — the checkpoints live
+        # permanently inside fsync-dominated durability paths, and this
+        # gate proves they cost under 1% of a commit.
+        calls = 200_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            faults.failpoint("shard.atomic.write")
+        failpoint_ns = (time.perf_counter() - start) / calls * 1e9
+        failpoint_commit_ratio = 64 * failpoint_ns * 1e-9 / append_s
+
         telemetry = obs.runtime_snapshot()
         obs.validate_snapshot(telemetry)
     finally:
@@ -441,6 +457,8 @@ def run_obs(quick: bool = False, seed: int = 0) -> dict:
         "metrics_direct": round(metrics_direct, 4),
         "traced_direct": round(traced_direct, 4),
         "noop_span_ns": round(noop_span_ns, 1),
+        "failpoint_ns": round(failpoint_ns, 1),
+        "failpoint_commit_ratio": round(failpoint_commit_ratio, 6),
         "span_sum_over_root": round(reconciliation, 4),
         "trace_events": len(events),
         "ingest_trace_events": len(ingest_events),
@@ -485,6 +503,13 @@ def check_obs(section: dict, quick: bool) -> None:
             f"trace child spans sum to {recon:.3f} of the root spans "
             f"(gate: [{recon_floor}, 1.05]) — the per-query phases no "
             f"longer tile the search"
+        )
+    failpoint_ratio = section["failpoint_commit_ratio"]
+    if failpoint_ratio > 0.01:
+        raise SystemExit(
+            f"disabled failpoints cost {failpoint_ratio:.4%} of an append "
+            f"commit (gate: <= 1%) — the empty-checkpoint fast path "
+            f"regressed"
         )
 
 
@@ -700,6 +725,11 @@ def main(argv: list[str] | None = None) -> None:
             f"(direct {overhead['traced_direct']:.3f}x) over disabled "
             f"({overhead['noop_span_ns']:.0f}ns/noop span, child/root spans "
             f"{overhead['span_sum_over_root']:.3f})"
+        )
+        print(
+            f"  disabled failpoints: {overhead['failpoint_ns']:.0f}ns/check, "
+            f"{overhead['failpoint_commit_ratio']:.4%} of an append commit "
+            f"(gate: <= 1%)"
         )
     if args.only_index:
         check_lake_scaling(scaling, quick=args.quick)

@@ -26,7 +26,11 @@ example shows the durable version of that promise with
 9. re-ingest the same lake through the **chunked streaming pipeline**
    (a tiny byte budget forces one table per chunk, sketched straight
    into the pre-sized shard file) and verify every stored byte matches
-   the one-batch store — chunking bounds memory, never changes output.
+   the one-batch store — chunking bounds memory, never changes output;
+10. **corrupt a shard on disk and repair it** — ``fsck`` classifies the
+    damage, ``repair`` quarantines the bad shard (dropping exactly the
+    tables it held, nothing more), and the repaired store serves the
+    survivors with rankings identical to before the corruption.
 
 Run:  python examples/persistent_lake.py
 """
@@ -41,7 +45,7 @@ import numpy as np
 from repro import WeightedMinHash, obs
 from repro.datasearch import DatasetSearch, SketchIndex, Table
 from repro.parallel import SourceTable
-from repro.store import LakeStore, QuerySession
+from repro.store import LakeStore, QuerySession, fsck, repair
 
 
 def build_lake(rng: np.random.Generator) -> tuple[Table, list[Table]]:
@@ -210,6 +214,59 @@ def main() -> None:
 
         assert fingerprint(one_shot_dir) == fingerprint(streamed_dir)
         print("streamed store byte-identical to the one-batch store: True")
+
+        # --- corruption & repair: lose exactly what was corrupted ----
+        # Append one expendable table (it lands in its own new shard),
+        # then flip a byte in that shard on disk.  fsck spots the bad
+        # checksum; repair quarantines the shard — losing only the
+        # table it held — and the repaired store ranks the survivors
+        # exactly as it did before the corruption.
+        with LakeStore.open(path) as store:
+            expected = QuerySession(store, min_containment=0.25).search(
+                taxi, "rides", top_k=3
+            )
+            shards_before = {f.name for f in path.glob("shard-*.rpro")}
+            store.append(
+                [
+                    Table(
+                        "doomed_daily",
+                        keys=taxi.keys,
+                        columns={"x": rng.normal(size=taxi.num_rows)},
+                    )
+                ]
+            )
+        (doomed_shard,) = {
+            f.name for f in path.glob("shard-*.rpro")
+        } - shards_before
+        blob = bytearray((path / doomed_shard).read_bytes())
+        blob[-5] ^= 0xFF
+        (path / doomed_shard).write_bytes(bytes(blob))
+
+        report = fsck(path)
+        print(
+            f"\nafter flipping one byte of {doomed_shard}: "
+            f"fsck clean={report['clean']}, "
+            f"shard status={report['shards'][doomed_shard]!r}"
+        )
+        assert not report["clean"]
+
+        report = repair(path)
+        print(
+            f"repair: quarantined={report['quarantined']}, "
+            f"tables lost={report['tables_lost']}, "
+            f"index={report['index']}"
+        )
+        assert report["tables_lost"] == ["doomed_daily"]
+        assert fsck(path)["clean"]
+
+        with LakeStore.open(path) as store:
+            assert store.degraded == []
+            assert "doomed_daily" not in store.table_names()
+            healed = QuerySession(store, min_containment=0.25).search(
+                taxi, "rides", top_k=3
+            )
+        assert healed == expected
+        print("repaired store ranks the survivors identically: True")
 
 
 if __name__ == "__main__":

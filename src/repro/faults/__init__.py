@@ -1,0 +1,70 @@
+"""``repro.faults`` — failpoints for crash-consistency torture testing.
+
+Durability claims are only as good as the crashes they survive.  This
+package provides **failpoints**: named checkpoints compiled into every
+durability-relevant operation of the store stack (shard writes,
+manifest commits, index emission, the streaming-ingest drain).  A
+torture harness arms one failpoint at a time, runs a store operation in
+a subprocess, and kills the process *at that exact point* — then
+asserts the reopened store serves either the exact pre-crash or the
+post-crash committed state, never a hybrid.
+
+Disabled (the default), a failpoint is one global load and an ``is
+None`` branch — measured in the ``bench_query`` overhead section and
+gated at ≤ 1% of a commit's budget, so the checkpoints stay compiled
+into production code paths instead of rotting behind a build flag.
+
+Activation
+----------
+* ``REPRO_FAILPOINTS="name=mode,name2=mode2"`` in the environment
+  (read at import — the torture harness sets it before launching the
+  victim subprocess);
+* :func:`failpoints` — a test-scoped context manager.
+
+Modes (the part after ``=``):
+
+``raise``
+    Raise :class:`FaultInjected` at the checkpoint (exception-path
+    testing: aborts, lock releases, temp-file cleanup).
+``crash``
+    ``os._exit(CRASH_EXIT_CODE)`` — no ``finally`` blocks, no
+    ``atexit``, no buffered flushes: the closest a test can get to
+    pulling the plug.
+``torn``
+    At byte-write checkpoints (:func:`torn_write` sites) write only a
+    prefix of the payload, fsync it, then crash — a torn write made
+    durable.  At plain checkpoints, behaves like ``crash``.
+``sleep:SECONDS``
+    Delay the checkpoint (contention and interrupt-timing tests), then
+    continue.
+
+Any mode takes an ``@N`` suffix (``raise@3``): the first ``N - 1`` hits
+pass through, the fault fires on the N-th — how mid-stream and
+second-commit crash points are reached.
+"""
+
+from repro.faults.registry import (
+    CRASH_EXIT_CODE,
+    FAILPOINTS_ENV,
+    FaultInjected,
+    active_failpoints,
+    failpoint,
+    failpoints,
+    parse_spec,
+    register,
+    registered_failpoints,
+    torn_write,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAILPOINTS_ENV",
+    "FaultInjected",
+    "active_failpoints",
+    "failpoint",
+    "failpoints",
+    "parse_spec",
+    "register",
+    "registered_failpoints",
+    "torn_write",
+]

@@ -1,0 +1,266 @@
+"""The failpoint registry: declaration, activation, and firing.
+
+Call sites **register** their failpoint names at import time
+(:func:`register`), so a torture harness can enumerate every crash
+point that exists (:func:`registered_failpoints`) without running
+anything.  Arming happens either through the ``REPRO_FAILPOINTS``
+environment variable (read once at import — how a harness injects
+faults into a victim subprocess) or through the :func:`failpoints`
+context manager (test-scoped, re-entrant, thread-safe).
+
+The disabled fast path is the design constraint: :func:`failpoint`
+reads one module global and branches on ``is None``.  No dict lookup,
+no lock, no string formatting — the checkpoints are cheap enough to
+live permanently inside ``fsync``-dominated commit paths (gated at
+≤ 1% in the ``bench_query`` overhead section).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import IO, Iterator, Mapping
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAILPOINTS_ENV",
+    "FaultInjected",
+    "FailpointSpec",
+    "active_failpoints",
+    "failpoint",
+    "failpoints",
+    "parse_spec",
+    "register",
+    "registered_failpoints",
+    "torn_write",
+]
+
+#: Environment variable arming failpoints process-wide:
+#: ``name=mode[,name=mode...]`` (see :func:`parse_spec` for the mode
+#: grammar).  Read once at import.
+FAILPOINTS_ENV = "REPRO_FAILPOINTS"
+
+#: The exit status of a ``crash``/``torn`` failpoint.  Chosen to be
+#: distinguishable from normal failures (1), signals (negative), and
+#: interpreter errors, so a harness can assert the victim died *at the
+#: failpoint* and not for some other reason.
+CRASH_EXIT_CODE = 86
+
+_MODES = ("raise", "crash", "torn", "sleep")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a failpoint armed in ``raise`` mode."""
+
+
+@dataclass
+class FailpointSpec:
+    """One armed failpoint: its mode, argument, and trigger count.
+
+    ``after`` is 1-based: the fault fires on the ``after``-th hit and
+    passes through before that (``raise@3`` → two free passes).
+    ``hits`` is mutable state — a spec belongs to one activation.
+    """
+
+    name: str
+    mode: str
+    arg: float = 0.0
+    after: int = 1
+    hits: int = 0
+
+
+def parse_spec(name: str, text: str) -> FailpointSpec:
+    """Parse one ``mode[:arg][@N]`` activation string."""
+    after = 1
+    if "@" in text:
+        text, count = text.rsplit("@", 1)
+        after = int(count)
+        if after < 1:
+            raise ValueError(f"failpoint {name}: @N must be >= 1, got {after}")
+    arg = 0.0
+    if ":" in text:
+        text, raw = text.split(":", 1)
+        arg = float(raw)
+    mode = text.strip()
+    if mode not in _MODES:
+        raise ValueError(
+            f"failpoint {name}: unknown mode {mode!r} (choose from {_MODES})"
+        )
+    return FailpointSpec(name=name, mode=mode, arg=arg, after=after)
+
+
+def _parse_env(value: str) -> dict[str, FailpointSpec]:
+    specs: dict[str, FailpointSpec] = {}
+    for item in value.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"{FAILPOINTS_ENV}: expected name=mode, got {item!r}"
+            )
+        name, text = item.split("=", 1)
+        specs[name.strip()] = parse_spec(name.strip(), text)
+    return specs
+
+
+# -- registry state ----------------------------------------------------
+
+_KNOWN: dict[str, str] = {}
+_LOCK = threading.Lock()
+
+#: ``None`` when no failpoint is armed — THE disabled fast-path check.
+_ACTIVE: dict[str, FailpointSpec] | None = None
+
+
+def register(name: str, description: str = "") -> str:
+    """Declare a failpoint name (module import time); returns the name.
+
+    Idempotent; the description feeds harness/CLI listings.
+    """
+    _KNOWN[name] = description
+    return name
+
+
+def registered_failpoints() -> dict[str, str]:
+    """Every declared failpoint: name -> description (sorted)."""
+    return {name: _KNOWN[name] for name in sorted(_KNOWN)}
+
+
+def active_failpoints() -> dict[str, str]:
+    """The currently armed failpoints (name -> mode), for diagnostics."""
+    active = _ACTIVE
+    if not active:
+        return {}
+    return {name: spec.mode for name, spec in sorted(active.items())}
+
+
+def _set_active(specs: dict[str, FailpointSpec] | None) -> None:
+    global _ACTIVE
+    _ACTIVE = specs if specs else None
+
+
+@contextlib.contextmanager
+def failpoints(*armed: str, **kw_specs: str) -> Iterator[None]:
+    """Arm failpoints for a scope: ``failpoints("a=raise", "b=crash@2")``.
+
+    Accepts ``"name=mode"`` strings (the env-var grammar) and keyword
+    form for names without dots (rare).  Unknown names are rejected —
+    a typo must fail the test, not silently never fire.  Nested scopes
+    stack; inner activations win on conflict and the previous set is
+    restored on exit.
+    """
+    specs: dict[str, FailpointSpec] = {}
+    for item in armed:
+        if "=" not in item:
+            raise ValueError(f"expected name=mode, got {item!r}")
+        name, text = item.split("=", 1)
+        specs[name.strip()] = parse_spec(name.strip(), text)
+    for name, text in kw_specs.items():
+        specs[name] = parse_spec(name, text)
+    unknown = sorted(set(specs) - set(_KNOWN))
+    if unknown:
+        raise ValueError(
+            f"unknown failpoint(s) {unknown}; registered: {sorted(_KNOWN)}"
+        )
+    with _LOCK:
+        previous = _ACTIVE
+        merged = dict(previous or {})
+        merged.update(specs)
+        _set_active(merged)
+    try:
+        yield
+    finally:
+        with _LOCK:
+            _set_active(previous)
+
+
+def _resolve(name: str) -> FailpointSpec | None:
+    """The spec for ``name`` if armed and due to fire, else ``None``."""
+    active = _ACTIVE
+    if active is None:
+        return None
+    spec = active.get(name)
+    if spec is None:
+        return None
+    with _LOCK:
+        spec.hits += 1
+        if spec.hits != spec.after:
+            return None
+    return spec
+
+
+def _crash() -> None:
+    # os._exit skips finally blocks, atexit hooks, and stream flushes —
+    # everything a real power cut would also skip.
+    os._exit(CRASH_EXIT_CODE)
+
+
+def failpoint(name: str) -> None:
+    """A checkpoint: no-op unless ``name`` is armed and due.
+
+    ``raise`` raises :class:`FaultInjected`, ``crash``/``torn`` hard-exit
+    the process, ``sleep`` delays and continues.
+    """
+    if _ACTIVE is None:
+        return
+    spec = _resolve(name)
+    if spec is None:
+        return
+    if spec.mode == "raise":
+        raise FaultInjected(f"failpoint {name} fired")
+    if spec.mode == "sleep":
+        time.sleep(spec.arg)
+        return
+    _crash()
+
+
+def torn_write(name: str, handle: IO[bytes], payload: bytes | memoryview) -> None:
+    """Write ``payload`` to ``handle`` through a torn-capable checkpoint.
+
+    Disabled or not due: one plain ``handle.write``.  Armed in ``torn``
+    mode: write a durable prefix (``arg`` fraction of the payload,
+    default half — at least one byte, never the whole thing), fsync it,
+    and crash.  Other modes fire *before* any byte is written, so a
+    ``raise``/``crash`` here models failing the write outright.
+    """
+    if _ACTIVE is None:
+        handle.write(payload)
+        return
+    spec = _resolve(name)
+    if spec is None:
+        handle.write(payload)
+        return
+    if spec.mode == "raise":
+        raise FaultInjected(f"failpoint {name} fired before write")
+    if spec.mode == "sleep":
+        time.sleep(spec.arg)
+        handle.write(payload)
+        return
+    if spec.mode == "torn":
+        view = memoryview(payload)
+        fraction = spec.arg if 0.0 < spec.arg < 1.0 else 0.5
+        cut = max(1, min(len(view) - 1, int(len(view) * fraction)))
+        if len(view) <= 1:
+            cut = len(view)
+        handle.write(view[:cut])
+        handle.flush()
+        os.fsync(handle.fileno())
+    _crash()
+
+
+def _arm_from_env() -> None:
+    value = os.environ.get(FAILPOINTS_ENV, "").strip()
+    if value:
+        _set_active(_parse_env(value))
+
+
+_arm_from_env()
+
+
+def _reset_for_tests() -> None:
+    """Disarm everything (test teardown helper; not public API)."""
+    _set_active(None)

@@ -38,6 +38,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import faults
 from repro.core.bank import SketchBank
 from repro.core.wmh import WMHSketch
 from repro.mips.lsh import SignatureLSH
@@ -67,6 +68,13 @@ __all__ = [
 
 _MAGIC = b"RPRO"
 _VERSION = 1
+
+# The one failpoint below the store layer: a chunk landing in a shard
+# buffer — fired in pool workers too (env-armed), so the torture
+# harness can kill an ingest mid-chunk from outside the driver process.
+FP_CHUNK_ROWS = faults.register(
+    "io.write_chunk_rows", "before a chunk bank's rows land in the shard buffer"
+)
 
 _KIND_WMH = 1
 _KIND_MINHASH = 2
@@ -618,6 +626,7 @@ def write_chunk_rows(
     the same file).  ``buffer`` is any writable byte view of the full
     planned file (an ``mmap``, a ``bytearray``, ...).
     """
+    faults.failpoint(FP_CHUNK_ROWS)
     count = len(bank)
     for name, (column_offset, row_nbytes) in plan.columns.items():
         start = column_offset + row_offset * row_nbytes

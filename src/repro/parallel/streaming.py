@@ -41,7 +41,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.table import Table
@@ -75,6 +75,17 @@ NO_CLAMP_ENV = "REPRO_INGEST_NO_CLAMP"
 #: footprint: int64 index + float64 value per CSR entry, across the
 #: indicator/value/square encodings.
 _CSR_ENTRY_BYTES = 16
+
+# Pipeline failpoints: ``stream.chunk`` fires inside the chunk stage
+# (in pool workers too, when armed via the environment — that is how
+# the harness models a worker dying mid-ingest), ``stream.drain``
+# in the driver's pooled drain loop.
+FP_STREAM_CHUNK = faults.register(
+    "parallel.stream.chunk", "at the top of the fused chunk stage"
+)
+FP_STREAM_DRAIN = faults.register(
+    "parallel.stream.drain", "in the pooled drain loop, before each wait"
+)
 
 
 @dataclass(frozen=True)
@@ -303,6 +314,7 @@ def _run_chunk(task: _ChunkTask) -> _ChunkOutput:
     carried in the picklable task (not read from the worker's
     environment) so fork- and spawn-started pools behave identically.
     """
+    faults.failpoint(FP_STREAM_CHUNK)
     span = obs.trace_span(
         "ingest.chunk", tables=len(task.sources), row_offset=task.row_offset
     )
@@ -474,6 +486,7 @@ def _drain_pooled(
             while next_task < len(tasks) and len(pending) < window:
                 pending[pool.submit(_run_chunk, tasks[next_task])] = next_task
                 next_task += 1
+            faults.failpoint(FP_STREAM_DRAIN)
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 absorb(pending.pop(future), future.result())

@@ -8,15 +8,19 @@ replacement via tombstones with an explicit
 :meth:`~LakeStore.compact`, and zero-copy reopening that rebuilds the
 :class:`~repro.datasearch.index.SketchIndex` straight from stored
 banks.  :class:`QuerySession` is the serving front end;
-``python -m repro.store`` the CLI.
+``python -m repro.store`` the CLI.  :func:`fsck` / :func:`repair`
+(also ``python -m repro.store fsck|repair``) diagnose and restore
+damaged store directories.
 """
 
 from repro.store.config import build_sketcher, check_sketcher_config, sketcher_config
-from repro.store.lake import LakeStore, StoreError, is_lake_store
+from repro.store.lake import LOCK_TIMEOUT_ENV, LakeStore, StoreError, is_lake_store
 from repro.store.manifest import MANIFEST_VERSION, Manifest, ManifestError
+from repro.store.recovery import fsck, repair
 from repro.store.session import QuerySession
 
 __all__ = [
+    "LOCK_TIMEOUT_ENV",
     "MANIFEST_VERSION",
     "LakeStore",
     "Manifest",
@@ -25,6 +29,8 @@ __all__ = [
     "StoreError",
     "build_sketcher",
     "check_sketcher_config",
+    "fsck",
     "is_lake_store",
+    "repair",
     "sketcher_config",
 ]

@@ -23,6 +23,15 @@ Commands
     ``"telemetry"`` key.
 ``compact STORE``
     Merge shards and reclaim tombstoned rows.
+``fsck STORE``
+    Verify manifest ↔ shard CRCs ↔ index catalog without mutating
+    anything; print the classification report as JSON.  Exit status 1
+    when problems were found.
+``repair STORE``
+    Restore a damaged store: quarantine corrupt shards, drop their
+    catalog entries (resurrecting tables from surviving older spans
+    where possible), rebuild the LSH index, and clean stale temp
+    files.  Prints the repair report as JSON.
 
 CSV convention: the key column (``--key-column``, default: the first
 header field) holds join keys; every other column must be numeric.
@@ -194,6 +203,18 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    report = LakeStore.fsck(args.store)
+    print(json.dumps(report, indent=2))
+    return 0 if report["clean"] else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    report = LakeStore.repair(args.store)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def _add_csv_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--key-column",
@@ -299,6 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
     compact = commands.add_parser("compact", help="merge shards, drop tombstones")
     compact.add_argument("store", help="lake directory")
     compact.set_defaults(handler=_cmd_compact)
+
+    fsck = commands.add_parser(
+        "fsck", help="verify on-disk integrity (exit 1 on problems)"
+    )
+    fsck.add_argument("store", help="lake directory")
+    fsck.set_defaults(handler=_cmd_fsck)
+
+    repair = commands.add_parser(
+        "repair", help="quarantine corruption and restore a servable store"
+    )
+    repair.add_argument("store", help="lake directory")
+    repair.set_defaults(handler=_cmd_repair)
     return parser
 
 

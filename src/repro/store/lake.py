@@ -32,6 +32,11 @@ from __future__ import annotations
 
 import contextlib
 import mmap
+import os
+import random
+import signal
+import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -42,7 +47,7 @@ try:  # advisory inter-process write locking (POSIX only)
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-from repro import obs
+from repro import faults, obs
 from repro.core.bank import SketchBank
 from repro.core.base import Sketcher
 from repro.datasearch.index import SketchIndex
@@ -69,6 +74,7 @@ from repro.store.manifest import (
     ManifestError,
     ShardRecord,
     TableSpan,
+    previous_manifest_path,
 )
 from repro.store.shard import (
     SHARD_SUFFIX,
@@ -80,14 +86,94 @@ from repro.store.shard import (
     write_shard,
 )
 
-__all__ = ["StoreError", "LakeStore", "is_lake_store"]
+__all__ = ["LOCK_TIMEOUT_ENV", "StoreError", "LakeStore", "is_lake_store"]
 
 _MANIFEST_NAME = "manifest.json"
 _LOCK_NAME = ".lock"
+_QUARANTINE_DIR = "quarantine"
+
+#: Default writer-lock timeout in seconds (fractions allowed).  Unset
+#: or 0 keeps the historical fail-fast behavior; a positive value makes
+#: concurrent writers retry with jittered exponential backoff until the
+#: deadline instead of one of them dying instantly.
+LOCK_TIMEOUT_ENV = "REPRO_LOCK_TIMEOUT"
+
+# Crash points of the store-level commit protocol: lock acquisition,
+# the window between a durable shard and its manifest record, index
+# emission, and the compaction swap.  Together with the shard/manifest
+# failpoints these cover every ordering the torture harness must prove
+# safe.
+FP_LOCK_ACQUIRE = faults.register(
+    "lake.lock.acquire", "before the writer flock is attempted"
+)
+FP_STREAM_BEGIN = faults.register(
+    "lake.append.stream", "after the shard tmp exists, before streaming"
+)
+FP_COMMIT_SHARD_DURABLE = faults.register(
+    "lake.commit.shard_durable", "shard renamed into place, manifest untouched"
+)
+FP_COMMIT_INDEX_EMITTED = faults.register(
+    "lake.commit.index_emitted", "index generation written, manifest untouched"
+)
+FP_COMMIT_MANIFEST_SAVED = faults.register(
+    "lake.commit.manifest_saved", "append committed, in-memory state not yet updated"
+)
+FP_INDEX_EMIT = faults.register(
+    "lake.index.emit", "before the LSH index generation is written"
+)
+FP_COMPACT_SHARD_DURABLE = faults.register(
+    "lake.compact.shard_durable", "merged shard durable, manifest untouched"
+)
+FP_COMPACT_MANIFEST_SAVED = faults.register(
+    "lake.compact.manifest_saved", "compaction committed, old shards not yet deleted"
+)
 
 
 class StoreError(RuntimeError):
     """Raised on invalid lake-store operations or corrupted stores."""
+
+
+def _resolve_lock_timeout(lock_timeout: float | None) -> float:
+    """The effective writer-lock timeout: explicit arg, env, or 0."""
+    if lock_timeout is not None:
+        return max(float(lock_timeout), 0.0)
+    raw = os.environ.get(LOCK_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return max(float(raw), 0.0)
+    except ValueError as exc:
+        raise StoreError(
+            f"invalid {LOCK_TIMEOUT_ENV}={raw!r}: expected seconds as a number"
+        ) from exc
+
+
+@contextlib.contextmanager
+def _deliver_sigterm_as_interrupt() -> Iterator[None]:
+    """Convert SIGTERM into ``KeyboardInterrupt`` for the scope.
+
+    Streaming ingest owns a visible temp file; a plain SIGTERM would
+    kill the process without running the abort path and strand it.
+    Inside this scope a TERM (or a ctrl-C, which already raises) lands
+    as ``KeyboardInterrupt`` at the next bytecode boundary, the
+    ``except BaseException`` cleanup aborts the shard writer, and the
+    signal's intent is honored by re-raising out of the operation.
+    Only the main thread can (and need) install handlers; elsewhere
+    this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _handler(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt("SIGTERM during streaming ingest")
+
+    signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 class LakeStore:
@@ -118,6 +204,8 @@ class LakeStore:
         buffers: dict[int, mmap.mmap | None],
         zero_copy: bool,
         lake_index: LakeIndex | None = None,
+        read_only: bool = False,
+        degraded: list[str] | None = None,
     ) -> None:
         self.path = path
         self.sketcher = sketcher
@@ -126,6 +214,11 @@ class LakeStore:
         self._buffers = buffers
         self._zero_copy = zero_copy
         self._closed = False
+        self._read_only = read_only
+        #: Human-readable conditions this open survived in degraded
+        #: form (manifest fallback, index fallback, salvaged shards).
+        #: Empty for a healthy store.
+        self.degraded: list[str] = list(degraded or [])
         self._index = self._build_index()
         if lake_index is not None:
             self._index.attach_lsh(lake_index)
@@ -155,6 +248,7 @@ class LakeStore:
         path: str | Path,
         sketcher: Sketcher | None = None,
         zero_copy: bool = True,
+        salvage: bool = False,
     ) -> "LakeStore":
         """Open an existing lake and rebuild its index from the shards.
 
@@ -164,10 +258,24 @@ class LakeStore:
         share a sketcher instance across stores.  ``zero_copy=False``
         materializes the banks in memory instead of memory-mapping the
         shard files.
+
+        Degraded opens: a torn or corrupt ``manifest.json`` falls back
+        to the retained previous generation; a missing, corrupt, or
+        catalog-mismatched LSH index file is *dropped* instead of
+        failing the open — queries route through scan candidates (or a
+        lazy in-memory rebuild) and ``query.route.scan_fallback``
+        counts the downgrades.  Corrupt or missing **shards** still
+        refuse the open (data, not an accelerator) unless
+        ``salvage=True``, which skips unreadable shards and serves the
+        surviving tables **read-only**; ``store.degraded`` lists what
+        was lost and :meth:`repair` makes the store writable again.
         """
         path = Path(path)
-        with obs.trace_span("store.open", path=str(path), zero_copy=zero_copy):
-            manifest = Manifest.load(path / _MANIFEST_NAME)
+        with obs.trace_span(
+            "store.open", path=str(path), zero_copy=zero_copy, salvage=salvage
+        ):
+            degraded: list[str] = []
+            manifest = cls._load_manifest(path, degraded)
             if sketcher is None:
                 sketcher = build_sketcher(manifest.sketcher)
             else:
@@ -176,15 +284,31 @@ class LakeStore:
             buffers: dict[int, mmap.mmap | None] = {}
             for shard in manifest.shards:
                 shard_path = path / shard.filename
-                if not shard_path.is_file():
-                    raise StoreError(
-                        f"manifest references missing shard {shard.filename}"
-                    )
-                bank, buffer = read_shard(shard_path, zero_copy=zero_copy)
-                sketcher._check_bank(bank)
+                try:
+                    if not shard_path.is_file():
+                        raise StoreError(
+                            f"open {path}: manifest references missing shard "
+                            f"{shard.filename}"
+                        )
+                    bank, buffer = read_shard(shard_path, zero_copy=zero_copy)
+                    sketcher._check_bank(bank)
+                except (StoreError, SerializationError) as exc:
+                    if not salvage:
+                        if isinstance(exc, StoreError):
+                            raise
+                        raise StoreError(
+                            f"open {path}: corrupt shard {shard.filename}: {exc}"
+                        ) from exc
+                    degraded.append(f"shard {shard.filename} skipped: {exc}")
+                    obs.count("store.recovery.shards_skipped")
+                    continue
                 banks[shard.shard_id] = bank
                 buffers[shard.shard_id] = buffer
-            lake_index = cls._load_lsh_index(path, manifest)
+            lake_index = cls._load_lsh_index(path, manifest, degraded)
+            if lake_index is not None and len(banks) != len(manifest.shards):
+                # Salvage dropped shards: the persisted index covers
+                # rows that no longer exist — do not serve it.
+                lake_index = None
             obs.count("store.opens")
             return cls(
                 path,
@@ -194,47 +318,88 @@ class LakeStore:
                 buffers,
                 zero_copy=zero_copy,
                 lake_index=lake_index,
+                read_only=salvage,
+                degraded=degraded,
             )
 
     @staticmethod
-    def _load_lsh_index(path: Path, manifest: Manifest) -> LakeIndex | None:
+    def _load_manifest(path: Path, degraded: list[str]) -> Manifest:
+        """Load the live manifest, falling back to the retained
+        previous generation when the live one is torn or corrupt.
+
+        The fallback is read-only recovery: the corrupt file is left in
+        place for :meth:`fsck` to report (and :meth:`repair` to fix),
+        and writes through this handle are refused by the writer lock's
+        own staleness load until then.
+        """
+        manifest_path = path / _MANIFEST_NAME
+        try:
+            return Manifest.load(manifest_path)
+        except ManifestError as primary:
+            prev = previous_manifest_path(manifest_path)
+            if not prev.is_file():
+                raise
+            try:
+                manifest = Manifest.load(prev)
+            except ManifestError:
+                raise primary from None
+            degraded.append(
+                f"manifest: fell back to {prev.name} ({primary})"
+            )
+            obs.count("store.recovery.manifest_fallback")
+            return manifest
+
+    @staticmethod
+    def _load_lsh_index(
+        path: Path, manifest: Manifest, degraded: list[str]
+    ) -> LakeIndex | None:
         """Read and validate the persisted LSH index, if the manifest
         records one.
 
         Manifests without an index section (older stores, sketchers
         without signature keys) return ``None`` — queries then rebuild
         the index lazily in memory.  A recorded index that is missing,
-        fails its checksum, or disagrees with the catalog raises
-        :class:`StoreError` (corruption is rejected, never served).
+        fails its checksum, or disagrees with the catalog is treated
+        the same way — the index is an accelerator, not data, so the
+        open *degrades* to scan/lazy-rebuilt candidates instead of
+        failing (``query.route.scan_fallback`` counts it; the dropped
+        file stays on disk for ``fsck`` to classify).
         """
         record = manifest.index
         if record is None:
             return None
+        problem: str | None = None
         index_path = path / record.filename
         if not index_path.is_file():
-            raise StoreError(
-                f"manifest references missing LSH index {record.filename}"
-            )
-        try:
-            lsh = unpack_lsh_index(index_path.read_bytes())
-        except SerializationError as exc:
-            raise StoreError(
-                f"corrupt LSH index {record.filename}: {exc}"
-            ) from exc
-        live_count = sum(1 for _ in manifest.live_spans())
-        if (
-            lsh.bands != record.bands
-            or lsh.rows_per_band != record.rows_per_band
-            or len(lsh) != record.tables
-            or record.tables != live_count
-        ):
-            raise StoreError(
-                f"LSH index {record.filename} does not match the manifest "
-                f"catalog ({len(lsh)} indexed rows for {live_count} live tables)"
-            )
+            problem = f"missing LSH index {record.filename}"
+        else:
+            try:
+                lsh = unpack_lsh_index(index_path.read_bytes())
+            except SerializationError as exc:
+                problem = f"corrupt LSH index {record.filename}: {exc}"
+            else:
+                live_count = sum(1 for _ in manifest.live_spans())
+                if (
+                    lsh.bands != record.bands
+                    or lsh.rows_per_band != record.rows_per_band
+                    or len(lsh) != record.tables
+                    or record.tables != live_count
+                ):
+                    problem = (
+                        f"LSH index {record.filename} does not match the "
+                        f"manifest catalog ({len(lsh)} indexed rows for "
+                        f"{live_count} live tables)"
+                    )
+        if problem is not None:
+            degraded.append(f"lsh_index dropped: {problem}")
+            obs.count("store.recovery.index_fallback")
+            obs.count("query.route.scan_fallback")
+            return None
         return LakeIndex(lsh)
 
     def _build_index(self) -> SketchIndex:
+        # Salvage opens may have skipped shards; only spans whose bank
+        # actually loaded are served.
         return SketchIndex.from_banks(
             self.sketcher,
             (
@@ -245,6 +410,7 @@ class LakeStore:
                     self._banks[shard.shard_id][span.lo : span.hi],
                 )
                 for shard, span in self._manifest.live_spans()
+                if shard.shard_id in self._banks
             ),
         )
 
@@ -275,34 +441,71 @@ class LakeStore:
     # ------------------------------------------------------------------
 
     @contextlib.contextmanager
-    def _writer_lock(self) -> Iterator[None]:
+    def _writer_lock(
+        self, lock_timeout: float | None = None, op: str = "write"
+    ) -> Iterator[None]:
         """Serialize writers and fail cleanly on cross-process races.
 
-        An exclusive (non-blocking) flock guards append/compact; a
-        second concurrent writer gets a ``StoreError`` instead of
-        silently overwriting the first writer's shard and manifest.
-        Once locked, the on-disk manifest is compared against this
-        process's view — a mismatch means another process committed
-        since we opened, and continuing would lose its tables.
+        An exclusive flock guards append/compact.  With the default
+        zero timeout a second concurrent writer gets a ``StoreError``
+        immediately (the historical fail-fast contract); a positive
+        ``lock_timeout`` (or ``REPRO_LOCK_TIMEOUT``) retries with
+        jittered exponential backoff until the deadline, so two
+        concurrent writers serialize instead of one dying.  Once
+        locked, the on-disk manifest is compared against this process's
+        view — a mismatch means another process committed since we
+        opened, and continuing would lose its tables.
         """
+        timeout = _resolve_lock_timeout(lock_timeout)
         handle = open(self.path / _LOCK_NAME, "a+")
         try:
             if fcntl is not None:
-                try:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-                except OSError as exc:
-                    raise StoreError(
-                        f"another process is writing to {self.path}"
-                    ) from exc
-            on_disk = Manifest.load(self.path / _MANIFEST_NAME)
+                faults.failpoint(FP_LOCK_ACQUIRE)
+                self._acquire_flock(handle, timeout, op)
+            try:
+                on_disk = Manifest.load(self.path / _MANIFEST_NAME)
+            except ManifestError as exc:
+                raise StoreError(
+                    f"{op} on {self.path}: cannot verify the on-disk manifest "
+                    f"({exc}); run `python -m repro.store repair` first"
+                ) from exc
             if on_disk != self._manifest:
                 raise StoreError(
-                    f"{self.path} was modified by another process since this "
-                    f"store was opened; reopen it before writing"
+                    f"{op} on {self.path}: modified by another process since "
+                    f"this store was opened; reopen it before writing"
                 )
             yield
         finally:
             handle.close()  # closing the fd releases the flock
+
+    def _acquire_flock(self, handle: Any, timeout: float, op: str) -> None:
+        """Take the exclusive flock, retrying with jittered backoff.
+
+        Jitter matters: two writers waking in lockstep would collide on
+        every retry; multiplying the delay by a random factor in
+        [0.5, 1) de-synchronizes them.  The delay doubles from 5 ms up
+        to 200 ms, and the last sleep is clamped to the deadline, so a
+        timeout of ``t`` never waits meaningfully past ``t``.
+        """
+        deadline = time.monotonic() + timeout
+        delay = 0.005
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError as exc:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    waited = (
+                        f" (gave up after {timeout:g}s)" if timeout > 0 else ""
+                    )
+                    raise StoreError(
+                        f"{op} on {self.path}: another process holds the "
+                        f"writer lock{waited}"
+                    ) from exc
+                obs.count("store.lock_retries")
+                time.sleep(min(remaining, delay * random.uniform(0.5, 1.0)))
+                delay = min(delay * 2.0, 0.2)
 
     def append(
         self,
@@ -310,6 +513,7 @@ class LakeStore:
         workers: int | None = None,
         index: bool = True,
         chunk_bytes: int | None = None,
+        lock_timeout: float | None = None,
     ) -> int | None:
         """Sketch and persist a batch of new tables as one shard.
 
@@ -335,11 +539,19 @@ class LakeStore:
         with the same shard-first/manifest-last crash safety as the
         data.  ``index=False`` drops the persisted index for this
         store; the next indexing append or :meth:`compact` rebuilds it.
+
+        ``lock_timeout`` (seconds; default ``REPRO_LOCK_TIMEOUT`` or
+        fail-fast) lets concurrent writers wait for the writer lock
+        with jittered exponential backoff instead of erroring.
         """
-        self._check_open()
+        self._check_writable("append")
         sources = [SourceTable.from_table(table) for table in tables]
         shard_id, _ = self.append_sources(
-            sources, workers=workers, index=index, chunk_bytes=chunk_bytes
+            sources,
+            workers=workers,
+            index=index,
+            chunk_bytes=chunk_bytes,
+            lock_timeout=lock_timeout,
         )
         return shard_id
 
@@ -351,6 +563,7 @@ class LakeStore:
         workers: int | None = None,
         index: bool = True,
         chunk_bytes: int | None = None,
+        lock_timeout: float | None = None,
     ) -> tuple[int | None, IngestReport | None]:
         """Stream CSV files into one shard without materializing them.
 
@@ -364,7 +577,11 @@ class LakeStore:
             for path in paths
         ]
         return self.append_sources(
-            sources, workers=workers, index=index, chunk_bytes=chunk_bytes
+            sources,
+            workers=workers,
+            index=index,
+            chunk_bytes=chunk_bytes,
+            lock_timeout=lock_timeout,
         )
 
     def append_sources(
@@ -373,6 +590,7 @@ class LakeStore:
         workers: int | None = None,
         index: bool = True,
         chunk_bytes: int | None = None,
+        lock_timeout: float | None = None,
     ) -> tuple[int | None, IngestReport | None]:
         """Stream lazily-loadable sources into one shard.
 
@@ -385,30 +603,41 @@ class LakeStore:
         footprint (``None`` for sketchers without a fixed bank layout,
         which take the materialize-everything fallback).
         """
-        self._check_open()
+        self._check_writable("append")
         sources = list(sources)
         if not sources:
             return None, None
         names = [source.name for source in sources]
         if len(set(names)) != len(names):
-            raise StoreError(f"duplicate table names in one batch: {names}")
+            raise StoreError(
+                f"append to {self.path}: duplicate table names in one "
+                f"batch: {names}"
+            )
 
         obs.count("store.appends")
         plan = plan_shard(self.sketcher, sources)
         if plan is None:
             with obs.trace_span("store.append", tables=len(sources), streamed=False):
-                return self._append_materialized(sources, workers, index), None
+                return (
+                    self._append_materialized(sources, workers, index, lock_timeout),
+                    None,
+                )
 
         # The writer lock is taken before streaming begins: the stream
         # writes the next shard's temp file, and two uncoordinated
-        # writers would race on the same shard id and temp path.
+        # writers would race on the same shard id and temp path.  The
+        # interrupt scope turns SIGTERM into an exception so the abort
+        # path below always runs and no temp file outlives the process.
         with obs.trace_span(
             "store.append", tables=len(sources), streamed=True
-        ), self._writer_lock():
+        ), _deliver_sigterm_as_interrupt(), self._writer_lock(
+            lock_timeout, op="append"
+        ):
             shard_id = self._manifest.next_shard_id
             filename = shard_filename(shard_id)
             writer = ShardStreamWriter(self.path / filename, plan)
             try:
+                faults.failpoint(FP_STREAM_BEGIN)
                 num_rows, report = stream_sources(
                     self.sketcher,
                     sources,
@@ -450,6 +679,7 @@ class LakeStore:
         sources: Sequence[SourceTable],
         workers: int | None,
         index: bool,
+        lock_timeout: float | None = None,
     ) -> int:
         """One-shot append for sketchers without a fixed bank layout.
 
@@ -479,7 +709,7 @@ class LakeStore:
         else:
             bank = self.sketcher.sketch_batch(vectors, workers=workers)
 
-        with self._writer_lock():
+        with self._writer_lock(lock_timeout, op="append"):
             shard_id = self._manifest.next_shard_id
             filename = shard_filename(shard_id)
             write_shard(self.path / filename, bank)
@@ -502,6 +732,7 @@ class LakeStore:
         Commit point: the shard bytes are already on disk, now the
         manifest.  Returns the superseded index filename, if any.
         """
+        faults.failpoint(FP_COMMIT_SHARD_DURABLE)
         live = self._manifest.live_table_shard()
         for span in spans:
             if span.name in live:
@@ -519,7 +750,9 @@ class LakeStore:
             stale_index = self._write_append_index_locked(bank, spans)
         else:
             stale_index = self._drop_index_record()
+        faults.failpoint(FP_COMMIT_INDEX_EMITTED)
         self._manifest.save(self.path / _MANIFEST_NAME)
+        faults.failpoint(FP_COMMIT_MANIFEST_SAVED)
         return stale_index
 
     def _finish_append(
@@ -540,16 +773,16 @@ class LakeStore:
             )
         self._remove_stale_index(stale_index)
 
-    def compact(self) -> dict[str, Any]:
+    def compact(self, lock_timeout: float | None = None) -> dict[str, Any]:
         """Merge all live spans into one shard; reclaim tombstoned rows.
 
         Rewrites the lake as a single shard holding the live tables in
         shard (ingest) order, clears the tombstone list, deletes the
         old shard files, and rebuilds the in-memory index over the
         merged bank.  Returns ``{"shards_before", "shards_after",
-        "rows_reclaimed"}``.
+        "rows_reclaimed"}``.  ``lock_timeout`` as in :meth:`append`.
         """
-        self._check_open()
+        self._check_writable("compact")
         shards_before = len(self._manifest.shards)
         rows_dead = self._manifest.dead_rows()
         if shards_before <= 1 and rows_dead == 0:
@@ -562,9 +795,14 @@ class LakeStore:
         with obs.trace_span(
             "store.compact", shards=shards_before, dead_rows=rows_dead
         ):
-            return self._compact(shards_before, rows_dead)
+            return self._compact(shards_before, rows_dead, lock_timeout)
 
-    def _compact(self, shards_before: int, rows_dead: int) -> dict[str, Any]:
+    def _compact(
+        self,
+        shards_before: int,
+        rows_dead: int,
+        lock_timeout: float | None = None,
+    ) -> dict[str, Any]:
         pieces: list[SketchBank] = []
         merged_spans: list[TableSpan] = []
         offset = 0
@@ -582,14 +820,15 @@ class LakeStore:
             )
             offset += width
         if not pieces:
-            raise StoreError("cannot compact an empty store")
+            raise StoreError(f"compact on {self.path}: cannot compact an empty store")
         merged = SketchBank.concat(pieces)
 
-        with self._writer_lock():
+        with self._writer_lock(lock_timeout, op="compact"):
             shard_id = self._manifest.next_shard_id
             filename = shard_filename(shard_id)
             old_files = [shard.filename for shard in self._manifest.shards]
             write_shard(self.path / filename, merged)
+            faults.failpoint(FP_COMPACT_SHARD_DURABLE)
             self._manifest.shards = [
                 ShardRecord(
                     shard_id=shard_id, filename=filename, tables=tuple(merged_spans)
@@ -603,6 +842,7 @@ class LakeStore:
                 merged, merged_spans
             )
             self._manifest.save(self.path / _MANIFEST_NAME)
+            faults.failpoint(FP_COMPACT_MANIFEST_SAVED)
 
         # Post-commit: swap the in-memory view to the merged shard.
         self._release_buffers()
@@ -666,6 +906,7 @@ class LakeStore:
         """
         payload = pack_lsh_index(lsh)
         filename = index_filename(self._manifest.next_index_id)
+        faults.failpoint(FP_INDEX_EMIT)
         write_bytes_atomic(self.path / filename, payload)
         old = self._manifest.index
         self._manifest.index = IndexRecord(
@@ -775,6 +1016,8 @@ class LakeStore:
         return {
             "path": str(self.path),
             "sketcher": dict(self._manifest.sketcher),
+            "read_only": self._read_only,
+            "degraded": list(self.degraded),
             "tables": len(self._index),
             "value_columns": len(self._index.value_owners()) if len(self._index) else 0,
             "shards": len(self._manifest.shards),
@@ -801,19 +1044,50 @@ class LakeStore:
     def orphaned_files(self) -> list[str]:
         """Shard-like files in the directory the manifest does not own.
 
-        Leftovers of interrupted appends (``*.tmp``) or of shards whose
-        manifest commit never happened; safe to delete.
+        Leftovers of interrupted appends — both unreferenced ``*.rpro``
+        files whose manifest commit never happened and stale ``*.tmp``
+        files from writes that died mid-stream; safe to delete
+        (:meth:`repair` does).  The retained previous-generation
+        manifest and the ``quarantine/`` directory are not orphans.
         """
         owned = {shard.filename for shard in self._manifest.shards}
         if self._manifest.index is not None:
             owned.add(self._manifest.index.filename)
         found = []
         for entry in sorted(self.path.iterdir()):
-            if entry.name == _MANIFEST_NAME or entry.name in owned:
+            if entry.is_dir() or entry.name == _MANIFEST_NAME or entry.name in owned:
                 continue
             if entry.suffix == SHARD_SUFFIX or entry.name.endswith(".tmp"):
                 found.append(entry.name)
         return found
+
+    # ------------------------------------------------------------------
+    # recovery (fsck / repair / salvage)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fsck(cls, path: str | Path) -> dict[str, Any]:
+        """Verify a store's on-disk integrity without opening it.
+
+        Checks manifest ↔ shard CRCs ↔ index catalog and classifies
+        every file as clean / orphan / corrupt / missing.  See
+        :func:`repro.store.recovery.fsck`.
+        """
+        from repro.store.recovery import fsck
+
+        return fsck(path)
+
+    @classmethod
+    def repair(cls, path: str | Path) -> dict[str, Any]:
+        """Restore a damaged store to a servable, writable state.
+
+        Quarantines corrupt shards, drops their catalog entries,
+        rebuilds the LSH index, and removes stale temp files.  See
+        :func:`repro.store.recovery.repair`.
+        """
+        from repro.store.recovery import repair
+
+        return repair(path)
 
     def close(self) -> None:
         """Release the store (memory maps are dropped; banks derived
@@ -836,7 +1110,16 @@ class LakeStore:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise StoreError("the store is closed")
+            raise StoreError(f"store {self.path}: the store is closed")
+
+    def _check_writable(self, op: str) -> None:
+        self._check_open()
+        if self._read_only:
+            raise StoreError(
+                f"{op} on {self.path}: store was opened in salvage "
+                f"(read-only) mode; run `python -m repro.store repair` "
+                f"to make it writable again"
+            )
 
     def __enter__(self) -> "LakeStore":
         return self
@@ -850,9 +1133,18 @@ class LakeStore:
 
 
 def is_lake_store(path: str | Path) -> bool:
-    """True if ``path`` looks like an initialized lake directory."""
+    """True if ``path`` looks like an initialized lake directory.
+
+    A directory whose live manifest is corrupt but whose retained
+    previous generation loads still counts — :meth:`LakeStore.open`
+    can serve it through the fallback and ``repair`` can fix it.
+    """
+    manifest_path = Path(path) / _MANIFEST_NAME
     try:
-        Manifest.load(Path(path) / _MANIFEST_NAME)
+        Manifest.load(manifest_path)
     except ManifestError:
-        return False
+        try:
+            Manifest.load(previous_manifest_path(manifest_path))
+        except ManifestError:
+            return False
     return True

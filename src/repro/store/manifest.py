@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro import obs
+from repro import faults, obs
 
 __all__ = [
     "MANIFEST_VERSION",
@@ -40,7 +40,40 @@ __all__ = [
     "ShardRecord",
     "IndexRecord",
     "Manifest",
+    "previous_manifest_path",
 ]
+
+# Crash points of the manifest commit itself — the last (and most
+# delicate) step of every store write.  ``save.write`` is torn-capable:
+# armed in ``torn`` mode it leaves a half-written tmp file behind,
+# which must never be confused with a committed manifest.
+FP_SAVE_KEEP = faults.register(
+    "manifest.save.keep_previous", "before retaining the previous generation"
+)
+FP_SAVE_WRITE = faults.register(
+    "manifest.save.write", "payload write of the manifest tmp (torn-capable)"
+)
+FP_SAVE_FSYNC = faults.register(
+    "manifest.save.fsync", "before fsync of the manifest tmp"
+)
+FP_SAVE_RENAME = faults.register(
+    "manifest.save.rename", "before the manifest tmp -> manifest.json rename"
+)
+FP_SAVE_DIRSYNC = faults.register(
+    "manifest.save.dirsync", "after the manifest rename, before the dir fsync"
+)
+FP_LOAD = faults.register("manifest.load", "at the top of Manifest.load")
+
+
+def previous_manifest_path(path: Path) -> Path:
+    """Where :meth:`Manifest.save` retains the superseded generation.
+
+    ``manifest.json`` -> ``manifest.prev.json``: the recovery fallback
+    :class:`~repro.store.lake.LakeStore` opens when the live manifest
+    is torn or corrupt (disk corruption — a crash alone cannot tear it,
+    the rename is atomic).
+    """
+    return path.with_name(f"{path.stem}.prev{path.suffix}")
 
 #: Manifest schema version; bump on incompatible layout changes.
 #: Version 2 added the optional LSH-index section (``index`` +
@@ -227,7 +260,7 @@ class Manifest:
             next_index_id=int(data.get("next_index_id", 1)),
         )
 
-    def save(self, path: Path) -> None:
+    def save(self, path: Path, keep_previous: bool = True) -> None:
         """Atomically and durably write the manifest.
 
         tmp file + fsync + rename + directory fsync: the last step is
@@ -236,15 +269,30 @@ class Manifest:
         just in the page cache.  Saving always writes the current
         schema version — opening an old store and committing to it
         upgrades the manifest in place.
+
+        ``keep_previous`` first retains the superseded generation at
+        :func:`previous_manifest_path` (itself written atomically, so a
+        crash mid-retention leaves both generations intact) — the
+        fallback ``LakeStore.open`` reads when ``manifest.json`` turns
+        out torn or bit-rotted.
         """
         self.version = MANIFEST_VERSION
         payload = json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n"
+        if keep_previous and path.is_file():
+            faults.failpoint(FP_SAVE_KEEP)
+            prev = previous_manifest_path(path)
+            prev_tmp = prev.with_name(prev.name + ".tmp")
+            prev_tmp.write_bytes(path.read_bytes())
+            os.replace(prev_tmp, prev)
         tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(payload)
+        with open(tmp, "wb") as handle:
+            faults.torn_write(FP_SAVE_WRITE, handle, payload.encode("utf-8"))
             handle.flush()
+            faults.failpoint(FP_SAVE_FSYNC)
             os.fsync(handle.fileno())
+        faults.failpoint(FP_SAVE_RENAME)
         os.replace(tmp, path)
+        faults.failpoint(FP_SAVE_DIRSYNC)
         fd = os.open(path.parent, os.O_RDONLY)
         try:
             os.fsync(fd)
@@ -255,6 +303,7 @@ class Manifest:
 
     @classmethod
     def load(cls, path: Path) -> "Manifest":
+        faults.failpoint(FP_LOAD)
         if not path.is_file():
             raise ManifestError(f"no manifest at {path}")
         try:

@@ -25,13 +25,48 @@ import struct
 import zlib
 from pathlib import Path
 
-from repro import obs
+from repro import faults, obs
 from repro.core.bank import SketchBank
 from repro.io.serialize import (
     ShardStreamPlan,
     pack_shard,
     unpack_shard,
     write_chunk_rows,
+)
+
+# Failpoints covering every durability step of a shard's life: the
+# atomic byte write (torn-capable), its fsyncs and rename, and the
+# streamed writer's CRC patch / finalize / abort.  The torture harness
+# crashes at each of these and asserts pre-or-post state on reopen.
+FP_ATOMIC_WRITE = faults.register(
+    "shard.atomic.write", "payload write of write_bytes_atomic (torn-capable)"
+)
+FP_ATOMIC_FSYNC = faults.register(
+    "shard.atomic.fsync", "before fsync of the atomic tmp file"
+)
+FP_ATOMIC_RENAME = faults.register(
+    "shard.atomic.rename", "before the tmp -> final rename"
+)
+FP_ATOMIC_DIRSYNC = faults.register(
+    "shard.atomic.dirsync", "after rename, before the directory fsync"
+)
+FP_STREAM_WRITE_ROWS = faults.register(
+    "shard.stream.write_rows", "before a chunk bank lands in the shard tmp"
+)
+FP_STREAM_FINALIZE_CRC = faults.register(
+    "shard.stream.finalize.crc", "before the CRC-32 patch of a streamed shard"
+)
+FP_STREAM_FINALIZE_FSYNC = faults.register(
+    "shard.stream.finalize.fsync", "after the CRC patch, before the file fsync"
+)
+FP_STREAM_FINALIZE_RENAME = faults.register(
+    "shard.stream.finalize.rename", "before the streamed tmp -> shard rename"
+)
+FP_STREAM_ABORT = faults.register(
+    "shard.stream.abort", "at the top of ShardStreamWriter.abort"
+)
+FP_DIR_FSYNC = faults.register(
+    "shard.fsync_directory", "before any directory-entry fsync"
 )
 
 __all__ = [
@@ -65,6 +100,7 @@ def index_filename(index_id: int) -> str:
 
 def fsync_directory(path: Path) -> None:
     """Flush a directory's entry table (rename durability on ext4/xfs)."""
+    faults.failpoint(FP_DIR_FSYNC)
     fd = os.open(path, os.O_RDONLY)
     try:
         os.fsync(fd)
@@ -83,10 +119,13 @@ def write_bytes_atomic(path: Path, payload: bytes) -> int:
     """
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
-        handle.write(payload)
+        faults.torn_write(FP_ATOMIC_WRITE, handle, payload)
         handle.flush()
+        faults.failpoint(FP_ATOMIC_FSYNC)
         os.fsync(handle.fileno())
+    faults.failpoint(FP_ATOMIC_RENAME)
     os.replace(tmp, path)
+    faults.failpoint(FP_ATOMIC_DIRSYNC)
     fsync_directory(path.parent)
     obs.count("store.fsyncs")
     obs.count("store.shard_bytes_written", len(payload))
@@ -129,11 +168,13 @@ class ShardStreamWriter:
 
     def write_rows(self, bank: SketchBank, row_offset: int) -> None:
         """Place ``bank`` at rows ``[row_offset, row_offset + len(bank))``."""
+        faults.failpoint(FP_STREAM_WRITE_ROWS)
         write_chunk_rows(self._map, self.plan, bank, row_offset)
 
     def finalize(self) -> int:
         """Patch the CRC, make the file durable, and rename into place."""
         plan = self.plan
+        faults.failpoint(FP_STREAM_FINALIZE_CRC)
         checksum = zlib.crc32(memoryview(self._map)[plan.payload_offset :])
         self._map[plan.checksum_offset : plan.checksum_offset + 4] = struct.pack(
             "<I", checksum
@@ -141,8 +182,10 @@ class ShardStreamWriter:
         self._map.flush()
         self._map.close()
         self._handle.flush()
+        faults.failpoint(FP_STREAM_FINALIZE_FSYNC)
         os.fsync(self._handle.fileno())
         self._handle.close()
+        faults.failpoint(FP_STREAM_FINALIZE_RENAME)
         os.replace(self.tmp_path, self.path)
         fsync_directory(self.path.parent)
         self._done = True
@@ -154,6 +197,7 @@ class ShardStreamWriter:
         """Drop the temp file (idempotent; safe after ``finalize``)."""
         if self._done:
             return
+        faults.failpoint(FP_STREAM_ABORT)
         with contextlib.suppress(ValueError, OSError):
             self._map.close()
         with contextlib.suppress(OSError):

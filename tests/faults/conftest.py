@@ -1,0 +1,92 @@
+"""Harness plumbing for the fault-injection test suite."""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.store import LakeStore
+
+DRIVER = Path(__file__).with_name("driver.py")
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    """No armed failpoint ever leaks between tests."""
+    yield
+    faults.registry._reset_for_tests()
+
+
+def run_driver(
+    op: str,
+    store_dir: Path,
+    *,
+    failpoints: str | None = None,
+    env_extra: dict[str, str] | None = None,
+    arg: str | None = None,
+    timeout: float = 120.0,
+    capture: bool = True,
+) -> subprocess.CompletedProcess:
+    """Run one driver op in a real subprocess, optionally with faults."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.FAILPOINTS_ENV, None)
+    if failpoints is not None:
+        env[faults.FAILPOINTS_ENV] = failpoints
+    if env_extra:
+        env.update(env_extra)
+    cmd = [sys.executable, str(DRIVER), op, str(store_dir)]
+    if arg is not None:
+        cmd.append(arg)
+    return subprocess.run(
+        cmd, env=env, capture_output=capture, text=True, timeout=timeout
+    )
+
+
+def fingerprint(store_dir: Path) -> str:
+    """A digest of the *served* state: live tables and their bank rows.
+
+    Computed through a real ``LakeStore.open``, so it captures exactly
+    what a reader after the crash would see — two stores fingerprint
+    equal iff they serve the same tables with bit-identical sketch
+    rows (and therefore identical rankings and estimates).
+    """
+    digest = hashlib.sha256()
+    with LakeStore.open(store_dir) as store:
+        digest.update(repr(sorted(store.table_names())).encode())
+        spans = sorted(
+            (
+                (span.name, shard.shard_id, span.lo, span.hi, span.num_rows)
+                for shard, span in store._manifest.live_spans()
+            ),
+        )
+        for name, shard_id, lo, hi, num_rows in spans:
+            bank = store._banks[shard_id][lo:hi]
+            digest.update(f"{name}:{num_rows}".encode())
+            for column in sorted(bank.columns):
+                digest.update(
+                    np.ascontiguousarray(bank.columns[column]).tobytes()
+                )
+    return digest.hexdigest()
+
+
+def seed_store(tmp_path: Path) -> Path:
+    """Create the canonical pre-state store (two shards, one tombstone)."""
+    store_dir = tmp_path / "pre"
+    result = run_driver("seed", store_dir)
+    assert result.returncode == 0, result.stderr
+    return store_dir
+
+
+def clone_store(source: Path, target: Path) -> Path:
+    shutil.copytree(source, target)
+    return target

@@ -1,0 +1,115 @@
+"""Victim subprocess for the crash-consistency torture harness.
+
+Usage: ``python tests/faults/driver.py OP STORE_DIR [ARG]``
+
+The harness arms failpoints through ``REPRO_FAILPOINTS`` *before*
+launching this process, so the fault is injected inside a real, fully
+independent process — ``crash`` mode genuinely kills it mid-syscall
+sequence, exactly like a power cut would.
+
+Ops
+---
+``seed``
+    Create the store and give it history: two appends (the second
+    replaces a table, creating a tombstone) so every later op has both
+    shards and dead rows to work against.
+``append``     Append two brand-new tables.
+``replace``    Re-append two existing names (tombstoning the old spans).
+``compact``    Merge live spans into one shard.
+``append_pooled``
+    Append with a 2-worker process pool (``REPRO_INGEST_NO_CLAMP`` is
+    set so the pool is real even on 1-core CI runners) — the op the
+    worker-death test crashes from inside a pool worker.
+``slow_append``
+    Print ``READY``, then append; exits with code 7 on a clean
+    ``KeyboardInterrupt`` (the SIGTERM test asserts that code).
+``hold_lock``
+    Take the writer lock, print ``LOCKED``, hold it for ``ARG``
+    seconds, release, exit 0.
+``append_wait``
+    Append one table with ``lock_timeout=ARG`` — the waiting side of
+    the two-process lock-retry test.
+
+Tables are deterministic functions of their seeds, so a reference run
+of the same op on a copy of the store produces the exact committed
+post-state the harness compares against.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.datasearch.table import Table
+from repro.experiments.runner import method_registry
+from repro.store import LakeStore
+
+ROWS = 24
+
+
+def make_tables(prefix: str, count: int, seed: int) -> list[Table]:
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = [f"k{j}" for j in range(ROWS)]
+        tables.append(
+            Table(
+                f"{prefix}{i}",
+                keys,
+                {"v": rng.normal(size=ROWS), "w": rng.normal(size=ROWS)},
+            )
+        )
+    return tables
+
+
+def main() -> int:
+    op, store_dir = sys.argv[1], sys.argv[2]
+    arg = sys.argv[3] if len(sys.argv) > 3 else None
+
+    if op == "seed":
+        sketcher = method_registry()["WMH"].build(48, 0)
+        store = LakeStore.create(store_dir, sketcher)
+        store.append(make_tables("base", 3, seed=1))
+        store.append(make_tables("base", 1, seed=5))  # tombstones base0
+        store.close()
+        return 0
+
+    store = LakeStore.open(store_dir)
+    try:
+        if op == "append":
+            store.append(make_tables("new", 2, seed=2))
+        elif op == "replace":
+            store.append(make_tables("base", 2, seed=3))
+        elif op == "compact":
+            store.compact()
+        elif op == "append_pooled":
+            store.append(
+                make_tables("pooled", 4, seed=4), workers=2, chunk_bytes=1
+            )
+        elif op == "slow_append":
+            print("READY", flush=True)
+            try:
+                store.append(make_tables("slow", 2, seed=6))
+            except KeyboardInterrupt:
+                return 7
+        elif op == "hold_lock":
+            with store._writer_lock(op="hold"):
+                print("LOCKED", flush=True)
+                time.sleep(float(arg or "1.0"))
+        elif op == "append_wait":
+            store.append(
+                make_tables("waited", 1, seed=7),
+                lock_timeout=float(arg) if arg else None,
+            )
+        else:
+            print(f"unknown op {op!r}", file=sys.stderr)
+            return 2
+    finally:
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

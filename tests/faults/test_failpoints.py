@@ -1,0 +1,151 @@
+"""Unit tests for the failpoint registry itself."""
+
+from __future__ import annotations
+
+import io
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.store  # noqa: F401  (imports register the store failpoints)
+from repro import faults
+from repro.faults.registry import FailpointSpec, _parse_env
+
+from .conftest import REPO_SRC
+
+
+class TestParseSpec:
+    def test_plain_modes(self):
+        for mode in ("raise", "crash", "torn", "sleep"):
+            spec = faults.parse_spec("x", mode)
+            assert (spec.mode, spec.after) == (mode, 1)
+
+    def test_arg_and_trigger_count(self):
+        spec = faults.parse_spec("x", "sleep:0.25@3")
+        assert spec == FailpointSpec(name="x", mode="sleep", arg=0.25, after=3)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            faults.parse_spec("x", "explode")
+
+    def test_zero_trigger_rejected(self):
+        with pytest.raises(ValueError, match="@N"):
+            faults.parse_spec("x", "raise@0")
+
+    def test_env_grammar(self):
+        specs = _parse_env("a.b=raise, c.d=torn:0.3@2 ,")
+        assert set(specs) == {"a.b", "c.d"}
+        assert specs["c.d"].arg == 0.3 and specs["c.d"].after == 2
+
+    def test_env_grammar_requires_equals(self):
+        with pytest.raises(ValueError, match="name=mode"):
+            _parse_env("just-a-name")
+
+
+class TestRegistry:
+    def test_store_failpoints_registered_at_import(self):
+        known = faults.registered_failpoints()
+        for name in (
+            "shard.atomic.write",
+            "shard.stream.finalize.rename",
+            "manifest.save.write",
+            "lake.commit.shard_durable",
+            "lake.compact.manifest_saved",
+            "parallel.stream.chunk",
+            "io.write_chunk_rows",
+        ):
+            assert name in known, name
+
+    def test_unknown_name_rejected_on_arming(self):
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            with faults.failpoints("no.such.point=raise"):
+                pass
+
+    def test_disabled_failpoint_is_noop(self):
+        faults.failpoint("shard.atomic.write")  # must not raise
+
+    def test_raise_mode_fires(self):
+        with faults.failpoints("shard.atomic.write=raise"):
+            with pytest.raises(faults.FaultInjected, match="shard.atomic.write"):
+                faults.failpoint("shard.atomic.write")
+
+    def test_trigger_count_passes_early_hits(self):
+        with faults.failpoints("shard.atomic.write=raise@3"):
+            faults.failpoint("shard.atomic.write")
+            faults.failpoint("shard.atomic.write")
+            with pytest.raises(faults.FaultInjected):
+                faults.failpoint("shard.atomic.write")
+            # one-shot: spent after firing
+            faults.failpoint("shard.atomic.write")
+
+    def test_sleep_mode_delays_and_continues(self):
+        with faults.failpoints("shard.atomic.write=sleep:0.05"):
+            t0 = time.perf_counter()
+            faults.failpoint("shard.atomic.write")
+            assert time.perf_counter() - t0 >= 0.05
+
+    def test_nested_scopes_restore(self):
+        with faults.failpoints("shard.atomic.write=raise"):
+            with faults.failpoints("manifest.save.write=raise"):
+                assert set(faults.active_failpoints()) == {
+                    "shard.atomic.write",
+                    "manifest.save.write",
+                }
+            assert set(faults.active_failpoints()) == {"shard.atomic.write"}
+        assert faults.active_failpoints() == {}
+
+
+class TestTornWrite:
+    def test_disabled_is_plain_write(self):
+        buffer = io.BytesIO()
+        faults.torn_write("shard.atomic.write", buffer, b"abcdef")
+        assert buffer.getvalue() == b"abcdef"
+
+    def test_raise_mode_fires_before_any_byte(self):
+        buffer = io.BytesIO()
+        with faults.failpoints("shard.atomic.write=raise"):
+            with pytest.raises(faults.FaultInjected):
+                faults.torn_write("shard.atomic.write", buffer, b"abcdef")
+        assert buffer.getvalue() == b""
+
+    def test_torn_mode_leaves_durable_prefix(self, tmp_path):
+        """Subprocess check: torn mode writes a strict prefix, fsyncs,
+        and exits with the crash code."""
+        target = tmp_path / "torn.bin"
+        code = (
+            "from repro import faults\n"
+            f"with open({str(target)!r}, 'wb') as h:\n"
+            "    faults.torn_write('manifest.save.write', h, b'x' * 100)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env[faults.FAILPOINTS_ENV] = "manifest.save.write=torn:0.25"
+        result = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True
+        )
+        assert result.returncode == faults.CRASH_EXIT_CODE
+        assert target.read_bytes() == b"x" * 25
+
+
+class TestEnvArming:
+    def test_env_arms_at_import(self):
+        code = (
+            "from repro import faults\n"
+            "assert faults.active_failpoints() == "
+            "{'manifest.load': 'raise'}, faults.active_failpoints()\n"
+            "try:\n"
+            "    faults.failpoint('manifest.load')\n"
+            "except faults.FaultInjected:\n"
+            "    raise SystemExit(0)\n"
+            "raise SystemExit(3)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env[faults.FAILPOINTS_ENV] = "manifest.load=raise"
+        result = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr

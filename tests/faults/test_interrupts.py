@@ -1,0 +1,182 @@
+"""Clean interruption (SIGTERM / ctrl-C) and writer-lock contention."""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import faults, obs
+from repro.store import LakeStore, StoreError
+from repro.store.lake import _resolve_lock_timeout
+
+from .conftest import (
+    DRIVER,
+    clone_store,
+    fingerprint,
+    run_driver,
+    seed_store,
+)
+from .test_recovery import fresh_sketcher, make_tables
+
+
+def _spawn_driver(op, store_dir, *, failpoints=None, arg=None, env_extra=None):
+    import os
+
+    env = dict(os.environ)
+    from .conftest import REPO_SRC
+
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.FAILPOINTS_ENV, None)
+    if failpoints is not None:
+        env[faults.FAILPOINTS_ENV] = failpoints
+    if env_extra:
+        env.update(env_extra)
+    cmd = [sys.executable, str(DRIVER), op, str(store_dir)]
+    if arg is not None:
+        cmd.append(str(arg))
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+
+
+def _wait_for_line(proc, marker, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if marker in line:
+            return
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"driver exited {proc.returncode} before {marker!r}: "
+                f"{proc.stderr.read()}"
+            )
+    raise AssertionError(f"no {marker!r} within {timeout}s")
+
+
+class TestSigterm:
+    def test_sigterm_mid_ingest_aborts_cleanly(self, tmp_path):
+        """TERM during a streamed append: the writer aborts, the temp
+        file disappears, and the store is exactly the pre state."""
+        pre = seed_store(tmp_path)
+        pre_print = fingerprint(pre)
+        vic = clone_store(pre, tmp_path / "vic")
+        # The first chunk stalls for 30 s at the sleep failpoint, which
+        # guarantees TERM lands while the shard tmp exists.
+        proc = _spawn_driver(
+            "slow_append", vic, failpoints="parallel.stream.chunk=sleep:30"
+        )
+        try:
+            _wait_for_line(proc, "READY")
+            time.sleep(0.3)  # let the append reach the sleeping chunk
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 7, proc.stderr.read()
+
+        assert not list(vic.glob("*.tmp"))
+        assert fingerprint(vic) == pre_print
+        with LakeStore.open(vic) as store:
+            assert store.orphaned_files() == []
+
+
+class TestWriterLockRetry:
+    def test_two_processes_serialize_with_timeout(self, tmp_path):
+        """Writer B waits out writer A's lock instead of dying."""
+        pre = seed_store(tmp_path)
+        holder = _spawn_driver("hold_lock", pre, arg="1.5")
+        try:
+            _wait_for_line(holder, "LOCKED")
+            result = run_driver("append_wait", pre, arg="30")
+            assert result.returncode == 0, result.stderr
+        finally:
+            holder.wait(timeout=60)
+        with LakeStore.open(pre) as store:
+            assert "waited0" in store.table_names()
+
+    def test_fail_fast_without_timeout(self, tmp_path):
+        pre = seed_store(tmp_path)
+        holder = _spawn_driver("hold_lock", pre, arg="3.0")
+        try:
+            _wait_for_line(holder, "LOCKED")
+            result = run_driver("append_wait", pre)
+            assert result.returncode != 0
+            assert "another process holds the writer lock" in result.stderr
+        finally:
+            holder.terminate()
+            holder.wait(timeout=60)
+
+    def test_backoff_retries_are_counted(self, tmp_path):
+        """In-process contention: flock conflicts across two handles of
+        the same process too, so a thread can hold the lock briefly
+        while append retries with backoff."""
+        store = LakeStore.create(tmp_path / "lake", fresh_sketcher())
+        store.append(make_tables(1))
+
+        import fcntl
+
+        handle = open(tmp_path / "lake" / ".lock", "a+")
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        release = threading.Timer(0.4, lambda: handle.close())
+        registry = obs.get_registry()
+        was_enabled = obs.metrics_enabled()
+        obs.enable_metrics(True)
+        retries_before = registry.counter_value("store.lock_retries")
+        try:
+            release.start()
+            store.append(make_tables(1, prefix="late"), lock_timeout=30.0)
+        finally:
+            obs.enable_metrics(was_enabled)
+            release.cancel()
+            if not handle.closed:
+                handle.close()
+            store.close()
+        assert registry.counter_value("store.lock_retries") > retries_before
+
+    def test_zero_timeout_fails_immediately(self, tmp_path):
+        store = LakeStore.create(tmp_path / "lake", fresh_sketcher())
+        store.append(make_tables(1))
+
+        import fcntl
+
+        handle = open(tmp_path / "lake" / ".lock", "a+")
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            with pytest.raises(StoreError, match="writer lock"):
+                store.append(make_tables(1, prefix="late"))
+        finally:
+            handle.close()
+            store.close()
+
+    def test_env_timeout_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_TIMEOUT", raising=False)
+        assert _resolve_lock_timeout(None) == 0.0
+        assert _resolve_lock_timeout(2.5) == 2.5
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT", "1.5")
+        assert _resolve_lock_timeout(None) == 1.5
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT", "soon")
+        with pytest.raises(StoreError, match="REPRO_LOCK_TIMEOUT"):
+            _resolve_lock_timeout(None)
+
+
+class TestKeyboardInterruptPath:
+    def test_raise_failpoint_triggers_abort_cleanup(self, tmp_path):
+        """The exception path (any BaseException, KeyboardInterrupt
+        included) aborts the stream writer and leaves no temp file."""
+        store = LakeStore.create(tmp_path / "lake", fresh_sketcher())
+        store.append(make_tables(2))
+        with faults.failpoints("parallel.stream.chunk=raise"):
+            with pytest.raises(faults.FaultInjected):
+                store.append(make_tables(2, prefix="doomed"))
+        assert not list((tmp_path / "lake").glob("*.tmp"))
+        assert store.orphaned_files() == []
+        # The store still works after the failed append.
+        store.append(make_tables(1, prefix="after"))
+        store.close()

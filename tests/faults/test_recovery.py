@@ -1,0 +1,280 @@
+"""fsck / repair / salvage / degraded-open behavior.
+
+The acceptance bar: after a shard is bit-flipped, ``repair`` restores
+the store to a servable, writable, fsck-clean state whose surviving
+tables rank **bit-identically** to a from-scratch ingest of the same
+tables — corruption costs exactly the data that was corrupted, nothing
+more.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.table import Table
+from repro.store import (
+    LakeStore,
+    Manifest,
+    ManifestError,
+    QuerySession,
+    StoreError,
+    fsck,
+    repair,
+)
+from repro.store.cli import main as cli_main
+from repro.store.manifest import previous_manifest_path
+from repro.store.shard import shard_filename
+
+
+def make_tables(count=4, seed=0, rows=40, prefix="table"):
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = [f"k{j}" for j in rng.choice(200, size=rows, replace=False)]
+        tables.append(
+            Table(f"{prefix}{i}", keys, {"alpha": rng.normal(size=rows)})
+        )
+    return tables
+
+
+def make_query(seed=99, rows=50):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{j}" for j in rng.choice(200, size=rows, replace=False)]
+    return Table("query", keys, {"signal": rng.normal(size=rows)})
+
+
+def fresh_sketcher():
+    return WeightedMinHash(m=48, seed=5, L=1 << 16)
+
+
+def hit_tuples(hits):
+    return [
+        (h.table_name, h.column, h.score, h.join_size, h.containment)
+        for h in hits
+    ]
+
+
+def bit_flip(path):
+    data = bytearray(path.read_bytes())
+    data[-5] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def two_shard_store(tmp_path):
+    """Shard 1: table0..table3; shard 2: extra0..extra1."""
+    store = LakeStore.create(tmp_path / "lake", fresh_sketcher())
+    store.append(make_tables(4))
+    store.append(make_tables(2, seed=7, prefix="extra"))
+    store.close()
+    return tmp_path / "lake"
+
+
+class TestFsck:
+    def test_clean_store(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        report = fsck(lake)
+        assert report["clean"]
+        assert report["manifest"] == "ok"
+        assert set(report["shards"].values()) == {"ok"}
+        assert report["index"] == "ok"
+        assert report["orphans"] == []
+
+    def test_classifies_corrupt_shard(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        bit_flip(lake / shard_filename(2))
+        report = fsck(lake)
+        assert not report["clean"]
+        assert report["shards"][shard_filename(1)] == "ok"
+        assert report["shards"][shard_filename(2)].startswith("corrupt")
+
+    def test_classifies_missing_shard_and_orphan(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        (lake / shard_filename(2)).unlink()
+        (lake / "shard-000099.rpro").write_bytes(b"leftover")
+        (lake / "shard-000100.rpro.tmp").write_bytes(b"stale")
+        report = fsck(lake)
+        assert report["shards"][shard_filename(2)] == "missing"
+        assert report["orphans"] == [
+            "shard-000099.rpro",
+            "shard-000100.rpro.tmp",
+        ]
+
+    def test_classifies_torn_manifest(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        manifest_path = lake / "manifest.json"
+        manifest_path.write_bytes(manifest_path.read_bytes()[:37])
+        report = fsck(lake)
+        assert not report["clean"]
+        assert report["manifest"] == "recovered-previous"
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(StoreError, match="not a directory"):
+            fsck(tmp_path / "nope")
+
+
+class TestDegradedOpen:
+    def test_torn_manifest_falls_back_to_previous_generation(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        manifest_path = lake / "manifest.json"
+        assert previous_manifest_path(manifest_path).is_file()
+        with pytest.raises(ManifestError, match="malformed"):
+            manifest_path.write_text("{ torn")
+            Manifest.load(manifest_path)
+        with LakeStore.open(lake) as store:
+            assert any("fell back" in d for d in store.degraded)
+            # The previous generation predates the second append.
+            assert sorted(store.table_names()) == [
+                "table0",
+                "table1",
+                "table2",
+                "table3",
+            ]
+
+    def test_salvage_serves_survivors_read_only(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        bit_flip(lake / shard_filename(1))
+        with pytest.raises(StoreError, match="corrupt shard"):
+            LakeStore.open(lake)
+        with LakeStore.open(lake, salvage=True) as store:
+            assert sorted(store.table_names()) == ["extra0", "extra1"]
+            assert store.stats()["read_only"]
+            with pytest.raises(StoreError, match="salvage"):
+                store.append(make_tables(1, prefix="blocked"))
+
+    def test_degraded_open_counts_scan_fallback(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        record = json.loads((lake / "manifest.json").read_text())["index"]
+        (lake / record["file"]).unlink()
+        registry = obs.get_registry()
+        was_enabled = obs.metrics_enabled()
+        obs.enable_metrics(True)
+        try:
+            before = registry.counter_value("query.route.scan_fallback")
+            fallback_before = registry.counter_value(
+                "store.recovery.index_fallback"
+            )
+            with LakeStore.open(lake) as store:
+                assert any("missing LSH index" in d for d in store.degraded)
+            assert (
+                registry.counter_value("query.route.scan_fallback")
+                == before + 1
+            )
+            assert (
+                registry.counter_value("store.recovery.index_fallback")
+                == fallback_before + 1
+            )
+        finally:
+            obs.enable_metrics(was_enabled)
+
+
+class TestRepair:
+    def test_healthy_store_is_untouched(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        before = (lake / "manifest.json").read_bytes()
+        report = repair(lake)
+        assert report["quarantined"] == []
+        assert report["index"] == "kept"
+        assert not report["manifest_restored"]
+        assert (lake / "manifest.json").read_bytes() == before
+
+    def test_acceptance_bit_flipped_shard(self, tmp_path):
+        """Repair a corrupted store; survivors rank bit-identically to
+        a from-scratch ingest of the same tables."""
+        lake = two_shard_store(tmp_path)
+        bit_flip(lake / shard_filename(1))
+
+        report = repair(lake)
+        assert report["quarantined"][0] == shard_filename(1)
+        assert report["tables_lost"] == [f"table{i}" for i in range(4)]
+        assert (lake / "quarantine" / shard_filename(1)).is_file()
+        assert fsck(lake)["clean"]
+
+        query = make_query()
+        with LakeStore.open(lake) as store:
+            assert store.degraded == []
+            hits = QuerySession(store, min_containment=0.0).search(
+                query, "signal", candidates="lsh"
+            )
+            # Writable again: repair lifted the salvage restriction.
+            store.append(make_tables(1, seed=11, prefix="post"))
+
+        fresh = LakeStore.create(tmp_path / "fresh", fresh_sketcher())
+        fresh.append(make_tables(2, seed=7, prefix="extra"))
+        expected = QuerySession(fresh, min_containment=0.0).search(
+            query, "signal", candidates="lsh"
+        )
+        fresh.close()
+        assert hit_tuples(hits) == hit_tuples(expected)
+
+    def test_resurrects_replaced_table_from_older_span(self, tmp_path):
+        """Losing the shard that replaced a table brings back the old
+        version instead of nothing."""
+        store = LakeStore.create(tmp_path / "lake", fresh_sketcher())
+        store.append(make_tables(3))
+        store.append(make_tables(1, seed=9))  # replaces table0
+        store.close()
+        bit_flip(tmp_path / "lake" / shard_filename(2))
+        report = repair(tmp_path / "lake")
+        assert report["tables_resurrected"] == ["table0"]
+        assert report["tables_lost"] == []
+        with LakeStore.open(tmp_path / "lake") as reopened:
+            assert sorted(reopened.table_names()) == [
+                "table0",
+                "table1",
+                "table2",
+            ]
+
+    def test_restores_torn_manifest(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        (lake / "manifest.json").write_text("{ torn")
+        report = repair(lake)
+        assert report["manifest_restored"]
+        assert fsck(lake)["clean"]
+        with LakeStore.open(lake) as store:
+            assert store.degraded == []
+
+    def test_sweeps_orphans_and_stale_tmp(self, tmp_path):
+        lake = two_shard_store(tmp_path)
+        (lake / "shard-000042.rpro").write_bytes(b"interrupted append")
+        (lake / "shard-000043.rpro.tmp").write_bytes(b"mid-stream death")
+        with LakeStore.open(lake) as store:
+            assert store.orphaned_files() == [
+                "shard-000042.rpro",
+                "shard-000043.rpro.tmp",
+            ]
+        report = repair(lake)
+        assert "shard-000042.rpro" in report["quarantined"]
+        assert report["tmp_removed"] == ["shard-000043.rpro.tmp"]
+        assert (lake / "quarantine" / "shard-000042.rpro").is_file()
+        assert not (lake / "shard-000043.rpro.tmp").exists()
+        assert fsck(lake)["clean"]
+
+    def test_unrepairable_store_raises(self, tmp_path):
+        lake = tmp_path / "lake"
+        lake.mkdir()
+        (lake / "manifest.json").write_text("{ torn")
+        with pytest.raises(StoreError, match="no readable manifest"):
+            repair(lake)
+
+
+class TestCli:
+    def test_fsck_exit_codes(self, tmp_path, capsys):
+        lake = two_shard_store(tmp_path)
+        assert cli_main(["fsck", str(lake)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"]
+        bit_flip(lake / shard_filename(1))
+        assert cli_main(["fsck", str(lake)]) == 1
+
+    def test_repair_then_fsck_clean(self, tmp_path, capsys):
+        lake = two_shard_store(tmp_path)
+        bit_flip(lake / shard_filename(1))
+        assert cli_main(["repair", str(lake)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["quarantined"]
+        assert cli_main(["fsck", str(lake)]) == 0

@@ -1,0 +1,169 @@
+"""Crash-consistency torture: kill the victim at every failpoint.
+
+The invariant, for every (operation, failpoint) pair: after the victim
+process is killed at the armed point, reopening the store serves
+either the exact pre-crash committed state or the exact post-crash
+committed state — **bit-identically** (same tables, same sketch rows),
+never a hybrid and never a corrupt read.  On top of that, ``repair``
+must bring the directory back to an fsck-clean state without changing
+which of the two states is served.
+
+The quick matrix (always on) covers the commit protocol's delicate
+windows; ``REPRO_TORTURE=full`` enumerates **every** registered
+failpoint against every mutating op — the CI ``faults`` job runs that
+on the nightly schedule.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.store  # noqa: F401  (imports register the store failpoints)
+from repro import faults
+from repro.store import LakeStore, fsck, repair
+
+from .conftest import clone_store, fingerprint, run_driver, seed_store
+
+OPS = ("append", "replace", "compact")
+
+#: The always-on matrix: every window of the shard-first /
+#: manifest-last protocol, the torn-capable byte writes, and the
+#: streamed-writer finalize sequence.
+QUICK = [
+    ("append", "lake.append.stream=crash"),
+    ("append", "shard.stream.write_rows=crash"),
+    ("append", "shard.stream.finalize.crc=crash"),
+    ("append", "shard.stream.finalize.rename=crash"),
+    ("append", "lake.commit.shard_durable=crash"),
+    ("append", "lake.commit.index_emitted=crash"),
+    ("append", "lake.commit.manifest_saved=crash"),
+    ("append", "shard.atomic.write=torn"),
+    ("append", "manifest.save.write=torn"),
+    ("append", "manifest.save.rename=crash"),
+    ("replace", "lake.commit.manifest_saved=crash"),
+    ("compact", "lake.compact.shard_durable=crash"),
+    ("compact", "lake.compact.manifest_saved=crash"),
+    ("compact", "shard.atomic.write=torn"),
+]
+
+
+def _full_matrix() -> list[tuple[str, str]]:
+    pairs = []
+    for op in OPS:
+        for name in faults.registered_failpoints():
+            mode = "torn" if name.endswith(".write") else "crash"
+            pairs.append((op, f"{name}={mode}"))
+    return pairs
+
+
+def check_pre_or_post(tmp_path, op: str, spec: str) -> None:
+    pre = seed_store(tmp_path)
+    pre_print = fingerprint(pre)
+
+    # Reference: the same op, no faults, on a copy — ops are
+    # deterministic, so this IS the committed post state.
+    ref = clone_store(pre, tmp_path / "ref")
+    result = run_driver(op, ref)
+    assert result.returncode == 0, result.stderr
+    post_print = fingerprint(ref)
+
+    vic = clone_store(pre, tmp_path / "vic")
+    result = run_driver(op, vic, failpoints=spec)
+    if result.returncode == 0:
+        # The armed point is not on this op's path: plain post state.
+        assert fingerprint(vic) == post_print, (op, spec)
+        return
+    assert result.returncode == faults.CRASH_EXIT_CODE, (
+        op,
+        spec,
+        result.returncode,
+        result.stderr,
+    )
+
+    served = fingerprint(vic)
+    assert served in (pre_print, post_print), (
+        f"{op} killed at {spec}: served state is a hybrid "
+        f"(matches neither pre nor post)"
+    )
+
+    # Orphan accounting: everything the crash left behind must be
+    # classified (orphan files, a recoverable manifest) — and repair
+    # must restore fsck-clean without changing the served state.
+    repair(vic)
+    report = fsck(vic)
+    assert report["clean"], (op, spec, report["problems"])
+    assert fingerprint(vic) == served, (op, spec)
+
+
+@pytest.mark.parametrize(("op", "spec"), QUICK)
+def test_quick_matrix(tmp_path, op, spec):
+    check_pre_or_post(tmp_path, op, spec)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_TORTURE", "") != "full",
+    reason="full enumeration runs with REPRO_TORTURE=full (CI nightly)",
+)
+@pytest.mark.parametrize(("op", "spec"), _full_matrix())
+def test_full_enumeration(tmp_path, op, spec):
+    check_pre_or_post(tmp_path, op, spec)
+
+
+def test_worker_death_leaves_pre_state(tmp_path):
+    """A pool worker dying mid-chunk must not strand the shard tmp.
+
+    The driver's pooled append gets ``parallel.stream.chunk=crash``:
+    the worker hard-exits, the pool breaks, the append path aborts the
+    stream writer — pre state, no temp files, nothing orphaned.
+    """
+    pre = seed_store(tmp_path)
+    pre_print = fingerprint(pre)
+    vic = clone_store(pre, tmp_path / "vic")
+    result = run_driver(
+        "append_pooled",
+        vic,
+        failpoints="parallel.stream.chunk=crash",
+        env_extra={"REPRO_INGEST_NO_CLAMP": "1"},
+    )
+    assert result.returncode not in (0, faults.CRASH_EXIT_CODE), result.stdout
+    assert fingerprint(vic) == pre_print
+    assert not list(vic.glob("*.tmp"))
+    with LakeStore.open(vic) as store:
+        assert store.orphaned_files() == []
+
+
+def test_fault_free_runs_are_deterministic(tmp_path):
+    """Two reference runs of the same op land byte-identical states —
+    the property the pre-or-post comparison relies on."""
+    pre = seed_store(tmp_path)
+    one = clone_store(pre, tmp_path / "one")
+    two = clone_store(pre, tmp_path / "two")
+    for target in (one, two):
+        result = run_driver("append", target)
+        assert result.returncode == 0, result.stderr
+    assert fingerprint(one) == fingerprint(two)
+    manifest_one = (one / "manifest.json").read_bytes()
+    manifest_two = (two / "manifest.json").read_bytes()
+    assert manifest_one == manifest_two
+
+
+def test_crashed_append_is_invisible_then_retriable(tmp_path):
+    """After a mid-commit crash the op can simply be retried: the
+    retry serves exactly the reference post state."""
+    pre = seed_store(tmp_path)
+    ref = clone_store(pre, tmp_path / "ref")
+    result = run_driver("append", ref)
+    assert result.returncode == 0, result.stderr
+    post_print = fingerprint(ref)
+
+    vic = clone_store(pre, tmp_path / "vic")
+    result = run_driver(
+        "append", vic, failpoints="shard.stream.finalize.rename=crash"
+    )
+    assert result.returncode == faults.CRASH_EXIT_CODE
+    repair(vic)  # clears the stranded tmp
+    result = run_driver("append", vic)
+    assert result.returncode == 0, result.stderr
+    assert fingerprint(vic) == post_print

@@ -352,9 +352,7 @@ class TestCrashSafety:
         shard_path = tmp_path / "lake" / shard_filename(1)
         data = shard_path.read_bytes()
         shard_path.write_bytes(data[: len(data) // 2])
-        from repro.io.serialize import SerializationError
-
-        with pytest.raises(SerializationError, match="truncated shard"):
+        with pytest.raises(StoreError, match="truncated shard"):
             LakeStore.open(tmp_path / "lake")
 
     def test_missing_referenced_shard_rejected(self, tmp_path):
@@ -375,9 +373,7 @@ class TestCrashSafety:
         data = bytearray(shard_path.read_bytes())
         data[-1] ^= 0xFF
         shard_path.write_bytes(bytes(data))
-        from repro.io.serialize import SerializationError
-
-        with pytest.raises(SerializationError, match="checksum"):
+        with pytest.raises(StoreError, match="checksum"):
             LakeStore.open(tmp_path / "lake")
 
 

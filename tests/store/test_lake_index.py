@@ -24,7 +24,7 @@ from repro.io.serialize import (
 )
 from repro.mips.lsh import SignatureLSH
 from repro.sketches.jl import JohnsonLindenstrauss
-from repro.store import LakeStore, QuerySession, StoreError
+from repro.store import LakeStore, QuerySession
 
 
 def make_tables(count=8, seed=0, rows=40, prefix="table"):
@@ -241,35 +241,45 @@ class TestOpenValidation:
         assert data["version"] == 2
         assert data["index"]["tables"] == 5
 
-    def test_index_checksum_bit_flip_rejected(self, tmp_path):
+    def test_index_checksum_bit_flip_degrades_open(self, tmp_path):
+        """A corrupt index is an accelerator lost, not data: the open
+        succeeds, drops the index, and queries serve from a lazy
+        in-memory rebuild with identical rankings."""
         with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
             store.append(make_tables(4))
             index_file = index_files(tmp_path / "lake")[0]
+            session = QuerySession(store, min_containment=0.0)
+            query = make_query()
+            expected = session.search(query, "signal", candidates="lsh")
         path = tmp_path / "lake" / index_file
         corrupted = bytearray(path.read_bytes())
         corrupted[-5] ^= 0x01
         path.write_bytes(bytes(corrupted))
-        with pytest.raises(StoreError, match="corrupt LSH index"):
-            LakeStore.open(tmp_path / "lake")
+        with LakeStore.open(tmp_path / "lake") as store:
+            assert any("corrupt LSH index" in d for d in store.degraded)
+            session = QuerySession(store, min_containment=0.0)
+            hits = session.search(query, "signal", candidates="lsh")
+        assert hit_tuples(hits) == hit_tuples(expected)
 
-    def test_missing_index_file_rejected(self, tmp_path):
+    def test_missing_index_file_degrades_open(self, tmp_path):
         with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
             store.append(make_tables(4))
             index_file = index_files(tmp_path / "lake")[0]
         (tmp_path / "lake" / index_file).unlink()
-        with pytest.raises(StoreError, match="missing LSH index"):
-            LakeStore.open(tmp_path / "lake")
+        with LakeStore.open(tmp_path / "lake") as store:
+            assert any("missing LSH index" in d for d in store.degraded)
+            assert len(store) == 4
 
-    def test_catalog_mismatch_rejected(self, tmp_path):
+    def test_catalog_mismatch_degrades_open(self, tmp_path):
         with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
             store.append(make_tables(4))
-            index_file = index_files(tmp_path / "lake")[0]
         manifest_path = tmp_path / "lake" / "manifest.json"
         data = json.loads(manifest_path.read_text())
         data["index"]["tables"] = 3
         manifest_path.write_text(json.dumps(data))
-        with pytest.raises(StoreError, match="does not match"):
-            LakeStore.open(tmp_path / "lake")
+        with LakeStore.open(tmp_path / "lake") as store:
+            assert any("does not match" in d for d in store.degraded)
+            assert len(store) == 4
 
     def test_orphaned_index_generation_ignored_and_listed(self, tmp_path):
         with LakeStore.create(tmp_path / "lake", fresh_sketcher()) as store:
