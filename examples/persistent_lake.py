@@ -30,7 +30,13 @@ example shows the durable version of that promise with
 10. **corrupt a shard on disk and repair it** — ``fsck`` classifies the
     damage, ``repair`` quarantines the bad shard (dropping exactly the
     tables it held, nothing more), and the repaired store serves the
-    survivors with rankings identical to before the corruption.
+    survivors with rankings identical to before the corruption;
+11. **serve the store over HTTP** (``repro.serve``): start a
+    ``QueryServer``, query it with the retrying ``ServeClient`` and
+    verify the served hits match the direct session bit-for-bit, then
+    stop the server mid-conversation, restart it on the same port, and
+    let the client's backoff-retry recover the identical answer — the
+    resilience contract of the serving tier in miniature.
 
 Run:  python examples/persistent_lake.py
 """
@@ -45,6 +51,7 @@ import numpy as np
 from repro import WeightedMinHash, obs
 from repro.datasearch import DatasetSearch, SketchIndex, Table
 from repro.parallel import SourceTable
+from repro.serve import QueryServer, ServeClient, ServerConfig
 from repro.store import LakeStore, QuerySession, fsck, repair
 
 
@@ -267,6 +274,36 @@ def main() -> None:
             )
         assert healed == expected
         print("repaired store ranks the survivors identically: True")
+
+        # --- served queries: the HTTP tier, kill/restart included ----
+        # The query service pins snapshot-consistent generations, sheds
+        # typed 503s under load, and — the part shown here — costs a
+        # retrying client nothing but a backoff when the server dies:
+        # queries are pure reads over committed state, so the restarted
+        # server answers bit-identically.
+        with QueryServer(path, ServerConfig()) as server:
+            port = server.port
+            client = ServeClient(server.url)
+            health = client.healthz()
+            print(
+                f"\nserving at {server.url}: status={health['status']}, "
+                f"generation={health['generation']}"
+            )
+            served = client.query(taxi, "rides", top_k=3)
+        assert [
+            (h["table"], h["column"], h["score"], h["join_size"])
+            for h in served["hits"]
+        ] == [(h.table_name, h.column, h.score, h.join_size) for h in healed]
+        print("served hits identical to the direct session: True")
+
+        # Server gone (the ``with`` closed it) — the client's next query
+        # would only see connection errors.  Restart on the same port:
+        # the client retries through and recovers the same answer.
+        with QueryServer(path, ServerConfig(port=port)) as server:
+            client.wait_ready()
+            recovered = client.query(taxi, "rides", top_k=3)
+        assert recovered["hits"] == served["hits"]
+        print("after kill + restart, the retried answer is identical: True")
 
 
 if __name__ == "__main__":

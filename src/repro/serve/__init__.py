@@ -1,0 +1,46 @@
+"""``repro.serve`` — the resilient concurrent query service.
+
+A stdlib-only long-lived HTTP server over
+:class:`~repro.store.session.QuerySession`, built robustness-first:
+
+* **snapshot-consistent reads** — every request pins one committed
+  manifest generation (:mod:`repro.serve.snapshot`); a background
+  reloader swaps sessions atomically when a writer commits, so
+  concurrent ``append``/``compact`` never yields a hybrid result;
+* **admission control & load shedding** — a bounded queue with
+  per-request deadlines and a queue-wait budget, shedding typed 503s
+  and timing out typed 504s (:mod:`repro.serve.admission`); a
+  micro-batcher coalesces queued queries into one ``search_many``
+  bank traversal;
+* **graceful degradation** — a damaged store is served salvaged and
+  read-only with ``degraded``/``warnings`` surfaced per response and
+  on ``/healthz``, never a crash;
+* **retry client & graceful drain** — :class:`~repro.serve.client.
+  ServeClient` retries sheds and connection resets with jittered
+  exponential backoff under idempotent request ids; SIGTERM drains
+  in-flight work before exit (``python -m repro.serve``);
+* **failpoints** — ``serve.request`` / ``serve.batch`` /
+  ``serve.snapshot_swap`` / ``serve.drain`` join the
+  :mod:`repro.faults` registry so torture tests can kill the service
+  at its delicate points and assert clients still recover
+  bit-identical answers.
+"""
+
+from repro.serve.admission import AdmissionQueue, MicroBatcher, ServeRequest
+from repro.serve.client import RetriesExhausted, ServeClient, ServeError, table_payload
+from repro.serve.server import QueryServer, ServerConfig
+from repro.serve.snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "AdmissionQueue",
+    "MicroBatcher",
+    "QueryServer",
+    "RetriesExhausted",
+    "ServeClient",
+    "ServeError",
+    "ServeRequest",
+    "ServerConfig",
+    "Snapshot",
+    "SnapshotManager",
+    "table_payload",
+]

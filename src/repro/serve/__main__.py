@@ -1,0 +1,105 @@
+"""``python -m repro.serve STORE`` — run the query service.
+
+Prints one ``serving ...`` line (machine-parseable: the URL is the
+second-to-last token) once the socket is bound, then blocks until
+SIGTERM or SIGINT triggers a graceful drain: stop admitting (typed 503
+``draining``), finish in-flight requests under ``--drain-deadline``,
+exit 0 (or 3 when the drain deadline expired with work still queued).
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.serve.server import QueryServer, ServerConfig
+from repro.store.lake import StoreError, is_lake_store
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a sketch lake over HTTP with deadlines, "
+        "shedding, and snapshot-consistent reads.",
+    )
+    parser.add_argument("store", help="lake directory to serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port (printed)"
+    )
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="micro-batch width; 1 disables coalescing",
+    )
+    parser.add_argument("--deadline-ms", type=float, default=10_000.0)
+    parser.add_argument("--queue-wait-ms", type=float, default=2_000.0)
+    parser.add_argument("--drain-deadline", type=float, default=10.0)
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between manifest-generation polls (snapshot swaps)",
+    )
+    parser.add_argument("--min-containment", type=float, default=0.05)
+    parser.add_argument("--candidates", default="scan", choices=("scan", "lsh"))
+    parser.add_argument(
+        "--no-salvage",
+        dest="salvage",
+        action="store_false",
+        help="refuse to serve a store that only opens in salvage mode",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not is_lake_store(args.store):
+        print(f"error: {args.store} is not a lake store", file=sys.stderr)
+        return 1
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        default_deadline_ms=args.deadline_ms,
+        queue_wait_ms=args.queue_wait_ms,
+        drain_deadline_s=args.drain_deadline,
+        poll_interval_s=args.poll_interval,
+        min_containment=args.min_containment,
+        candidates=args.candidates,
+        salvage=args.salvage,
+    )
+    stop = threading.Event()
+
+    def _signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _signal)
+    signal.signal(signal.SIGINT, _signal)
+
+    try:
+        server = QueryServer(args.store, config).start()
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    health = server.health()
+    print(
+        f"serving {args.store} ({health['tables']} tables, "
+        f"generation {health['generation']}, status {health['status']}) "
+        f"at {server.url}",
+        flush=True,
+    )
+    stop.wait()
+    print("draining...", flush=True)
+    clean = server.drain()
+    print(f"drained (clean={clean})", flush=True)
+    return 0 if clean else 3
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""``repro.serve.client`` — the retrying, backoff-aware query client.
+
+The service's contract makes retries safe and productive: queries are
+pure reads with idempotent request ids, a 503 is the server explicitly
+saying "not now" (shed, draining), and a connection reset means the
+server died mid-request — a crash the snapshot-consistent design
+guarantees left no partial state behind.  :class:`ServeClient` therefore
+retries **503s, 500s, and transport failures** with jittered exponential
+backoff (two clients shedding in lockstep would collide on every retry;
+the jitter de-synchronizes them) and gives up immediately on responses
+where retrying cannot help: 400 (the request is wrong) and 504 (the
+caller's deadline budget is spent — only the caller knows whether more
+waiting is acceptable).
+
+A retried request resends the **same** ``X-Request-Id``, so server logs
+and traces can correlate the attempts, and a kill-then-restart of the
+server yields a bit-identical answer on the retry — asserted by the
+serve torture suite.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+import uuid
+from typing import Any
+
+from repro import obs
+from repro.datasearch.table import Table
+
+__all__ = ["ServeError", "RetriesExhausted", "ServeClient", "table_payload"]
+
+
+class ServeError(RuntimeError):
+    """A typed non-retryable server response (400, 404, 504, ...)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+
+
+class RetriesExhausted(ServeError):
+    """Every attempt was shed, errored, or failed to connect."""
+
+    def __init__(self, attempts: int, last: str) -> None:
+        RuntimeError.__init__(
+            self, f"gave up after {attempts} attempt(s); last failure: {last}"
+        )
+        self.status = 0
+        self.code = "retries_exhausted"
+        self.attempts = attempts
+
+
+#: Transport-level failures worth retrying: the server died (reset),
+#: is not up yet / mid-restart (refused, wrapped in URLError), or the
+#: socket timed out.  ``RemoteDisconnected`` is how http.client reports
+#: a server killed between request and response.
+_RETRYABLE_TRANSPORT = (
+    urllib.error.URLError,
+    ConnectionError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    socket.timeout,
+)
+
+
+def table_payload(table: Table) -> dict[str, Any]:
+    """The JSON form of a query table (floats round-trip exactly)."""
+    return {
+        "name": table.name,
+        "keys": list(table.keys),
+        "columns": {name: values.tolist() for name, values in table.columns.items()},
+    }
+
+
+class ServeClient:
+    """A small stdlib HTTP client for one query server."""
+
+    def __init__(
+        self,
+        base_url: str,
+        max_attempts: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        timeout_s: float = 30.0,
+        seed: int | None = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.timeout_s = timeout_s
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # raw HTTP
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # Typed error responses (4xx/5xx) carry a JSON body.
+            try:
+                data = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, OSError):
+                data = {"error": "http", "message": str(exc)}
+            return exc.code, data
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")[1]
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")[1]
+
+    def wait_ready(self, timeout_s: float = 10.0) -> dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (for restarts)."""
+        deadline = time.monotonic() + timeout_s
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except _RETRYABLE_TRANSPORT as exc:
+                last = exc
+                time.sleep(0.05)
+        raise RetriesExhausted(0, f"server not ready in {timeout_s}s: {last}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        table: Table,
+        column: str,
+        top_k: int = 10,
+        by: str = "correlation",
+        candidates: str | None = None,
+        deadline_ms: float | None = None,
+        request_id: str | None = None,
+        max_attempts: int | None = None,
+    ) -> dict[str, Any]:
+        """Run one query with retries; returns the response payload.
+
+        Raises :class:`ServeError` on a non-retryable typed response
+        and :class:`RetriesExhausted` when every attempt failed with a
+        retryable condition.
+        """
+        payload: dict[str, Any] = {
+            "table": table_payload(table),
+            "column": column,
+            "top_k": top_k,
+            "by": by,
+        }
+        if candidates is not None:
+            payload["candidates"] = candidates
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        request_id = request_id or f"c-{uuid.uuid4().hex[:12]}"
+        attempts = self.max_attempts if max_attempts is None else max_attempts
+        last = "no attempt made"
+        for attempt in range(attempts):
+            if attempt:
+                self._backoff(attempt)
+            try:
+                status, data = self._request(
+                    "POST", "/query", payload, {"X-Request-Id": request_id}
+                )
+            except _RETRYABLE_TRANSPORT as exc:
+                obs.count("serve.client.transport_retries")
+                last = f"transport: {type(exc).__name__}: {exc}"
+                continue
+            if status == 200:
+                return data
+            code = str(data.get("error", "unknown"))
+            message = str(data.get("message", ""))
+            if status in (503, 500):
+                obs.count(f"serve.client.retries.{status}")
+                last = f"{status} {code}: {message}"
+                continue
+            raise ServeError(status, code, message)
+        raise RetriesExhausted(attempts, last)
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** (attempt - 1)))
+        time.sleep(delay * self._rng.uniform(0.5, 1.0))

@@ -1,0 +1,236 @@
+"""Snapshot-consistent serving: pinned generations, atomic swaps.
+
+The store's commit protocol already gives readers a free consistency
+primitive: every committed write atomically replaces ``manifest.json``,
+shards are immutable, and an opened :class:`~repro.store.lake.LakeStore`
+keeps serving the manifest it opened — a writer appending or compacting
+the same directory never mutates another process's open handle (POSIX
+keeps unlinked-but-mapped shard bytes readable).  ``repro.serve`` turns
+that into an explicit serving contract:
+
+* a :class:`Snapshot` pins one committed generation: the store handle,
+  the thread-safe :class:`~repro.store.session.QuerySession` over it,
+  and the generation token (:func:`repro.store.lake.store_generation`);
+* every request **acquires** the current snapshot for its whole
+  lifetime and releases it when done (refcounting), so a query started
+  on generation *g* finishes on generation *g* even if the background
+  reloader swaps mid-request — responses are always whole-generation,
+  never a hybrid of two catalogs;
+* the :class:`SnapshotManager` polls the generation token and swaps in
+  a freshly opened snapshot **atomically** when a writer commits; the
+  superseded snapshot closes only after its last in-flight request
+  releases it;
+* a swap that fails (torn manifest mid-``repair``, the
+  ``serve.snapshot_swap`` failpoint) leaves the old snapshot serving —
+  degraded continuity beats an outage — and a store that only opens in
+  salvage mode is served read-only with its ``degraded`` notes attached
+  to every response.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro import faults, obs
+from repro.store.lake import LakeStore, StoreError, store_generation
+from repro.store.session import QuerySession
+
+__all__ = ["Snapshot", "SnapshotManager", "FP_SNAPSHOT_SWAP"]
+
+FP_SNAPSHOT_SWAP = faults.register(
+    "serve.snapshot_swap",
+    "new generation opened, before it replaces the served snapshot",
+)
+
+
+class Snapshot:
+    """One pinned generation: store + session + refcount.
+
+    Created with one reference held by the manager; every request
+    acquires/releases around its use.  After :meth:`retire` drops the
+    manager's reference, the underlying store closes as soon as the
+    last request releases — never under an in-flight query's feet.
+    """
+
+    def __init__(self, store: LakeStore, session: QuerySession) -> None:
+        self.store = store
+        self.session = session
+        self.generation = store.generation
+        self.degraded = list(store.degraded)
+        self.read_only = bool(getattr(store, "_read_only", False))
+        self._lock = threading.Lock()
+        self._refs = 1
+        self._retired = False
+
+    def acquire(self) -> "Snapshot":
+        with self._lock:
+            if self._refs <= 0:
+                raise StoreError("snapshot already closed")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            last = self._refs == 0
+        if last:
+            self.store.close()
+
+    def retire(self) -> None:
+        """Drop the manager's own reference (idempotent)."""
+        with self._lock:
+            if self._retired:
+                return
+            self._retired = True
+        self.release()
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class SnapshotManager:
+    """Opens, serves, and hot-swaps store snapshots for one lake path.
+
+    ``salvage`` controls graceful degradation: when a normal open fails
+    (corrupt shard), the manager retries with ``salvage=True`` and
+    serves the survivors read-only instead of refusing traffic; the
+    snapshot's ``degraded`` notes say what was lost.  ``start()`` runs
+    the background reloader (poll ``poll_interval_s``); calling
+    :meth:`maybe_reload` directly is how tests drive deterministic
+    swaps.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        min_containment: float = 0.05,
+        candidates: str = "scan",
+        salvage: bool = True,
+        poll_interval_s: float = 0.5,
+        max_cached_queries: int | None = 256,
+    ) -> None:
+        self.path = Path(path)
+        self.min_containment = min_containment
+        self.candidates = candidates
+        self.salvage = salvage
+        self.poll_interval_s = poll_interval_s
+        self.max_cached_queries = max_cached_queries
+        self._lock = threading.Lock()
+        self._snapshot: Snapshot | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, reloader: bool = True) -> "SnapshotManager":
+        """Open the first snapshot; optionally run the poll thread."""
+        with self._lock:
+            if self._snapshot is None:
+                self._snapshot = self._open_snapshot()
+        if reloader and self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._reload_loop, name="serve-reloader", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        with self._lock:
+            snapshot, self._snapshot = self._snapshot, None
+        if snapshot is not None:
+            snapshot.retire()
+
+    def __enter__(self) -> "SnapshotManager":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def current(self) -> Snapshot:
+        """Acquire the served snapshot; caller must ``release()``."""
+        with self._lock:
+            snapshot = self._snapshot
+            if snapshot is None:
+                raise StoreError(f"snapshot manager for {self.path} is not started")
+            return snapshot.acquire()
+
+    def generation(self) -> str | None:
+        with self._lock:
+            return self._snapshot.generation if self._snapshot else None
+
+    # ------------------------------------------------------------------
+    # reloading
+    # ------------------------------------------------------------------
+
+    def _open_snapshot(self) -> Snapshot:
+        try:
+            store = LakeStore.open(self.path)
+        except StoreError:
+            if not self.salvage:
+                raise
+            store = LakeStore.open(self.path, salvage=True)
+            obs.count("serve.salvage_opens")
+        session = QuerySession(
+            store,
+            min_containment=self.min_containment,
+            candidates=self.candidates,
+            max_cached_queries=self.max_cached_queries,
+        )
+        return Snapshot(store, session)
+
+    def maybe_reload(self) -> bool:
+        """Swap to a new snapshot iff the committed generation moved.
+
+        Returns True when a swap happened.  Exceptions propagate after
+        cleanup (the background loop catches and counts them); the old
+        snapshot keeps serving whenever anything goes wrong — a failed
+        reload degrades freshness, never availability.
+        """
+        with self._lock:
+            current = self._snapshot
+        if current is None:
+            return False
+        token = store_generation(self.path)
+        if token == current.generation:
+            return False
+        fresh = self._open_snapshot()
+        try:
+            faults.failpoint(FP_SNAPSHOT_SWAP)
+        except BaseException:
+            fresh.retire()
+            raise
+        with self._lock:
+            old, self._snapshot = self._snapshot, fresh
+        if old is not None:
+            old.retire()
+        obs.count("serve.snapshot_swaps")
+        with obs.trace_span("serve.snapshot_swap", generation=fresh.generation):
+            pass
+        return True
+
+    def _reload_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            try:
+                self.maybe_reload()
+            except Exception:
+                # Keep serving the pinned snapshot; the next poll
+                # retries.  (A mid-write torn manifest or an armed
+                # failpoint must never take the serving tier down.)
+                obs.count("serve.snapshot_swap_failures")

@@ -14,7 +14,13 @@ damaged store directories.
 """
 
 from repro.store.config import build_sketcher, check_sketcher_config, sketcher_config
-from repro.store.lake import LOCK_TIMEOUT_ENV, LakeStore, StoreError, is_lake_store
+from repro.store.lake import (
+    LOCK_TIMEOUT_ENV,
+    LakeStore,
+    StoreError,
+    is_lake_store,
+    store_generation,
+)
 from repro.store.manifest import MANIFEST_VERSION, Manifest, ManifestError
 from repro.store.recovery import fsck, repair
 from repro.store.session import QuerySession
@@ -33,4 +39,5 @@ __all__ = [
     "is_lake_store",
     "repair",
     "sketcher_config",
+    "store_generation",
 ]

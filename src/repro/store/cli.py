@@ -146,7 +146,15 @@ def _run_query(args: argparse.Namespace) -> int:
         for path in args.csv
     ]
     batched = len(tables) > 1
-    with LakeStore.open(args.store) as store:
+    try:
+        store = LakeStore.open(args.store)
+    except StoreError:
+        # Serve what survives rather than refusing outright: a corrupt
+        # shard degrades the query to the salvaged survivors (flagged
+        # in the warnings field); a store that cannot even salvage
+        # re-raises from the salvage open below.
+        store = LakeStore.open(args.store, salvage=True)
+    with store:
         session = QuerySession(
             store,
             min_containment=args.min_containment,
@@ -162,6 +170,11 @@ def _run_query(args: argparse.Namespace) -> int:
             all_hits = [
                 session.search(tables[0], args.column, top_k=args.top_k, by=args.by)
             ]
+        # Degraded-mode signals (salvage open, manifest fallback,
+        # dropped LSH index → scan fallback) ride along with every
+        # result, so callers detect degraded serving from the output
+        # itself instead of scraping obs counters.
+        warnings = session.warnings()
     if args.json:
         # One stable schema regardless of how many CSVs were passed, so
         # scripts globbing query files never see the shape flip.
@@ -169,12 +182,15 @@ def _run_query(args: argparse.Namespace) -> int:
             {
                 "query": table.name,
                 "column": args.column,
+                "warnings": warnings,
                 "hits": [_hit_payload(hit) for hit in hits],
             }
             for table, hits in zip(tables, all_hits)
         ]
         print(json.dumps(payload, indent=2))
         return 0
+    for note in warnings:
+        print(f"warning: {note}", file=sys.stderr)
     for i, (table, hits) in enumerate(zip(tables, all_hits)):
         if i:
             print()

@@ -31,6 +31,7 @@ bit-identical to the in-memory index built from the same tables.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import mmap
 import os
 import random
@@ -86,7 +87,13 @@ from repro.store.shard import (
     write_shard,
 )
 
-__all__ = ["LOCK_TIMEOUT_ENV", "StoreError", "LakeStore", "is_lake_store"]
+__all__ = [
+    "LOCK_TIMEOUT_ENV",
+    "StoreError",
+    "LakeStore",
+    "is_lake_store",
+    "store_generation",
+]
 
 _MANIFEST_NAME = "manifest.json"
 _LOCK_NAME = ".lock"
@@ -131,6 +138,31 @@ FP_COMPACT_MANIFEST_SAVED = faults.register(
 
 class StoreError(RuntimeError):
     """Raised on invalid lake-store operations or corrupted stores."""
+
+
+def store_generation(path: str | Path) -> str | None:
+    """A stable token of the lake's committed manifest generation.
+
+    Every committed write rewrites ``manifest.json`` atomically, so the
+    digest of its bytes identifies one committed generation: two
+    processes (or two moments in time) see the same token iff they see
+    the same committed catalog.  Readers use this to pin a snapshot —
+    a serving tier polls the token and swaps its session only when the
+    token moves — without parsing or validating the manifest on every
+    poll.  Falls back to the retained previous generation when the live
+    file is missing (mid-``os.replace`` is atomic, so this only happens
+    on a never-initialized directory); returns ``None`` when neither
+    exists.
+    """
+    manifest_path = Path(path) / _MANIFEST_NAME
+    try:
+        payload = manifest_path.read_bytes()
+    except OSError:
+        try:
+            payload = previous_manifest_path(manifest_path).read_bytes()
+        except OSError:
+            return None
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 def _resolve_lock_timeout(lock_timeout: float | None) -> float:
@@ -219,6 +251,10 @@ class LakeStore:
         #: form (manifest fallback, index fallback, salvaged shards).
         #: Empty for a healthy store.
         self.degraded: list[str] = list(degraded or [])
+        #: The committed manifest generation this handle serves
+        #: (refreshed after this handle's own commits; see
+        #: :func:`store_generation`).
+        self.generation: str | None = store_generation(path)
         self._index = self._build_index()
         if lake_index is not None:
             self._index.attach_lsh(lake_index)
@@ -309,6 +345,11 @@ class LakeStore:
                 # Salvage dropped shards: the persisted index covers
                 # rows that no longer exist — do not serve it.
                 lake_index = None
+                degraded.append(
+                    "lsh_index dropped: persisted index covers skipped shards"
+                )
+                obs.count("store.recovery.index_fallback")
+                obs.count("query.route.scan_fallback")
             obs.count("store.opens")
             return cls(
                 path,
@@ -772,6 +813,7 @@ class LakeStore:
                 span.name, span.num_rows, span.columns, bank[span.lo : span.hi]
             )
         self._remove_stale_index(stale_index)
+        self.generation = store_generation(self.path)
 
     def compact(self, lock_timeout: float | None = None) -> dict[str, Any]:
         """Merge all live spans into one shard; reclaim tombstoned rows.
@@ -856,6 +898,7 @@ class LakeStore:
                 with contextlib.suppress(OSError):
                     (self.path / old).unlink()
         self._remove_stale_index(stale_index)
+        self.generation = store_generation(self.path)
         return {
             "shards_before": shards_before,
             "shards_after": 1,
@@ -1015,6 +1058,7 @@ class LakeStore:
             file_bytes += index_bytes
         return {
             "path": str(self.path),
+            "generation": self.generation,
             "sketcher": dict(self._manifest.sketcher),
             "read_only": self._read_only,
             "degraded": list(self.degraded),

@@ -18,10 +18,17 @@ conveniences the raw engine deliberately lacks:
 * results are plain :class:`~repro.datasearch.search.SearchHit` lists,
   identical to what the in-memory engine returns for the same lake —
   the store changes *where sketches live*, never *what they answer*.
+
+Sessions are **thread-safe**: the query-sketch cache and the lazy
+engine build are guarded by one lock, so concurrent readers (the
+``repro.serve`` request threads) never race a cache mutation against
+``stats()`` iteration or build the engine twice.  The search itself
+runs outside the lock — only the tiny bookkeeping sections serialize.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Sequence
 
 from repro import obs
@@ -41,17 +48,31 @@ class QuerySession:
         store: LakeStore,
         min_containment: float = 0.05,
         candidates: str = "scan",
+        max_cached_queries: int | None = None,
     ) -> None:
         """``candidates`` picks the session's default joinability
         candidate generator: ``"scan"`` (exact full-lake pass) or
         ``"lsh"`` (sublinear banded-signature shortlist, re-checked
         exactly — hits are a subset of the scan path).  Every query
-        method also takes a per-call override."""
+        method also takes a per-call override.  ``max_cached_queries``
+        bounds the query-sketch cache (oldest entry evicted first) —
+        long-lived servers sketching arbitrary client tables set this;
+        ``None`` keeps the historical unbounded cache."""
         self.store = store
         self.min_containment = min_containment
         self.candidates = candidates
+        self.max_cached_queries = max_cached_queries
         self._query_cache: dict[str, JoinSketch] = {}
         self._engine: DatasetSearch | None = None
+        self._lock = threading.RLock()
+
+    def _engine_current(self, engine: DatasetSearch | None) -> bool:
+        return (
+            engine is not None
+            and engine.index is self.store.index
+            and engine.min_containment == self.min_containment
+            and engine.candidates == self.candidates
+        )
 
     @property
     def engine(self) -> DatasetSearch:
@@ -62,21 +83,21 @@ class QuerySession:
         that rebuilds the index — compaction, reopening — swaps the
         object and forces a fresh engine on the next access.  Mutating
         ``session.min_containment`` or ``session.candidates`` also
-        invalidates it.
+        invalidates it.  Concurrent readers build the engine exactly
+        once: the first thread constructs it under the lock, the rest
+        re-check and adopt it.
         """
-        index = self.store.index
         engine = self._engine
-        if (
-            engine is None
-            or engine.index is not index
-            or engine.min_containment != self.min_containment
-            or engine.candidates != self.candidates
-        ):
-            engine = DatasetSearch(
-                index, self.min_containment, candidates=self.candidates
-            )
-            self._engine = engine
-        return engine
+        if self._engine_current(engine):
+            return engine
+        with self._lock:
+            engine = self._engine
+            if not self._engine_current(engine):
+                engine = DatasetSearch(
+                    self.store.index, self.min_containment, candidates=self.candidates
+                )
+                self._engine = engine
+            return engine
 
     # ------------------------------------------------------------------
     # querying
@@ -87,16 +108,25 @@ class QuerySession:
 
         The cache assumes a name identifies one table for the session's
         lifetime; call :meth:`clear_cache` if a query table's contents
-        change.
+        change.  Two threads missing on the same name may both sketch
+        it (sketching is deterministic, so either result is THE
+        result); the first insert wins and the duplicate is dropped.
         """
-        cached = self._query_cache.get(table.name)
-        if cached is None:
-            obs.count("session.sketch_cache.misses")
-            with obs.trace_span("session.sketch_query", table=table.name):
-                cached = self.engine.sketch_query(table)
-            self._query_cache[table.name] = cached
-        else:
+        with self._lock:
+            cached = self._query_cache.get(table.name)
+        if cached is not None:
             obs.count("session.sketch_cache.hits")
+            return cached
+        obs.count("session.sketch_cache.misses")
+        with obs.trace_span("session.sketch_query", table=table.name):
+            built = self.engine.sketch_query(table)
+        with self._lock:
+            cached = self._query_cache.setdefault(table.name, built)
+            if self.max_cached_queries is not None:
+                while len(self._query_cache) > self.max_cached_queries:
+                    oldest = next(iter(self._query_cache))
+                    del self._query_cache[oldest]
+                    obs.count("session.sketch_cache.evictions")
         return cached
 
     def joinable(
@@ -151,7 +181,27 @@ class QuerySession:
     # ------------------------------------------------------------------
 
     def clear_cache(self) -> None:
-        self._query_cache.clear()
+        with self._lock:
+            self._query_cache.clear()
+
+    def warnings(self) -> list[str]:
+        """Operator-visible degradation notes for this session's store.
+
+        Empty for a healthy store.  Carries the ``store.degraded``
+        conditions the open survived (manifest fallback, salvaged
+        shards, dropped LSH index) plus a ``query.route.scan_fallback``
+        note when the persisted candidate index was unusable — callers
+        of the CLI ``--json`` output and the ``repro.serve`` responses
+        read these to detect salvage or index-fallback serving without
+        scraping obs counters.
+        """
+        notes = [f"store.degraded: {note}" for note in self.store.degraded]
+        if any("lsh_index dropped" in note for note in self.store.degraded):
+            notes.append(
+                "query.route.scan_fallback: persisted LSH index unusable; "
+                "candidates served by scan or an in-memory rebuild"
+            )
+        return notes
 
     def stats(self) -> dict[str, Any]:
         """The unified serving view: store catalog + session caches.
@@ -173,13 +223,16 @@ class QuerySession:
           ``core/wmh.py``.
         """
         stats = self.store.stats()
-        stats["cached_query_sketches"] = len(self._query_cache)
-        engine = self._engine
         index = self.store.index
+        with self._lock:
+            cached_sketches = len(self._query_cache)
+            engine = self._engine
+        stats["cached_query_sketches"] = cached_sketches
         stats["session"] = {
             "min_containment": self.min_containment,
             "candidates": self.candidates,
-            "cached_query_sketches": len(self._query_cache),
+            "cached_query_sketches": cached_sketches,
+            "max_cached_queries": self.max_cached_queries,
             "engine_cached": engine is not None,
             "engine_current": (
                 engine is not None

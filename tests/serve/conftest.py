@@ -1,0 +1,146 @@
+"""Shared fixtures for the query-service test suite.
+
+Two harnesses:
+
+* ``serve_store`` / ``query_table`` build a small deterministic lake
+  and a query table whose answers the tests pin against direct
+  :class:`QuerySession` results;
+* ``spawn_server`` runs ``python -m repro.serve`` in a real subprocess
+  (optionally with armed failpoints) and parses the ``serving ... at
+  URL`` line — the torture tests kill that process mid-request and
+  assert the retry client still recovers bit-identical answers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.table import Table
+from repro.store import LakeStore
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    """No armed failpoint ever leaks between tests."""
+    yield
+    faults.registry._reset_for_tests()
+
+
+def make_lake_tables(count: int = 5, seed: int = 0, rows: int = 120) -> list[Table]:
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = [f"k{j}" for j in rng.choice(400, size=rows, replace=False)]
+        tables.append(
+            Table(
+                f"lake{seed}_{i}",
+                keys,
+                {"value": rng.normal(size=rows), "extra": rng.normal(size=rows)},
+            )
+        )
+    return tables
+
+
+def make_query(seed: int = 42, rows: int = 150) -> Table:
+    rng = np.random.default_rng(seed)
+    keys = [f"k{j}" for j in rng.choice(400, size=rows, replace=False)]
+    return Table(f"query{seed}", keys, {"signal": rng.normal(size=rows)})
+
+
+def make_store(path: Path, tables: list[Table] | None = None) -> Path:
+    """Create a lake at ``path`` and return the path (store closed)."""
+    with LakeStore.create(path, WeightedMinHash(m=64, seed=3, L=1 << 16)) as store:
+        store.append(tables if tables is not None else make_lake_tables())
+    return path
+
+
+@pytest.fixture
+def serve_store(tmp_path) -> Path:
+    return make_store(tmp_path / "lake")
+
+
+def norm_float(value):
+    """NaN-safe exact comparison key (NaN != NaN under ``==``)."""
+    if isinstance(value, float) and value != value:
+        return "nan"
+    return value
+
+
+def hits_fingerprint(hits: list[dict]) -> tuple:
+    """Comparable identity of a JSON hit list (exact float round-trip)."""
+    return tuple(
+        (
+            h["table"],
+            h["column"],
+            norm_float(h["score"]),
+            norm_float(h["correlation"]),
+            norm_float(h["join_size"]),
+            norm_float(h["containment"]),
+        )
+        for h in hits
+    )
+
+
+def hit_tuples(hits) -> list[tuple]:
+    """The same identity for direct :class:`SearchHit` lists."""
+    return [
+        (
+            h.table_name,
+            h.column,
+            norm_float(float(h.score)),
+            norm_float(float(h.correlation)),
+            norm_float(float(h.join_size)),
+            norm_float(float(h.containment)),
+        )
+        for h in hits
+    ]
+
+
+def spawn_server(
+    store_dir: Path,
+    *args: str,
+    failpoints: str | None = None,
+) -> tuple[subprocess.Popen, str]:
+    """Start ``python -m repro.serve`` and return ``(process, url)``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.FAILPOINTS_ENV, None)
+    if failpoints is not None:
+        env[faults.FAILPOINTS_ENV] = failpoints
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", str(store_dir), *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("serving "):
+        proc.kill()
+        raise AssertionError(
+            f"server failed to start: {line!r}\n{proc.stderr.read()}"
+        )
+    return proc, line.split()[-1]
+
+
+def stop_server(proc: subprocess.Popen, timeout: float = 15.0) -> int:
+    """SIGTERM + wait; returns the exit code (kills on timeout)."""
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5.0)
+    return proc.returncode

@@ -1,0 +1,127 @@
+"""Serve torture: kill the service at its failpoints, clients recover.
+
+The invariant mirrors the store torture suite one level up the stack:
+queries are pure reads over committed generations, so killing the
+server at any serve failpoint and restarting it must cost a client at
+most a retry — the recovered answer is **bit-identical** to the one an
+undisturbed server returns.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults
+from repro.serve import QueryServer, RetriesExhausted, ServeClient, ServerConfig
+
+from .conftest import (
+    REPO_SRC,
+    hits_fingerprint,
+    make_query,
+    spawn_server,
+    stop_server,
+)
+
+
+def free_port() -> int:
+    """Reserve a port number to reuse across a kill/restart pair."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def baseline_answer(store_dir, query) -> tuple:
+    """The undisturbed server's answer for ``query`` (via HTTP)."""
+    with QueryServer(store_dir, ServerConfig()) as server:
+        response = ServeClient(server.url).query(query, "signal")
+    return hits_fingerprint(response["hits"])
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "serve.request=crash@2",
+        "serve.batch=crash@2",
+    ],
+)
+def test_crash_then_restart_recovers_bit_identical(serve_store, spec):
+    """Kill the server mid-request; a retrying client pointed at the
+    restarted server (same port) gets the exact baseline answer."""
+    query = make_query()
+    expected = baseline_answer(serve_store, query)
+    port = free_port()
+
+    proc, url = spawn_server(serve_store, "--port", str(port), failpoints=spec)
+    client = ServeClient(url, backoff_base_s=0.02, seed=0)
+    try:
+        first = client.query(query, "signal")  # hit 1: passes through
+        assert hits_fingerprint(first["hits"]) == expected
+        # Hit 2 fires the crash: the process dies mid-request.  A
+        # single-shot client sees only transport failures.
+        with pytest.raises(RetriesExhausted):
+            client.query(query, "signal", max_attempts=2)
+        assert proc.wait(timeout=10.0) == faults.CRASH_EXIT_CODE
+    finally:
+        stop_server(proc)
+
+    # Restart on the same port, no faults: the retrying client's next
+    # attempt recovers the bit-identical answer.
+    proc, url = spawn_server(serve_store, "--port", str(port))
+    try:
+        client.wait_ready()
+        recovered = client.query(query, "signal")
+        assert hits_fingerprint(recovered["hits"]) == expected
+    finally:
+        assert stop_server(proc) == 0
+
+
+def test_sigterm_drains_cleanly(serve_store):
+    proc, url = spawn_server(serve_store)
+    client = ServeClient(url)
+    response = client.query(make_query(), "signal")
+    assert response["hits"]
+    assert stop_server(proc) == 0
+    assert "drained (clean=True)" in proc.stdout.read()
+
+
+def test_drain_failpoint_still_exits(serve_store):
+    """A fault raised inside the drain path must not wedge shutdown."""
+    proc, url = spawn_server(serve_store, failpoints="serve.drain=sleep:0.2")
+    ServeClient(url).query(make_query(), "signal")
+    assert stop_server(proc) == 0
+
+
+def test_batch_raise_recovers_in_process(serve_store):
+    """A raising batch is a typed 500 the client retries through."""
+    query = make_query()
+    expected = baseline_answer(serve_store, query)
+    with QueryServer(serve_store, ServerConfig()) as server:
+        client = ServeClient(server.url, backoff_base_s=0.01, seed=0)
+        with faults.failpoints("serve.batch=raise@1"):
+            response = client.query(query, "signal")
+    assert hits_fingerprint(response["hits"]) == expected
+
+
+def test_dead_server_yields_retries_exhausted(serve_store):
+    proc, url = spawn_server(serve_store)
+    assert stop_server(proc) == 0
+    client = ServeClient(url, max_attempts=2, backoff_base_s=0.01, timeout_s=2.0)
+    with pytest.raises(RetriesExhausted):
+        client.query(make_query(), "signal")
+
+
+def test_server_refuses_non_store_directory(tmp_path):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.serve", str(tmp_path / "not-a-store")],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": REPO_SRC},
+        timeout=60,
+    )
+    assert result.returncode == 1
+    assert "not a lake store" in result.stderr

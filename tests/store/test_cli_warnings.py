@@ -1,0 +1,78 @@
+"""CLI ``query`` degraded-mode warnings (``--json`` and human modes)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.table import Table
+from repro.store import LakeStore
+from repro.store.cli import main
+
+
+def write_query_csv(path, seed: int = 42, rows: int = 150):
+    rng = np.random.default_rng(seed)
+    keys = [f"k{j}" for j in rng.choice(400, size=rows, replace=False)]
+    values = rng.normal(size=rows)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["key", "signal"])
+        for key, value in zip(keys, values):
+            writer.writerow([key, repr(float(value))])
+    return path
+
+
+@pytest.fixture
+def lake(tmp_path):
+    rng = np.random.default_rng(0)
+    tables = []
+    for i in range(4):
+        keys = [f"k{j}" for j in rng.choice(400, size=100, replace=False)]
+        tables.append(Table(f"table{i}", keys, {"value": rng.normal(size=100)}))
+    path = tmp_path / "lake"
+    with LakeStore.create(path, WeightedMinHash(m=32, seed=3, L=1 << 16)) as store:
+        store.append(tables[:2])
+        store.append(tables[2:])
+    return path
+
+
+def corrupt_newest_shard(lake):
+    shard = sorted(lake.glob("shard-*.rpro"))[-1]
+    blob = bytearray(shard.read_bytes())
+    blob[-5] ^= 0xFF
+    shard.write_bytes(bytes(blob))
+
+
+def test_healthy_query_has_empty_warnings(tmp_path, lake, capsys):
+    query_csv = write_query_csv(tmp_path / "q.csv")
+    assert main(["query", str(lake), str(query_csv), "--column", "signal", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["warnings"] == []
+
+
+def test_degraded_store_carries_warnings_in_json(tmp_path, lake, capsys):
+    corrupt_newest_shard(lake)
+    query_csv = write_query_csv(tmp_path / "q.csv")
+    assert main(["query", str(lake), str(query_csv), "--column", "signal", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    warnings = payload[0]["warnings"]
+    assert any(
+        note.startswith("store.degraded:") and "skipped" in note for note in warnings
+    )
+    # The dropped persisted index is surfaced as a route note too.
+    assert any(note.startswith("query.route.scan_fallback:") for note in warnings)
+    # The survivors are still ranked — degraded serving, not an error.
+    assert isinstance(payload[0]["hits"], list)
+
+
+def test_degraded_human_mode_prints_warnings_to_stderr(tmp_path, lake, capsys):
+    corrupt_newest_shard(lake)
+    query_csv = write_query_csv(tmp_path / "q.csv")
+    assert main(["query", str(lake), str(query_csv), "--column", "signal"]) == 0
+    captured = capsys.readouterr()
+    assert "warning: store.degraded:" in captured.err
+    assert "warning:" not in captured.out

@@ -1,0 +1,157 @@
+"""Thread-safety of :class:`QuerySession` under concurrent hammering."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.wmh import WeightedMinHash
+from repro.datasearch.table import Table
+from repro.store import LakeStore, QuerySession
+
+
+def make_tables(count: int = 4, seed: int = 0, rows: int = 100) -> list[Table]:
+    rng = np.random.default_rng(seed)
+    tables = []
+    for i in range(count):
+        keys = [f"k{j}" for j in rng.choice(400, size=rows, replace=False)]
+        tables.append(Table(f"table{i}", keys, {"value": rng.normal(size=rows)}))
+    return tables
+
+
+def make_query(seed: int = 42, rows: int = 150) -> Table:
+    rng = np.random.default_rng(seed)
+    keys = [f"k{j}" for j in rng.choice(400, size=rows, replace=False)]
+    return Table(f"query{seed}", keys, {"signal": rng.normal(size=rows)})
+
+
+@pytest.fixture
+def store(tmp_path):
+    with LakeStore.create(
+        tmp_path / "lake", WeightedMinHash(m=32, seed=3, L=1 << 16)
+    ) as store:
+        store.append(make_tables())
+        yield store
+
+
+def hit_tuples(hits):
+    return [(h.table_name, h.column, h.score, h.correlation) for h in hits]
+
+
+def test_engine_is_built_exactly_once_under_contention(store, monkeypatch):
+    import repro.store.session as session_module
+
+    builds = []
+    real_engine = session_module.DatasetSearch
+
+    class CountingEngine(real_engine):
+        def __init__(self, *args, **kwargs):
+            builds.append(1)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(session_module, "DatasetSearch", CountingEngine)
+    session = QuerySession(store)
+    barrier = threading.Barrier(8)
+    engines = [None] * 8
+
+    def grab(i: int) -> None:
+        barrier.wait()
+        engines[i] = session.engine
+
+    threads = [threading.Thread(target=grab, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(builds) == 1
+    assert all(engine is engines[0] for engine in engines)
+
+
+def test_hammer_search_stats_clear_cache(store):
+    """8 threads interleaving search/stats/clear_cache: no exceptions,
+    and every search result matches the single-threaded answer."""
+    session = QuerySession(store, min_containment=0.0)
+    queries = [make_query(seed=s) for s in range(4)]
+    expected = {
+        q.name: hit_tuples(session.search(q, "signal", top_k=5)) for q in queries
+    }
+    session.clear_cache()
+
+    errors: list[Exception] = []
+    barrier = threading.Barrier(8)
+
+    def hammer(worker: int) -> None:
+        barrier.wait()
+        try:
+            for round_ in range(15):
+                query = queries[(worker + round_) % len(queries)]
+                hits = session.search(query, "signal", top_k=5)
+                assert hit_tuples(hits) == expected[query.name]
+                if worker % 4 == 0:
+                    session.clear_cache()
+                elif worker % 4 == 1:
+                    session.stats()
+                else:
+                    session.sketch(query)
+        except Exception as exc:  # noqa: BLE001 - recorded, asserted below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[0]
+
+
+def test_sketch_cache_returns_one_object_per_name(store):
+    """Racing sketch() calls for the same table converge on ONE cached
+    object — the setdefault publish, not last-writer-wins."""
+    session = QuerySession(store)
+    query = make_query()
+    barrier = threading.Barrier(8)
+    sketches = [None] * 8
+
+    def grab(i: int) -> None:
+        barrier.wait()
+        sketches[i] = session.sketch(query)
+
+    threads = [threading.Thread(target=grab, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # All callers ended up with the same cached sketch object.
+    assert all(s is sketches[0] for s in sketches)
+    assert session.sketch(query) is sketches[0]
+
+
+def test_cache_eviction_bounds_memory(store):
+    session = QuerySession(store, max_cached_queries=3)
+    for seed in range(10):
+        session.sketch(make_query(seed=seed))
+    assert session.stats()["cached_query_sketches"] <= 3
+
+
+def test_concurrent_eviction_never_raises(store):
+    session = QuerySession(store, max_cached_queries=2)
+    errors: list[Exception] = []
+    barrier = threading.Barrier(6)
+
+    def churn(worker: int) -> None:
+        barrier.wait()
+        try:
+            for round_ in range(25):
+                session.sketch(make_query(seed=(worker * 31 + round_) % 13))
+        except Exception as exc:  # noqa: BLE001 - recorded, asserted below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[0]
+    assert session.stats()["cached_query_sketches"] <= 2
